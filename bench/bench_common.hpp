@@ -1,0 +1,64 @@
+// Shared scaffolding for the per-figure bench binaries: standard CLI options
+// (--full / --seed / --repeats / --threads), sweep construction helpers, and
+// the banner every bench prints so output is self-describing.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "exp/sweep.hpp"
+#include "metrics/report.hpp"
+#include "util/cli.hpp"
+
+namespace taps::bench {
+
+struct CommonOptions {
+  bool full_scale = false;
+  std::uint64_t seed = 42;
+  std::size_t repeats = 3;
+  std::size_t threads = 0;  // 0 = all cores
+};
+
+inline void add_common_options(util::Cli& cli) {
+  cli.add_flag("full", "paper-scale topology/workload (much slower)");
+  cli.add_option("seed", "base RNG seed", "42");
+  cli.add_option("repeats", "seeds averaged per sweep point", "3");
+  cli.add_option("threads", "sweep worker threads (0 = all cores)", "0");
+  cli.add_option("csv", "also write the sweep to this CSV file", "");
+}
+
+/// Write the sweep to --csv if the option was given.
+inline void maybe_write_csv(const util::Cli& cli, const std::string& x_label,
+                            const std::vector<exp::SweepPoint>& points,
+                            const std::vector<exp::SchedulerKind>& schedulers,
+                            const exp::SweepResult& result) {
+  const std::string path = cli.str("csv");
+  if (path.empty()) return;
+  exp::write_sweep_csv(path, x_label, points, schedulers, result);
+  std::cout << "\n(sweep written to " << path << ")\n";
+}
+
+inline CommonOptions read_common_options(const util::Cli& cli) {
+  CommonOptions o;
+  o.full_scale = cli.flag("full");
+  o.seed = static_cast<std::uint64_t>(cli.integer("seed"));
+  o.repeats = static_cast<std::size_t>(cli.integer("repeats"));
+  o.threads = static_cast<std::size_t>(cli.integer("threads"));
+  return o;
+}
+
+inline void banner(const std::string& figure, const std::string& what,
+                   const CommonOptions& o) {
+  std::cout << "=== " << figure << ": " << what << " ===\n"
+            << "scale: " << (o.full_scale ? "paper (full)" : "scaled") << ", seed: " << o.seed
+            << ", repeats/point: " << o.repeats << "\n\n";
+}
+
+/// Metric selectors used across figures.
+inline double task_ratio(const metrics::RunMetrics& m) { return m.task_completion_ratio; }
+inline double flow_ratio(const metrics::RunMetrics& m) { return m.flow_completion_ratio; }
+inline double app_throughput(const metrics::RunMetrics& m) { return m.app_throughput; }
+inline double wasted_bw(const metrics::RunMetrics& m) { return m.wasted_bandwidth_ratio; }
+
+}  // namespace taps::bench

@@ -1,0 +1,39 @@
+// Paper Fig. 10: flow completion ratio versus mean flow size when every task
+// has exactly one flow (task == flow), which isolates the near-optimal
+// flow-level behaviour of TAPS. The paper uses 36 000 single-flow tasks; the
+// scaled preset keeps the same tasks-per-host density.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace taps;
+
+  util::Cli cli("bench_fig10_flowratio",
+                "Fig. 10: flow completion ratio vs size, single-flow tasks");
+  bench::add_common_options(cli);
+  cli.add_option("tasks", "single-flow task count (0 = preset: 36000 full / 240 scaled)", "0");
+  if (!cli.parse(argc, argv)) return cli.exit_code();
+  const bench::CommonOptions o = bench::read_common_options(cli);
+  bench::banner("Fig. 10", "flow completion ratio, single-flow tasks, varying size", o);
+
+  int tasks = static_cast<int>(cli.integer("tasks"));
+  if (tasks == 0) tasks = o.full_scale ? 36'000 : 240;
+
+  std::vector<exp::SweepPoint> points;
+  for (int kb = 60; kb <= 300; kb += 30) {
+    workload::Scenario s = workload::Scenario::single_rooted(o.full_scale);
+    s.workload.single_flow_tasks = true;
+    s.workload.task_count = tasks;
+    s.workload.arrival_rate = tasks * 10.0;  // keep the burst window ~100 ms
+    s.workload.mean_flow_size = kb * 1000.0;
+    s.workload.flow_size_stddev = kb * 250.0;
+    s.seed = o.seed;
+    points.push_back(exp::SweepPoint{static_cast<double>(kb), s});
+  }
+
+  const auto result = exp::run_sweep(points, exp::all_schedulers(), o.threads, o.repeats);
+  std::cout << "Flow completion ratio (task == flow: identical to task ratio here)\n";
+  exp::print_metric_table(std::cout, "size-KB", points, exp::all_schedulers(), result,
+                          bench::flow_ratio);
+  bench::maybe_write_csv(cli, "size_kb", points, exp::all_schedulers(), result);
+  return 0;
+}

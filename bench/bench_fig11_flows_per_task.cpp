@@ -1,0 +1,34 @@
+// Paper Fig. 11: task completion ratio versus mean number of flows per task
+// (400-2000 at paper scale; the scaled preset sweeps the same flows-per-host
+// density on the small tree: 8-40).
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace taps;
+
+  util::Cli cli("bench_fig11_flows_per_task",
+                "Fig. 11: task completion vs flows per task");
+  bench::add_common_options(cli);
+  if (!cli.parse(argc, argv)) return cli.exit_code();
+  const bench::CommonOptions o = bench::read_common_options(cli);
+  bench::banner("Fig. 11", "varying mean flows per task", o);
+
+  std::vector<exp::SweepPoint> points;
+  for (int i = 0; i < 9; ++i) {
+    // Paper scale: 400, 600, ..., 2000. Scaled: 8, 12, ..., 40.
+    const double flows = o.full_scale ? 400.0 + 200.0 * i : 8.0 + 4.0 * i;
+    workload::Scenario s = workload::Scenario::single_rooted(o.full_scale);
+    s.workload.flows_per_task_mean = flows;
+    s.seed = o.seed;
+    points.push_back(exp::SweepPoint{flows, s});
+  }
+
+  const auto result = exp::run_sweep(points, exp::all_schedulers(), o.threads, o.repeats);
+  std::cout << "Task completion ratio\n";
+  exp::print_metric_table(std::cout, "flows/task", points, exp::all_schedulers(), result,
+                          bench::task_ratio);
+  std::cout << "\nExpected shape: monotone decrease for everyone (bigger coflows are\n"
+               "harder to finish whole); TAPS stays on top via admission control.\n";
+  bench::maybe_write_csv(cli, "flows_per_task", points, exp::all_schedulers(), result);
+  return 0;
+}

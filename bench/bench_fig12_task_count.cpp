@@ -1,0 +1,28 @@
+// Paper Fig. 12: task completion ratio versus the number of offered tasks
+// (30-270), single-rooted tree, default deadline/size.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace taps;
+
+  util::Cli cli("bench_fig12_task_count", "Fig. 12: task completion vs task count");
+  bench::add_common_options(cli);
+  if (!cli.parse(argc, argv)) return cli.exit_code();
+  const bench::CommonOptions o = bench::read_common_options(cli);
+  bench::banner("Fig. 12", "varying offered task count 30-270", o);
+
+  std::vector<exp::SweepPoint> points;
+  for (int tasks = 30; tasks <= 270; tasks += 30) {
+    workload::Scenario s = workload::Scenario::single_rooted(o.full_scale);
+    s.workload.task_count = tasks;
+    s.seed = o.seed;
+    points.push_back(exp::SweepPoint{static_cast<double>(tasks), s});
+  }
+
+  const auto result = exp::run_sweep(points, exp::all_schedulers(), o.threads, o.repeats);
+  std::cout << "Task completion ratio\n";
+  exp::print_metric_table(std::cout, "tasks", points, exp::all_schedulers(), result,
+                          bench::task_ratio);
+  bench::maybe_write_csv(cli, "task_count", points, exp::all_schedulers(), result);
+  return 0;
+}

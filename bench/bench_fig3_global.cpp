@@ -1,0 +1,93 @@
+// Paper Fig. 3: the global-scheduling motivation. Four flows on a 5-switch
+// topology; PDQ with bounded switch flow lists cannot use the idle
+// bottleneck links in the first time unit and loses f4; TAPS's global slice
+// allocation fits all four (f4 split across (0,1) and (2,3), Fig. 3(b)).
+#include <iostream>
+#include <memory>
+
+#include "core/taps_scheduler.hpp"
+#include "metrics/report.hpp"
+#include "sched/pdq.hpp"
+#include "sim/simulator.hpp"
+#include "topo/paths.hpp"
+
+namespace {
+
+using namespace taps;
+
+struct Fig3Topo {
+  std::unique_ptr<topo::GenericTopology> topology;
+  topo::NodeId h1, h2, h3, h4;
+};
+
+Fig3Topo make_topo() {
+  topo::Graph g;
+  const auto s1 = g.add_node(topo::NodeKind::kTor, "S1");
+  const auto s2 = g.add_node(topo::NodeKind::kTor, "S2");
+  const auto s3 = g.add_node(topo::NodeKind::kTor, "S3");
+  const auto s4 = g.add_node(topo::NodeKind::kTor, "S4");
+  const auto s5 = g.add_node(topo::NodeKind::kAggregation, "S5");
+  Fig3Topo t;
+  t.h1 = g.add_node(topo::NodeKind::kHost, "1");
+  t.h2 = g.add_node(topo::NodeKind::kHost, "2");
+  t.h3 = g.add_node(topo::NodeKind::kHost, "3");
+  t.h4 = g.add_node(topo::NodeKind::kHost, "4");
+  g.add_duplex_link(t.h1, s1, 1.0);
+  g.add_duplex_link(t.h2, s2, 1.0);
+  g.add_duplex_link(t.h3, s3, 1.0);
+  g.add_duplex_link(t.h4, s4, 1.0);
+  g.add_duplex_link(s1, s5, 1.0);
+  g.add_duplex_link(s2, s5, 1.0);
+  g.add_duplex_link(s3, s5, 1.0);
+  g.add_duplex_link(s4, s5, 1.0);
+  t.topology = std::make_unique<topo::GenericTopology>(
+      std::move(g), std::vector<topo::NodeId>{t.h1, t.h2, t.h3, t.h4}, "fig3");
+  return t;
+}
+
+std::size_t run_scheme(sim::Scheduler& sched) {
+  Fig3Topo t = make_topo();
+  net::Network net(*t.topology);
+  auto one = [&](topo::NodeId a, topo::NodeId b, double size, double deadline) {
+    net::FlowSpec f;
+    f.src = a;
+    f.dst = b;
+    f.size = size;
+    net.add_task(0.0, deadline, std::vector<net::FlowSpec>{f});
+  };
+  one(t.h1, t.h2, 1.0, 1.0);  // f1
+  one(t.h1, t.h4, 1.0, 2.0);  // f2
+  one(t.h3, t.h2, 1.0, 2.0);  // f3
+  one(t.h3, t.h4, 2.0, 3.0);  // f4
+  sim::FluidSimulator simulator(net, sched);
+  (void)simulator.run();
+  std::size_t flows = 0;
+  for (const auto& f : net.flows()) {
+    if (f.state == net::FlowState::kCompleted) ++flows;
+  }
+  return flows;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Fig. 3: global vs distributed scheduling ===\n"
+            << "f1(1,d1) 1->2, f2(1,d2) 1->4, f3(1,d2) 3->2, f4(2,d3) 3->4\n\n";
+
+  metrics::Table table({"scheme", "flows-completed", "paper"});
+  {
+    sched::Pdq s(sched::PdqConfig{.early_termination = true, .flow_list_limit = 2});
+    table.row("PDQ, switch flow-list limit 2", run_scheme(s), std::string("3 (f4 lost)"));
+  }
+  {
+    sched::Pdq s;
+    table.row("PDQ, idealized (no list limit)", run_scheme(s),
+              std::string("n/a (no list artifact)"));
+  }
+  {
+    core::TapsScheduler s;
+    table.row("TAPS global scheduling", run_scheme(s), std::string("4 (optimal, Fig. 3b)"));
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Paper Fig. 6: application throughput (a) and task completion ratio (b)
+// versus mean flow deadline (20-60 ms) on the single-rooted tree, for all
+// six schedulers.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace taps;
+
+  util::Cli cli("bench_fig6_deadline_single",
+                "Fig. 6: throughput & task completion vs deadline, single-rooted tree");
+  bench::add_common_options(cli);
+  if (!cli.parse(argc, argv)) return cli.exit_code();
+  const bench::CommonOptions o = bench::read_common_options(cli);
+  bench::banner("Fig. 6", "varying mean deadline 20-60 ms, single-rooted tree", o);
+
+  std::vector<exp::SweepPoint> points;
+  for (int ms = 20; ms <= 60; ms += 5) {
+    workload::Scenario s = workload::Scenario::single_rooted(o.full_scale);
+    s.workload.mean_deadline = ms / 1000.0;
+    s.seed = o.seed;
+    points.push_back(exp::SweepPoint{static_cast<double>(ms), s});
+  }
+
+  const auto result = exp::run_sweep(points, exp::all_schedulers(), o.threads, o.repeats);
+
+  std::cout << "(a) Application throughput (bytes of deadline-met flows / total bytes)\n";
+  exp::print_metric_table(std::cout, "deadline-ms", points, exp::all_schedulers(), result,
+                          bench::app_throughput);
+  std::cout << "\n(b) Task completion ratio (all flows of the task met the deadline)\n";
+  exp::print_metric_table(std::cout, "deadline-ms", points, exp::all_schedulers(), result,
+                          bench::task_ratio);
+  bench::maybe_write_csv(cli, "deadline_ms", points, exp::all_schedulers(), result);
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Paper Fig. 7: task completion ratio versus mean flow deadline on the
+// multi-rooted (fat-tree) topology. Baselines route with flow-level ECMP;
+// TAPS picks paths with its centralized algorithm.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace taps;
+
+  util::Cli cli("bench_fig7_deadline_multi",
+                "Fig. 7: task completion vs deadline, fat-tree (multi-rooted)");
+  bench::add_common_options(cli);
+  if (!cli.parse(argc, argv)) return cli.exit_code();
+  const bench::CommonOptions o = bench::read_common_options(cli);
+  bench::banner("Fig. 7", "varying mean deadline 20-60 ms, fat-tree", o);
+
+  std::vector<exp::SweepPoint> points;
+  for (int ms = 20; ms <= 60; ms += 5) {
+    workload::Scenario s = workload::Scenario::fat_tree(o.full_scale);
+    s.workload.mean_deadline = ms / 1000.0;
+    s.seed = o.seed;
+    points.push_back(exp::SweepPoint{static_cast<double>(ms), s});
+  }
+
+  const auto result = exp::run_sweep(points, exp::all_schedulers(), o.threads, o.repeats);
+  std::cout << "Task completion ratio\n";
+  exp::print_metric_table(std::cout, "deadline-ms", points, exp::all_schedulers(), result,
+                          bench::task_ratio);
+  bench::maybe_write_csv(cli, "deadline_ms", points, exp::all_schedulers(), result);
+  return 0;
+}

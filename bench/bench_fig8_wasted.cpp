@@ -1,0 +1,49 @@
+// Paper Fig. 8: wasted-bandwidth ratio versus mean deadline, single-rooted
+// tree — (a) all schedulers, (b) zoomed without Fair Sharing (which wastes an
+// order of magnitude more than the rest).
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace taps;
+
+  util::Cli cli("bench_fig8_wasted", "Fig. 8: wasted bandwidth vs deadline");
+  bench::add_common_options(cli);
+  if (!cli.parse(argc, argv)) return cli.exit_code();
+  const bench::CommonOptions o = bench::read_common_options(cli);
+  bench::banner("Fig. 8", "wasted bandwidth ratio, varying deadline 20-60 ms", o);
+
+  std::vector<exp::SweepPoint> points;
+  for (int ms = 20; ms <= 60; ms += 10) {
+    workload::Scenario s = workload::Scenario::single_rooted(o.full_scale);
+    s.workload.mean_deadline = ms / 1000.0;
+    s.seed = o.seed;
+    points.push_back(exp::SweepPoint{static_cast<double>(ms), s});
+  }
+
+  const auto result = exp::run_sweep(points, exp::all_schedulers(), o.threads, o.repeats);
+
+  std::cout << "(a) Wasted bandwidth ratio, all schedulers\n";
+  exp::print_metric_table(std::cout, "deadline-ms", points, exp::all_schedulers(), result,
+                          bench::wasted_bw);
+
+  std::vector<exp::SchedulerKind> no_fair(exp::all_schedulers().begin() + 1,
+                                          exp::all_schedulers().end());
+  // Re-index the same results without re-running: print from a filtered sweep.
+  std::cout << "\n(b) Wasted bandwidth ratio without Fair Sharing\n";
+  {
+    exp::SweepResult filtered;
+    const std::size_t n = exp::all_schedulers().size();
+    for (std::size_t pi = 0; pi < points.size(); ++pi) {
+      for (std::size_t si = 1; si < n; ++si) {
+        filtered.cells.push_back(result.cell(pi, si, n));
+      }
+    }
+    exp::print_metric_table(std::cout, "deadline-ms", points, no_fair, filtered,
+                            bench::wasted_bw);
+  }
+  std::cout << "\nExpected shape: Fair Sharing wastes far more than everyone; Baraat\n"
+               "(deadline-agnostic) wastes most among the rest; Varys and TAPS waste\n"
+               "nothing (rejected tasks never transmit).\n";
+  bench::maybe_write_csv(cli, "deadline_ms", points, exp::all_schedulers(), result);
+  return 0;
+}

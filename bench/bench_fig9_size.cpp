@@ -1,0 +1,32 @@
+// Paper Fig. 9: application throughput (a) and task completion ratio (b)
+// versus mean flow size (60-300 KB), single-rooted tree, deadline 40 ms.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace taps;
+
+  util::Cli cli("bench_fig9_size", "Fig. 9: throughput & task completion vs flow size");
+  bench::add_common_options(cli);
+  if (!cli.parse(argc, argv)) return cli.exit_code();
+  const bench::CommonOptions o = bench::read_common_options(cli);
+  bench::banner("Fig. 9", "varying mean flow size 60-300 KB, single-rooted tree", o);
+
+  std::vector<exp::SweepPoint> points;
+  for (int kb = 60; kb <= 300; kb += 30) {
+    workload::Scenario s = workload::Scenario::single_rooted(o.full_scale);
+    s.workload.mean_flow_size = kb * 1000.0;
+    s.workload.flow_size_stddev = kb * 250.0;  // keep the paper's spread ratio
+    s.seed = o.seed;
+    points.push_back(exp::SweepPoint{static_cast<double>(kb), s});
+  }
+
+  const auto result = exp::run_sweep(points, exp::all_schedulers(), o.threads, o.repeats);
+  std::cout << "(a) Application throughput\n";
+  exp::print_metric_table(std::cout, "size-KB", points, exp::all_schedulers(), result,
+                          bench::app_throughput);
+  std::cout << "\n(b) Task completion ratio\n";
+  exp::print_metric_table(std::cout, "size-KB", points, exp::all_schedulers(), result,
+                          bench::task_ratio);
+  bench::maybe_write_csv(cli, "size_kb", points, exp::all_schedulers(), result);
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Topology generality (paper Sec. III-B design goal: "applicability to
+// general data center network topologies"): the same workload density run on
+// the single-rooted tree, the fat-tree, and the server-centric BCube —
+// including the architectures the paper names (Fat-Tree, BCube) — with every
+// scheduler. TAPS's slice allocation and routing use each topology's own
+// candidate paths; baselines use ECMP over the same candidates.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "sim/simulator.hpp"
+#include "topo/bcube.hpp"
+#include "workload/task_generator.hpp"
+
+namespace {
+
+using namespace taps;
+
+struct TopoCase {
+  std::string label;
+  std::unique_ptr<topo::Topology> topology;
+  double flows_per_task;
+  double arrival_rate;
+};
+
+std::vector<TopoCase> make_cases() {
+  std::vector<TopoCase> cases;
+  cases.push_back(TopoCase{"single-rooted (240 hosts)",
+                           std::make_unique<topo::SingleRootedTree>(
+                               topo::SingleRootedConfig::scaled()),
+                           24.0, 300.0});
+  cases.push_back(TopoCase{"fat-tree k=8 (128 hosts)",
+                           std::make_unique<topo::FatTree>(topo::FatTreeConfig::scaled()),
+                           96.0, 1500.0});
+  cases.push_back(TopoCase{"BCube(8,1) (64 servers)",
+                           std::make_unique<topo::BCube>(topo::BCubeConfig{8, 1}),
+                           48.0, 1500.0});
+  cases.push_back(TopoCase{"BCube(4,2) (64 servers)",
+                           std::make_unique<topo::BCube>(topo::BCubeConfig{4, 2}),
+                           48.0, 1500.0});
+  return cases;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli("bench_generality",
+                "all schedulers across tree / fat-tree / BCube topologies");
+  bench::add_common_options(cli);
+  if (!cli.parse(argc, argv)) return cli.exit_code();
+  const bench::CommonOptions o = bench::read_common_options(cli);
+  bench::banner("Generality", "same workload density across topology families", o);
+
+  std::vector<std::string> headers{"topology"};
+  for (const exp::SchedulerKind k : exp::all_schedulers()) headers.emplace_back(exp::to_string(k));
+  metrics::Table table(std::move(headers));
+
+  for (const TopoCase& tc : make_cases()) {
+    std::vector<std::string> row{tc.label};
+    for (const exp::SchedulerKind kind : exp::all_schedulers()) {
+      double ratio = 0.0;
+      for (std::size_t r = 0; r < o.repeats; ++r) {
+        net::Network net(*tc.topology);
+        workload::WorkloadConfig wc;
+        wc.task_count = 30;
+        wc.flows_per_task_mean = tc.flows_per_task;
+        wc.arrival_rate = tc.arrival_rate;
+        util::Rng rng(util::hash_combine(o.seed, r));
+        util::Rng wl = rng.fork("workload");
+        (void)workload::generate(net, wc, wl);
+        const auto sched = exp::make_scheduler(kind, 16);
+        sim::FluidSimulator simulator(net, *sched);
+        (void)simulator.run();
+        ratio += metrics::collect(net).task_completion_ratio;
+      }
+      row.push_back(metrics::Table::format(ratio / static_cast<double>(o.repeats)));
+    }
+    table.add_row(std::move(row));
+  }
+  std::cout << "Task completion ratio per topology\n";
+  table.print(std::cout);
+  std::cout << "\nBCube paths relay through intermediate servers (server-centric); the\n"
+               "schedulers run unchanged, supporting the paper's generality claim.\n";
+  return 0;
+}

@@ -1,0 +1,174 @@
+// Microbenchmarks (google-benchmark) for the controller's hot paths: the
+// interval-set primitives behind Algorithm 3, whole-set planning
+// (Algorithms 1-2), max-min filling, and the SDN controller's per-probe
+// decision latency — the metric that bounds how fast TAPS can admit tasks.
+#include <benchmark/benchmark.h>
+
+#include "core/path_allocation.hpp"
+#include "exp/experiment.hpp"
+#include "core/taps_scheduler.hpp"
+#include "sched/fair_sharing.hpp"
+#include "sdn/controller.hpp"
+#include "topo/fattree.hpp"
+#include "topo/tree.hpp"
+#include "util/rng.hpp"
+#include "workload/task_generator.hpp"
+
+namespace {
+
+using namespace taps;
+
+void BM_IntervalInsert(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  util::Rng rng(1);
+  std::vector<std::pair<double, double>> ivs;
+  ivs.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const double lo = rng.uniform_real(0.0, 1000.0);
+    ivs.emplace_back(lo, lo + rng.uniform_real(0.01, 2.0));
+  }
+  for (auto _ : state) {
+    util::IntervalSet s;
+    for (const auto& [lo, hi] : ivs) s.insert(lo, hi);
+    benchmark::DoNotOptimize(s);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_IntervalInsert)->Arg(64)->Arg(512)->Arg(4096);
+
+void BM_IntervalAllocateEarliest(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  util::Rng rng(2);
+  util::IntervalSet occ;
+  for (int i = 0; i < n; ++i) {
+    const double lo = rng.uniform_real(0.0, 1000.0);
+    occ.insert(lo, lo + rng.uniform_real(0.01, 0.5));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(occ.allocate_earliest(0.0, 3.0));
+  }
+}
+BENCHMARK(BM_IntervalAllocateEarliest)->Arg(64)->Arg(512)->Arg(4096);
+
+void BM_PathUnion(benchmark::State& state) {
+  const auto slices_per_link = static_cast<int>(state.range(0));
+  core::OccupancyMap occ(6);
+  util::Rng rng(3);
+  topo::Path path;
+  path.links = {0, 1, 2, 3, 4, 5};
+  for (topo::LinkId l = 0; l < 6; ++l) {
+    topo::Path single;
+    single.links = {l};
+    util::IntervalSet s;
+    double t = rng.uniform_real(0.0, 0.001);
+    for (int i = 0; i < slices_per_link; ++i) {
+      const double len = rng.uniform_real(0.0001, 0.002);
+      s.insert(t, t + len);
+      t += len + rng.uniform_real(0.0001, 0.002) + 0.0001;
+    }
+    occ.occupy(single, s);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(occ.path_union(path));
+  }
+}
+BENCHMARK(BM_PathUnion)->Arg(16)->Arg(128)->Arg(1024);
+
+/// Whole-task planning cost on the scaled tree (Algorithm 1's inner loop).
+void BM_PlanFlows(benchmark::State& state) {
+  const auto flows = static_cast<int>(state.range(0));
+  const topo::SingleRootedTree tree(topo::SingleRootedConfig::scaled());
+  net::Network net(tree);
+  workload::WorkloadConfig wc;
+  wc.task_count = 1;
+  wc.flows_per_task_mean = flows;
+  wc.arrival_rate = 1.0;
+  util::Rng rng(4);
+  (void)workload::generate(net, wc, rng);
+  std::vector<net::FlowId> order;
+  for (const auto& f : net.flows()) order.push_back(f.id());
+  core::sort_edf_sjf(net, order);
+
+  for (auto _ : state) {
+    core::OccupancyMap occ(net.graph().link_count());
+    benchmark::DoNotOptimize(core::plan_flows(net, occ, order, 0.0, core::PlanConfig{}));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(order.size()));
+}
+BENCHMARK(BM_PlanFlows)->Arg(32)->Arg(128)->Arg(512);
+
+/// Controller decision latency per probe on the fat-tree (multi-path).
+void BM_ControllerOnProbe(benchmark::State& state) {
+  const topo::FatTree ft(topo::FatTreeConfig::scaled());
+  for (auto _ : state) {
+    state.PauseTiming();
+    net::Network net(ft);
+    workload::WorkloadConfig wc;
+    wc.task_count = 8;
+    wc.flows_per_task_mean = 16;
+    wc.arrival_rate = 1e9;  // all at t=0
+    util::Rng rng(5);
+    (void)workload::generate(net, wc, rng);
+    sdn::Controller controller(net, sdn::ControllerConfig{});
+    state.ResumeTiming();
+
+    for (const auto& task : net.tasks()) {
+      sdn::ProbePacket probe;
+      probe.task = task.id();
+      for (const net::FlowId fid : task.spec.flows) {
+        const auto& f = net.flow(fid);
+        probe.flows.push_back(sdn::SchedulingHeader{fid, task.id(), f.spec.src, f.spec.dst,
+                                                    f.spec.size, f.spec.deadline});
+      }
+      benchmark::DoNotOptimize(controller.on_probe(probe, 0.0));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 8);
+}
+BENCHMARK(BM_ControllerOnProbe)->Unit(benchmark::kMicrosecond);
+
+void BM_ProgressiveFill(benchmark::State& state) {
+  const auto flows = static_cast<int>(state.range(0));
+  const topo::SingleRootedTree tree(topo::SingleRootedConfig::scaled());
+  net::Network net(tree);
+  workload::WorkloadConfig wc;
+  wc.task_count = 1;
+  wc.flows_per_task_mean = flows;
+  util::Rng rng(6);
+  (void)workload::generate(net, wc, rng);
+
+  sched::FairSharing fs;
+  fs.bind(net);
+  fs.on_task_arrival(0, 0.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fs.assign_rates(0.0));
+  }
+  state.SetItemsProcessed(state.iterations() * flows);
+}
+BENCHMARK(BM_ProgressiveFill)->Arg(32)->Arg(256)->Arg(1024);
+
+/// End-to-end simulation throughput per scheduler: how many simulated events
+/// each policy sustains per second of wall clock (rate recomputation is each
+/// policy's hot loop).
+void BM_EndToEndScheduler(benchmark::State& state) {
+  const auto kind = static_cast<exp::SchedulerKind>(state.range(0));
+  workload::Scenario scenario = workload::Scenario::single_rooted(false);
+  scenario.workload.task_count = 20;
+  scenario.workload.flows_per_task_mean = 12.0;
+
+  std::int64_t events = 0;
+  for (auto _ : state) {
+    const exp::ExperimentResult r = exp::run_experiment(scenario, kind);
+    events += static_cast<std::int64_t>(r.stats.events);
+    benchmark::DoNotOptimize(r.metrics.task_completion_ratio);
+  }
+  state.SetItemsProcessed(events);
+  state.SetLabel(exp::to_string(kind));
+}
+BENCHMARK(BM_EndToEndScheduler)
+    ->DenseRange(0, 6, 1)  // the six paper schedulers + D2TCP
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,101 @@
+// Fluid-vs-packet cross-validation: the paper (and our figure benches)
+// evaluate with a flow-level (fluid) simulator. This bench replays the same
+// workload through the packet-level engine (MTU packets, store-and-forward,
+// per-link FIFO queues, paced senders) and reports the per-scheduler deltas,
+// quantifying how much the fluid abstraction gives away.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/taps_scheduler.hpp"
+#include "pkt/packet_sim.hpp"
+#include "sim/simulator.hpp"
+#include "workload/task_generator.hpp"
+
+int main(int argc, char** argv) {
+  using namespace taps;
+
+  util::Cli cli("bench_packet_validation", "fluid vs packet-level simulator agreement");
+  bench::add_common_options(cli);
+  cli.add_option("mtu", "packet size in bytes", "1500");
+  if (!cli.parse(argc, argv)) return cli.exit_code();
+  const bench::CommonOptions o = bench::read_common_options(cli);
+  bench::banner("Validation", "fluid vs packet-level engines, same workloads", o);
+
+  pkt::PacketSimConfig pc;
+  pc.mtu = cli.num("mtu");
+
+  struct Row {
+    std::string label;
+    exp::SchedulerKind kind;
+    double guard = 0.0;  // TAPS planner guard band (seconds)
+  };
+  std::vector<Row> rows;
+  for (const exp::SchedulerKind kind : exp::all_schedulers()) {
+    rows.push_back(Row{exp::to_string(kind), kind, 0.0});
+  }
+  rows.push_back(Row{"TAPS+guard(1ms)", exp::SchedulerKind::kTaps, 0.001});
+
+  auto make = [&](const Row& row, std::size_t max_paths) -> std::unique_ptr<sim::Scheduler> {
+    if (row.guard > 0.0) {
+      core::TapsConfig config;
+      config.max_paths = max_paths;
+      config.guard_band = row.guard;
+      return std::make_unique<core::TapsScheduler>(config);
+    }
+    return exp::make_scheduler(row.kind, max_paths);
+  };
+
+  metrics::Table table({"scheduler", "task-ratio(fluid)", "task-ratio(packet)", "delta",
+                        "flow-ratio(fluid)", "flow-ratio(packet)", "max-queue"});
+  for (const Row& row : rows) {
+    double tf = 0.0, tp = 0.0, ff = 0.0, fp = 0.0;
+    std::size_t max_queue = 0;
+    for (std::size_t r = 0; r < o.repeats; ++r) {
+      workload::Scenario s = workload::Scenario::single_rooted(o.full_scale);
+      s.seed = util::hash_combine(o.seed, r);
+      const auto topology = workload::make_topology(s);
+
+      auto fresh_net = [&] {
+        auto net = std::make_unique<net::Network>(*topology);
+        util::Rng rng(s.seed);
+        util::Rng wl = rng.fork("workload");
+        (void)workload::generate(*net, s.workload, wl);
+        return net;
+      };
+
+      {
+        auto net = fresh_net();
+        const auto sched = make(row, s.max_paths);
+        sim::FluidSimulator simulator(*net, *sched);
+        (void)simulator.run();
+        const auto m = metrics::collect(*net);
+        tf += m.task_completion_ratio;
+        ff += m.flow_completion_ratio;
+      }
+      {
+        auto net = fresh_net();
+        const auto sched = make(row, s.max_paths);
+        pkt::PacketSimulator simulator(*net, *sched, pc);
+        const pkt::PacketSimStats stats = simulator.run();
+        const auto m = metrics::collect(*net);
+        tp += m.task_completion_ratio;
+        fp += m.flow_completion_ratio;
+        max_queue = std::max(max_queue, stats.max_queue_depth);
+      }
+    }
+    const double n = static_cast<double>(o.repeats);
+    table.row(row.label, tf / n, tp / n, (tp - tf) / n, ff / n, fp / n,
+              static_cast<long long>(max_queue));
+  }
+  table.print(std::cout);
+  std::cout << "\nNegative deltas are the cost of packetization (store-and-forward\n"
+               "pipeline latency + MTU rounding) on plans that finish within a hair of\n"
+               "the deadline. D3 suffers most: its rate request targets the deadline\n"
+               "*exactly*, so every deadline-critical flow lands one pipeline late.\n"
+               "TAPS's makeup-transmission mechanism (strays finish on plan-idle links)\n"
+               "absorbs most of the quantization; the small residual delta is pipeline\n"
+               "latency on exact-fit admissions, which the --guard-band style planner\n"
+               "slack trades against admission count. Bounded max-queue confirms paced\n"
+               "senders do not build standing queues.\n";
+  return 0;
+}

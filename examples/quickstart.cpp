@@ -1,0 +1,48 @@
+// Quickstart: build a scaled single-rooted data-center tree, generate a
+// deadline-sensitive task workload, run every scheduler, and print the
+// paper's headline metrics side by side.
+//
+//   ./quickstart [--seed N] [--tasks N] [--deadline-ms X] [--full]
+#include <iostream>
+
+#include "exp/sweep.hpp"
+#include "metrics/report.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace taps;
+
+  util::Cli cli("quickstart", "run all schedulers once on the default scenario");
+  cli.add_option("seed", "workload RNG seed", "42");
+  cli.add_option("tasks", "number of tasks", "30");
+  cli.add_option("deadline-ms", "mean flow deadline in milliseconds", "40");
+  cli.add_option("size-kb", "mean flow size in kilobytes", "200");
+  cli.add_flag("full", "use the paper-scale 36000-host topology (slow)");
+  cli.add_flag("extended", "also run the D2TCP extension scheduler");
+  if (!cli.parse(argc, argv)) return cli.exit_code();
+
+  workload::Scenario scenario = workload::Scenario::single_rooted(cli.flag("full"));
+  scenario.seed = static_cast<std::uint64_t>(cli.integer("seed"));
+  scenario.workload.task_count = static_cast<int>(cli.integer("tasks"));
+  scenario.workload.mean_deadline = cli.num("deadline-ms") / 1000.0;
+  scenario.workload.mean_flow_size = cli.num("size-kb") * 1000.0;
+
+  std::cout << "topology: " << scenario.name << ", tasks: " << scenario.workload.task_count
+            << ", mean deadline: " << scenario.workload.mean_deadline * 1000.0
+            << " ms, mean flow size: " << scenario.workload.mean_flow_size / 1000.0
+            << " KB, seed: " << scenario.seed << "\n\n";
+
+  metrics::Table table({"scheduler", "task-ratio", "flow-ratio", "app-throughput",
+                        "wasted-bw", "events", "wall-s"});
+  const auto& schedulers =
+      cli.flag("extended") ? exp::extended_schedulers() : exp::all_schedulers();
+  for (const exp::SchedulerKind kind : schedulers) {
+    const exp::ExperimentResult r = exp::run_experiment(scenario, kind);
+    table.row(exp::to_string(kind), r.metrics.task_completion_ratio,
+              r.metrics.flow_completion_ratio, r.metrics.app_throughput,
+              r.metrics.wasted_bandwidth_ratio, r.stats.events, r.wall_seconds);
+  }
+  table.print(std::cout);
+  std::cout << "\nA task counts as completed only if every one of its flows met the deadline.\n";
+  return 0;
+}

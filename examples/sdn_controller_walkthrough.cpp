@@ -1,0 +1,100 @@
+// A step-by-step walk through the TAPS SDN control plane (paper Fig. 4) on
+// the 8-host testbed topology: probes in, admission decisions, time-slice
+// grants, flow-table installs, data-plane quanta, and TERMs out — printing
+// each message so the protocol is visible.
+//
+//   ./sdn_controller_walkthrough [--seed S] [--flows N]
+#include <iomanip>
+#include <iostream>
+
+#include "metrics/timeseries.hpp"
+#include "sdn/server_agent.hpp"
+#include "topo/partial_fattree.hpp"
+#include "util/cli.hpp"
+#include "workload/task_generator.hpp"
+
+int main(int argc, char** argv) {
+  using namespace taps;
+
+  util::Cli cli("sdn_controller_walkthrough", "trace the TAPS control plane message flow");
+  cli.add_option("seed", "workload seed", "7");
+  cli.add_option("flows", "number of single-flow tasks", "8");
+  if (!cli.parse(argc, argv)) return cli.exit_code();
+
+  topo::PartialFatTree topology;
+  net::Network net(topology);
+  workload::WorkloadConfig wc;
+  wc.task_count = static_cast<int>(cli.integer("flows"));
+  wc.single_flow_tasks = true;
+  wc.mean_flow_size = 150e3;
+  wc.mean_deadline = 0.020;
+  wc.arrival_rate = 2000.0;
+  util::Rng rng(static_cast<std::uint64_t>(cli.integer("seed")));
+  util::Rng wl = rng.fork("workload");
+  (void)workload::generate(net, wc, wl);
+
+  sdn::Controller controller(net, sdn::ControllerConfig{});
+  metrics::SegmentRecorder recorder;
+  sim::EventQueue queue;
+
+  std::unordered_map<topo::NodeId, sdn::ServerAgent> agents;
+  sdn::ServerAgent::Env env;
+  env.queue = &queue;
+  env.net = &net;
+  env.controller = &controller;
+  env.recorder = &recorder;
+  for (const topo::NodeId host : topology.hosts()) {
+    agents.emplace(host, sdn::ServerAgent(host, env));
+  }
+
+  std::cout << std::fixed << std::setprecision(3);
+  auto ms = [](double s) { return s * 1000.0; };
+
+  for (const auto& task : net.tasks()) {
+    queue.schedule(task.spec.arrival, [&, tid = task.id()](double now) {
+      sdn::ProbePacket probe;
+      probe.task = tid;
+      probe.sent_at = now;
+      for (const net::FlowId fid : net.task(tid).spec.flows) {
+        const auto& f = net.flow(fid);
+        probe.flows.push_back(sdn::SchedulingHeader{fid, tid, f.spec.src, f.spec.dst,
+                                                    f.spec.size, f.spec.deadline});
+        std::cout << "t=" << ms(now) << "ms  PROBE  task " << tid << " flow " << fid << "  "
+                  << net.graph().node(f.spec.src).name << " -> "
+                  << net.graph().node(f.spec.dst).name << "  " << f.spec.size / 1e3
+                  << " KB, deadline t=" << ms(f.spec.deadline) << "ms\n";
+      }
+      const sdn::ScheduleReply reply = controller.on_probe(probe, now);
+      if (!reply.accepted) {
+        std::cout << "          REJECT task " << tid << " (reject rule)\n";
+        return;
+      }
+      for (const sdn::SliceGrant& g : reply.grants) {
+        std::cout << "          GRANT  flow " << g.flow << "  slices " << g.slices
+                  << "  via";
+        for (std::size_t i = 1; i < g.path.links.size(); ++i) {
+          std::cout << ' ' << net.graph().node(net.graph().link(g.path.links[i]).src).name;
+        }
+        std::cout << "\n";
+        agents.at(net.flow(g.flow).spec.src).on_grant(g);
+      }
+    });
+  }
+
+  while (!queue.empty()) queue.run_next();
+
+  std::cout << "\nfinal states:\n";
+  for (const auto& t : net.tasks()) {
+    const auto& f = net.flow(t.spec.flows[0]);
+    std::cout << "  task " << t.id() << ": " << net::to_string(t.state);
+    if (f.state == net::FlowState::kCompleted) {
+      std::cout << " (finished t=" << ms(f.completion_time) << "ms, deadline t="
+                << ms(f.spec.deadline) << "ms)";
+    }
+    std::cout << "\n";
+  }
+  std::cout << "\ncontrol plane: " << controller.entries_installed() << " entries installed, "
+            << controller.entries_withdrawn() << " withdrawn; switches saw "
+            << recorder.segment_count() << " transmission segments, 0 drops expected\n";
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Trace-driven experiments: generate a workload once, persist it to CSV, and
+// re-run the exact same trace under any scheduler — the workflow for
+// comparing policies on production-like traces, or for sharing a workload
+// alongside a bug report.
+//
+//   ./trace_workflow --out /tmp/workload.csv            # generate + evaluate
+//   ./trace_workflow --in /tmp/workload.csv --scheduler taps
+#include <iostream>
+
+#include "exp/experiment.hpp"
+#include "metrics/report.hpp"
+#include "sim/simulator.hpp"
+#include "util/cli.hpp"
+#include "workload/trace.hpp"
+
+int main(int argc, char** argv) {
+  using namespace taps;
+
+  util::Cli cli("trace_workflow", "save/load workload traces and replay them");
+  cli.add_option("in", "existing trace CSV to replay (skip generation)", "");
+  cli.add_option("out", "where to write the generated trace", "/tmp/taps_workload.csv");
+  cli.add_option("scheduler", "one scheduler to replay, or 'all'", "all");
+  cli.add_option("seed", "generation seed", "42");
+  cli.add_option("tasks", "tasks to generate", "30");
+  if (!cli.parse(argc, argv)) return cli.exit_code();
+
+  workload::Scenario scenario = workload::Scenario::single_rooted(false);
+  scenario.seed = static_cast<std::uint64_t>(cli.integer("seed"));
+  scenario.workload.task_count = static_cast<int>(cli.integer("tasks"));
+  const auto topology = workload::make_topology(scenario);
+
+  std::string trace_path = cli.str("in");
+  if (trace_path.empty()) {
+    // Generate and persist.
+    net::Network net(*topology);
+    util::Rng rng(scenario.seed);
+    util::Rng wl = rng.fork("workload");
+    (void)workload::generate(net, scenario.workload, wl);
+    trace_path = cli.str("out");
+    workload::save_trace(net, trace_path);
+    std::cout << "generated " << net.tasks().size() << " tasks / " << net.flows().size()
+              << " flows -> " << trace_path << "\n\n";
+  }
+
+  std::vector<exp::SchedulerKind> kinds;
+  if (cli.str("scheduler") == "all") {
+    kinds = exp::all_schedulers();
+  } else {
+    kinds.push_back(exp::parse_scheduler(cli.str("scheduler")));
+  }
+
+  metrics::Table table({"scheduler", "task-ratio", "flow-ratio", "wasted-bw"});
+  for (const exp::SchedulerKind kind : kinds) {
+    net::Network net(*topology);
+    (void)workload::load_trace(net, trace_path);
+    const auto scheduler = exp::make_scheduler(kind, scenario.max_paths);
+    sim::FluidSimulator simulator(net, *scheduler);
+    (void)simulator.run();
+    const metrics::RunMetrics m = metrics::collect(net);
+    table.row(exp::to_string(kind), m.task_completion_ratio, m.flow_completion_ratio,
+              m.wasted_bandwidth_ratio);
+  }
+  std::cout << "replayed " << trace_path << ":\n\n";
+  table.print(std::cout);
+  std::cout << "\nReplays are bit-identical across runs: the trace carries every size,\n"
+               "endpoint and deadline, so results depend only on the scheduler.\n";
+  return 0;
+}

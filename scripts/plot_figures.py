@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Plot sweep CSVs produced by the bench binaries (--csv).
+
+Usage:
+    bench_fig6_deadline_single --csv fig6.csv
+    python3 scripts/plot_figures.py fig6.csv --metric task_completion_ratio -o fig6.png
+
+With matplotlib installed this writes a PNG per input; without it, it renders
+a Unicode chart on stdout so results are still inspectable on a bare box.
+"""
+
+import argparse
+import csv
+import sys
+from collections import defaultdict
+
+SCHEDULER_ORDER = ["FairSharing", "D3", "PDQ", "Baraat", "Varys", "TAPS"]
+
+
+def load(path):
+    """Returns (x_label, {scheduler: [(x, row-dict)]})."""
+    with open(path, newline="") as f:
+        rows = list(csv.DictReader(f))
+    if not rows:
+        raise SystemExit(f"{path}: empty CSV")
+    x_label = list(rows[0].keys())[0]
+    series = defaultdict(list)
+    for row in rows:
+        series[row["scheduler"]].append((float(row[x_label]), row))
+    for points in series.values():
+        points.sort(key=lambda p: p[0])
+    return x_label, series
+
+
+def plot_matplotlib(path, x_label, series, metric, output):
+    import matplotlib
+
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+
+    fig, ax = plt.subplots(figsize=(6, 4))
+    for name in SCHEDULER_ORDER:
+        if name not in series:
+            continue
+        xs = [x for x, _ in series[name]]
+        ys = [float(row[metric]) for _, row in series[name]]
+        ax.plot(xs, ys, marker="o", label=name)
+    ax.set_xlabel(x_label.replace("_", " "))
+    ax.set_ylabel(metric.replace("_", " "))
+    ax.set_ylim(bottom=0)
+    ax.grid(True, alpha=0.3)
+    ax.legend()
+    ax.set_title(path)
+    fig.tight_layout()
+    fig.savefig(output, dpi=150)
+    print(f"wrote {output}")
+
+
+def plot_ascii(path, x_label, series, metric, width=60, height=16):
+    print(f"\n{path} — {metric} vs {x_label}")
+    all_pts = [(x, float(row[metric])) for pts in series.values() for x, row in pts]
+    if not all_pts:
+        return
+    xs = sorted({x for x, _ in all_pts})
+    ymax = max(y for _, y in all_pts) or 1.0
+    marks = {}
+    for idx, name in enumerate(n for n in SCHEDULER_ORDER if n in series):
+        symbol = name[0]
+        for x, row in series[name]:
+            col = int((xs.index(x) / max(1, len(xs) - 1)) * (width - 1))
+            rowi = height - 1 - int(float(row[metric]) / ymax * (height - 1))
+            marks.setdefault((rowi, col), symbol)
+    for r in range(height):
+        line = "".join(marks.get((r, c), " ") for c in range(width))
+        axis_val = ymax * (height - 1 - r) / (height - 1)
+        print(f"{axis_val:7.3f} |{line}")
+    print(" " * 9 + "-" * width)
+    print(" " * 9 + f"{xs[0]:g} .. {xs[-1]:g}  ({x_label})")
+    legend = ", ".join(f"{n[0]}={n}" for n in SCHEDULER_ORDER if n in series)
+    print(" " * 9 + legend)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("csvs", nargs="+", help="sweep CSVs from bench --csv")
+    ap.add_argument("--metric", default="task_completion_ratio",
+                    help="metric column to plot (default: task_completion_ratio)")
+    ap.add_argument("-o", "--output", default=None,
+                    help="output PNG (single input only; default <input>.png)")
+    args = ap.parse_args()
+
+    try:
+        import matplotlib  # noqa: F401
+        have_mpl = True
+    except ImportError:
+        have_mpl = False
+        print("matplotlib not available — rendering text charts", file=sys.stderr)
+
+    for path in args.csvs:
+        x_label, series = load(path)
+        if have_mpl:
+            output = args.output if args.output and len(args.csvs) == 1 else path + ".png"
+            plot_matplotlib(path, x_label, series, args.metric, output)
+        else:
+            plot_ascii(path, x_label, series, args.metric)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+#include "core/occupancy.hpp"
+
+#include <cassert>
+
+namespace taps::core {
+
+void OccupancyMap::clear() {
+  for (auto& set : by_link_) set.clear();
+}
+
+util::IntervalSet OccupancyMap::path_union(const topo::Path& path) const {
+  util::IntervalSet out;
+  for (const topo::LinkId lid : path.links) {
+    const auto& set = by_link_[static_cast<std::size_t>(lid)];
+    if (!set.empty()) out = out.unite(set);
+  }
+  return out;
+}
+
+void OccupancyMap::occupy(const topo::Path& path, const util::IntervalSet& slices) {
+  assert(!collides(path, slices));
+  for (const topo::LinkId lid : path.links) {
+    auto& set = by_link_[static_cast<std::size_t>(lid)];
+    for (const util::Interval& iv : slices.intervals()) set.insert(iv);
+  }
+}
+
+bool OccupancyMap::collides(const topo::Path& path, const util::IntervalSet& slices) const {
+  for (const topo::LinkId lid : path.links) {
+    const auto& set = by_link_[static_cast<std::size_t>(lid)];
+    for (const util::Interval& iv : slices.intervals()) {
+      if (set.intersects(iv.lo, iv.hi)) return true;
+    }
+  }
+  return false;
+}
+
+void OccupancyMap::trim_before(double t) {
+  for (auto& set : by_link_) set.trim_before(t);
+}
+
+}  // namespace taps::core

@@ -1,0 +1,46 @@
+// Per-link occupied-time bookkeeping for the TAPS controller (the paper's
+// O_x sets). A link is "occupied" during every time slice pre-allocated to
+// some flow crossing it; TAPS maintains at most one flow per link at any
+// instant, so occupancy intervals never overlap.
+#pragma once
+
+#include <vector>
+
+#include "topo/graph.hpp"
+#include "util/interval_set.hpp"
+
+namespace taps::core {
+
+class OccupancyMap {
+ public:
+  explicit OccupancyMap(std::size_t link_count) : by_link_(link_count) {}
+
+  void clear();
+
+  [[nodiscard]] std::size_t link_count() const { return by_link_.size(); }
+
+  [[nodiscard]] const util::IntervalSet& link(topo::LinkId id) const {
+    return by_link_[static_cast<std::size_t>(id)];
+  }
+
+  /// Union of the occupied sets of all links on `path` (the paper's T_ocp):
+  /// its complement is the time when the whole path is idle end-to-end.
+  [[nodiscard]] util::IntervalSet path_union(const topo::Path& path) const;
+
+  /// Mark every link of `path` occupied during `slices`. In debug builds,
+  /// asserts the slices do not overlap existing occupancy (the exclusive-use
+  /// invariant).
+  void occupy(const topo::Path& path, const util::IntervalSet& slices);
+
+  /// True if `slices` would collide with existing occupancy on any link of
+  /// the path (property tests use this).
+  [[nodiscard]] bool collides(const topo::Path& path, const util::IntervalSet& slices) const;
+
+  /// Drop occupancy before `t` on all links (bounded memory on long runs).
+  void trim_before(double t);
+
+ private:
+  std::vector<util::IntervalSet> by_link_;
+};
+
+}  // namespace taps::core

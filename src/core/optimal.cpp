@@ -1,0 +1,89 @@
+#include "core/optimal.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <limits>
+#include <stdexcept>
+
+namespace taps::core {
+
+namespace {
+constexpr double kEps = 1e-9;
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+bool edf_feasible(std::vector<SlFlow> flows) {
+  if (flows.empty()) return true;
+  std::vector<double> remaining(flows.size());
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    remaining[i] = flows[i].duration;
+    if (flows[i].duration > flows[i].deadline - flows[i].release + kEps) return false;
+  }
+  // Sort releases for "next arrival" stepping.
+  std::vector<double> releases;
+  releases.reserve(flows.size());
+  for (const auto& f : flows) releases.push_back(f.release);
+  std::sort(releases.begin(), releases.end());
+  std::size_t next_release = 0;
+
+  double t = releases.front();
+  std::size_t unfinished = flows.size();
+  while (unfinished > 0) {
+    while (next_release < releases.size() && releases[next_release] <= t + kEps) ++next_release;
+    // Most urgent released job.
+    std::size_t pick = flows.size();
+    double best_deadline = kInf;
+    for (std::size_t i = 0; i < flows.size(); ++i) {
+      if (remaining[i] > kEps && flows[i].release <= t + kEps &&
+          flows[i].deadline < best_deadline) {
+        best_deadline = flows[i].deadline;
+        pick = i;
+      }
+    }
+    if (pick == flows.size()) {
+      // Idle until the next release.
+      if (next_release >= releases.size()) return false;  // unreachable
+      t = releases[next_release];
+      continue;
+    }
+    const double until_release =
+        next_release < releases.size() ? releases[next_release] : kInf;
+    const double run_until = std::min(until_release, t + remaining[pick]);
+    if (run_until > flows[pick].deadline + kEps) return false;  // EDF job overruns
+    remaining[pick] -= run_until - t;
+    if (remaining[pick] <= kEps) {
+      remaining[pick] = 0.0;
+      --unfinished;
+    }
+    t = run_until;
+  }
+  return true;
+}
+
+OptimalResult optimal_single_link(const std::vector<SlTask>& tasks) {
+  if (tasks.size() > 20) {
+    throw std::invalid_argument("optimal_single_link: too many tasks for exhaustive search");
+  }
+  OptimalResult best;
+  const auto n = static_cast<unsigned>(tasks.size());
+  for (unsigned mask = 0; mask < (1u << n); ++mask) {
+    const auto count = static_cast<std::size_t>(std::popcount(mask));
+    if (count <= best.tasks_completed) continue;
+    std::vector<SlFlow> flows;
+    for (unsigned i = 0; i < n; ++i) {
+      if (mask & (1u << i)) {
+        flows.insert(flows.end(), tasks[i].flows.begin(), tasks[i].flows.end());
+      }
+    }
+    if (edf_feasible(std::move(flows))) {
+      best.tasks_completed = count;
+      best.accepted.clear();
+      for (unsigned i = 0; i < n; ++i) {
+        if (mask & (1u << i)) best.accepted.push_back(i);
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace taps::core

@@ -1,0 +1,40 @@
+// Exact (exponential-time) reference solver for the task-admission problem
+// on a *single bottleneck link*. Used by tests and the ablation bench to
+// measure how close the TAPS heuristic gets to optimal on small instances.
+//
+// On one link, a set of flows is schedulable iff preemptive EDF schedules it
+// (EDF is optimal for single-machine preemptive deadline scheduling), so the
+// exact answer is the largest task subset whose union of flows is
+// EDF-feasible. The general multi-link problem is NP-hard (paper Sec. IV-B),
+// which is why this reference is restricted to the single-link case.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace taps::core {
+
+/// One flow on the shared link, in transfer-time units.
+struct SlFlow {
+  double release = 0.0;   // earliest start time
+  double deadline = 0.0;  // absolute
+  double duration = 0.0;  // seconds of exclusive link time needed
+};
+
+struct SlTask {
+  std::vector<SlFlow> flows;
+};
+
+struct OptimalResult {
+  std::size_t tasks_completed = 0;
+  std::vector<std::size_t> accepted;  // indices of accepted tasks
+};
+
+/// Preemptive EDF feasibility of a flow set on one unit-rate link.
+[[nodiscard]] bool edf_feasible(std::vector<SlFlow> flows);
+
+/// Largest feasible task subset by exhaustive search. Requires
+/// tasks.size() <= 20 (throws otherwise).
+[[nodiscard]] OptimalResult optimal_single_link(const std::vector<SlTask>& tasks);
+
+}  // namespace taps::core

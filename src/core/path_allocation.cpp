@@ -1,0 +1,71 @@
+#include "core/path_allocation.hpp"
+
+#include <algorithm>
+
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace taps::core {
+
+using net::Flow;
+using net::FlowId;
+
+FlowPlan plan_one_flow(const net::Network& net, const OccupancyMap& occupancy, FlowId fid,
+                       double now, const PlanConfig& config) {
+  const Flow& f = net.flow(fid);
+  FlowPlan plan;
+  plan.flow = fid;
+
+  auto candidates = net.topology().paths(f.spec.src, f.spec.dst, config.max_paths);
+  if (config.ecmp_routing && candidates.size() > 1) {
+    const std::uint64_t h = util::hash_combine(static_cast<std::uint64_t>(fid) + 1,
+                                               static_cast<std::uint64_t>(f.spec.src));
+    topo::Path chosen = topo::pick_ecmp(candidates, h);
+    candidates.assign(1, std::move(chosen));
+  }
+  double best_completion = sim::kInfinity;
+  for (const topo::Path& p : candidates) {
+    // The paper assumes uniform link bandwidth; transfer time is computed at
+    // the path's bottleneck capacity to stay correct on non-uniform graphs.
+    double capacity = sim::kInfinity;
+    for (const topo::LinkId lid : p.links) {
+      capacity = std::min(capacity, net.link_capacity(lid));
+    }
+    const double duration = f.remaining / capacity;
+    const TimeAllocation alloc =
+        allocate_time(occupancy, p, now, duration, f.spec.deadline - config.guard_band);
+    if (alloc.feasible() && alloc.completion < best_completion) {
+      best_completion = alloc.completion;
+      plan.path = p;
+      plan.slices = alloc.slices;
+      plan.completion = alloc.completion;
+      plan.feasible = true;
+    }
+  }
+  return plan;
+}
+
+std::vector<FlowPlan> plan_flows(const net::Network& net, OccupancyMap& occupancy,
+                                 std::span<const FlowId> order, double now,
+                                 const PlanConfig& config) {
+  std::vector<FlowPlan> plans;
+  plans.reserve(order.size());
+  for (const FlowId fid : order) {
+    FlowPlan plan = plan_one_flow(net, occupancy, fid, now, config);
+    if (plan.feasible) occupancy.occupy(plan.path, plan.slices);
+    plans.push_back(std::move(plan));
+  }
+  return plans;
+}
+
+void sort_edf_sjf(const net::Network& net, std::vector<FlowId>& flows) {
+  std::sort(flows.begin(), flows.end(), [&net](FlowId a, FlowId b) {
+    const Flow& fa = net.flow(a);
+    const Flow& fb = net.flow(b);
+    if (fa.spec.deadline != fb.spec.deadline) return fa.spec.deadline < fb.spec.deadline;
+    if (fa.remaining != fb.remaining) return fa.remaining < fb.remaining;
+    return a < b;
+  });
+}
+
+}  // namespace taps::core

@@ -1,0 +1,54 @@
+// Algorithm 2 of the paper: PathCalculation(F).
+//
+// For each flow (in the caller-supplied EDF+SJF order), enumerate candidate
+// paths, run TimeAllocation on each, keep the path with the earliest
+// completion, and commit its slices into the shared occupancy map. Flows
+// that cannot finish before their deadline on any candidate path get an
+// infeasible plan and occupy nothing (TAPS never spends bandwidth on a flow
+// it cannot finish).
+#pragma once
+
+#include <span>
+
+#include "core/time_allocation.hpp"
+#include "net/network.hpp"
+
+namespace taps::core {
+
+struct PlanConfig {
+  /// Cap on candidate paths per flow (see DESIGN.md on fat-tree path counts).
+  std::size_t max_paths = 16;
+  /// Ablation knob: hash each flow onto ONE of its candidate paths (ECMP)
+  /// instead of letting Algorithm 2 choose the earliest-completion path.
+  /// Isolates how much of TAPS's advantage comes from centralized routing.
+  bool ecmp_routing = false;
+  /// Slack subtracted from every deadline when planning (seconds). The
+  /// fluid model needs none; on a packet network the last packet arrives
+  /// one store-and-forward pipeline after its slice ends, so exact-fit
+  /// plans miss by microseconds unless the controller budgets for it.
+  double guard_band = 0.0;
+};
+
+struct FlowPlan {
+  net::FlowId flow = net::kInvalidFlow;
+  topo::Path path;
+  util::IntervalSet slices;
+  double completion = 0.0;
+  bool feasible = false;
+};
+
+/// Plan a single flow against the current occupancy (does not commit).
+[[nodiscard]] FlowPlan plan_one_flow(const net::Network& net, const OccupancyMap& occupancy,
+                                     net::FlowId fid, double now, const PlanConfig& config);
+
+/// Plan every flow in `order` (the caller sorts by EDF+SJF), committing each
+/// feasible flow's slices into `occupancy` before planning the next.
+[[nodiscard]] std::vector<FlowPlan> plan_flows(const net::Network& net, OccupancyMap& occupancy,
+                                               std::span<const net::FlowId> order, double now,
+                                               const PlanConfig& config);
+
+/// Sort flow ids by the paper's scheduling discipline: EDF first (earlier
+/// deadline), SJF tie-break (smaller remaining size), then flow id.
+void sort_edf_sjf(const net::Network& net, std::vector<net::FlowId>& flows);
+
+}  // namespace taps::core

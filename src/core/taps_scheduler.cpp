@@ -1,0 +1,232 @@
+#include "core/taps_scheduler.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/logging.hpp"
+
+namespace taps::core {
+
+using net::Flow;
+using net::FlowId;
+using net::FlowState;
+using net::TaskId;
+using net::TaskState;
+
+void TapsScheduler::bind(net::Network& net) {
+  BaseScheduler::bind(net);
+  occ_ = OccupancyMap(net.graph().link_count());
+  slices_.assign(net.flows().size(), util::IntervalSet{});
+  counters_ = TapsCounters{};
+}
+
+std::vector<FlowId> TapsScheduler::unfinished_admitted() const {
+  std::vector<FlowId> out;
+  out.reserve(active_.size());
+  for (const FlowId fid : active_) {
+    const Flow& f = net_->flow(fid);
+    if (!f.finished() && f.remaining > sim::kByteEpsilon) out.push_back(fid);
+  }
+  return out;
+}
+
+TapsScheduler::PlanAttempt TapsScheduler::try_plan(std::vector<FlowId> order,
+                                                   double now) const {
+  sort_edf_sjf(*net_, order);
+  PlanAttempt attempt{.plans = {},
+                      .occ = OccupancyMap(net_->graph().link_count()),
+                      .fully_feasible = true};
+  const PlanConfig plan_config{config_.max_paths, config_.ecmp_routing, config_.guard_band};
+  attempt.plans = plan_flows(*net_, attempt.occ, order, now, plan_config);
+  for (const auto& p : attempt.plans) {
+    if (!p.feasible) {
+      attempt.fully_feasible = false;
+      break;
+    }
+  }
+  return attempt;
+}
+
+void TapsScheduler::commit(PlanAttempt&& attempt) {
+  assert(attempt.fully_feasible);
+  occ_ = std::move(attempt.occ);
+  for (const auto& plan : attempt.plans) {
+    Flow& f = net_->flow(plan.flow);
+    f.path = plan.path;
+    slices_[static_cast<std::size_t>(plan.flow)] = plan.slices;
+  }
+}
+
+void TapsScheduler::admit(TaskId id, const std::vector<FlowId>& wave) {
+  net::Task& t = net_->task(id);
+  if (t.state == TaskState::kPending) t.state = TaskState::kAdmitted;
+  ++counters_.tasks_accepted;
+  for (const FlowId fid : wave) {
+    Flow& f = net_->flow(fid);
+    if (f.state != FlowState::kActive) {
+      f.state = FlowState::kActive;
+      active_.push_back(fid);
+    }
+  }
+}
+
+void TapsScheduler::on_task_arrival(TaskId id, double now) {
+  // Flows may be registered after bind() (SDN usage registers tasks as
+  // probes arrive; Network::extend_task adds waves): grow the slice table.
+  if (slices_.size() < net_->flows().size()) slices_.resize(net_->flows().size());
+
+  net::Task& t = net_->task(id);
+  const std::vector<FlowId> wave = pending_wave(id, now);
+  if (t.state == TaskState::kRejected || t.state == TaskState::kFailed) {
+    // Task is already dead: a later wave can never make it useful, so its
+    // flows are declined outright (the paper's no-waste rule).
+    for (const FlowId fid : wave) net_->flow(fid).state = FlowState::kRejected;
+    return;
+  }
+  if (wave.empty()) return;
+
+  // Trial: all unfinished admitted flows plus the newcomers, globally
+  // re-planned from `now` (Algorithm 1's Ftmp = Ftrans U {arriving flows}).
+  std::vector<FlowId> trial_order = unfinished_admitted();
+  trial_order.insert(trial_order.end(), wave.begin(), wave.end());
+  PlanAttempt trial = try_plan(std::move(trial_order), now);
+  ++counters_.replans;
+
+  const RejectOutcome outcome =
+      apply_reject_rule(*net_, id, trial.plans, config_.preempt_policy);
+  switch (outcome.decision) {
+    case Decision::kAccept:
+      admit(id, wave);
+      commit(std::move(trial));
+      return;
+
+    case Decision::kPreemptVictim: {
+      assert(outcome.victim != net::kInvalidTask);
+      // Validate the post-preemption plan BEFORE discarding the victim: the
+      // greedy multi-path allocator is not monotone, so removing the victim
+      // does not provably keep every survivor feasible.
+      std::vector<FlowId> order;
+      for (const FlowId fid : unfinished_admitted()) {
+        if (net_->flow(fid).task() != outcome.victim) order.push_back(fid);
+      }
+      order.insert(order.end(), wave.begin(), wave.end());
+      PlanAttempt attempt = try_plan(std::move(order), now);
+      ++counters_.replans;
+      if (attempt.fully_feasible) {
+        net_->reject_task(outcome.victim);
+        ++counters_.tasks_preempted;
+        admit(id, wave);
+        commit(std::move(attempt));
+        return;
+      }
+      // Preemption would strand a survivor: fall through to rejecting the
+      // newcomer instead (the safe choice; the incumbent plan still holds).
+      break;
+    }
+
+    case Decision::kRejectNew:
+      break;
+  }
+
+  // Reject the newcomer. Re-plan the incumbents opportunistically (EDF with
+  // updated remaining sizes usually compacts the schedule and helps future
+  // admissions), but only commit if every survivor stays feasible; otherwise
+  // the previously committed plan — which transmission has followed exactly,
+  // so its future part is still valid — remains in force.
+  net_->reject_task(id);
+  ++counters_.tasks_rejected;
+  PlanAttempt compacted = try_plan(unfinished_admitted(), now);
+  ++counters_.replans;
+  if (compacted.fully_feasible) {
+    commit(std::move(compacted));
+  } else {
+    ++counters_.replan_reverts;
+    util::log_debug() << "TAPS: compacting re-plan at t=" << now
+                      << " would strand a survivor; keeping the prior plan";
+  }
+}
+
+void TapsScheduler::on_flow_finished(FlowId id, double now) {
+  BaseScheduler::on_flow_finished(id, now);
+  const Flow& f = net_->flow(id);
+  if (f.state == FlowState::kMissed) {
+    // TAPS never transmits a flow it cannot finish, so under the fluid
+    // model an admitted flow missing its deadline would indicate a planner
+    // bug. Under packet-quantized execution (pkt::PacketSimulator) a small
+    // number of exact-fit admissions land one store-and-forward pipeline
+    // late — expected there (see bench_packet_validation). Either way, stop
+    // the rest of the task: it has already failed, further bytes would be
+    // wasted (the paper's no-waste rule).
+    util::log_warn() << "TAPS: admitted flow " << id << " missed its deadline at t=" << now
+                     << " (a bug under the fluid engine; expected occasionally under"
+                        " packet-quantized execution)";
+    const net::Task& t = net_->task(f.task());
+    for (const FlowId sibling : t.spec.flows) {
+      Flow& s = net_->flow(sibling);
+      if (!s.finished()) {
+        s.state = FlowState::kRejected;
+        s.rate = 0.0;
+        slices_[static_cast<std::size_t>(sibling)].clear();
+      }
+    }
+  }
+}
+
+double TapsScheduler::assign_rates(double now) {
+  if (makeup_busy_.size() < net_->graph().link_count()) {
+    makeup_busy_.assign(net_->graph().link_count(), 0);
+  } else {
+    std::fill(makeup_busy_.begin(), makeup_busy_.end(), 0);
+  }
+
+  double next_boundary = sim::kInfinity;
+  for (const FlowId fid : active_flows()) {
+    Flow& f = net_->flow(fid);
+    const auto& sl = slices_[static_cast<std::size_t>(fid)];
+    if (sl.contains(now)) {
+      double rate = sim::kInfinity;
+      for (const topo::LinkId lid : f.path.links) {
+        rate = std::min(rate, net_->link_capacity(lid));
+        makeup_busy_[static_cast<std::size_t>(lid)] = 1;
+      }
+      f.rate = rate;
+      next_boundary = std::min(next_boundary, sl.next_boundary(now));
+      continue;
+    }
+    f.rate = 0.0;
+    const double flow_boundary = sl.next_boundary(now);
+    if (flow_boundary != sim::kInfinity) {
+      // A future slice exists: wait for it.
+      next_boundary = std::min(next_boundary, flow_boundary);
+      continue;
+    }
+    // Makeup transmission: the flow ran out of granted slices with bytes
+    // still unsent. Under the fluid model this cannot happen (slices are
+    // exact); under packet execution a pacing chain can drift a few
+    // microseconds past an exact-fit slice end and strand a sub-MTU tail.
+    // Let such a stray finish on links that are idle in the committed plan
+    // (and not claimed by another flow this round) — exclusivity preserved.
+    bool idle = true;
+    for (const topo::LinkId lid : f.path.links) {
+      const auto i = static_cast<std::size_t>(lid);
+      if (makeup_busy_[i] != 0 || occ_.link(lid).contains(now)) {
+        idle = false;
+        // Retry when this link's planned occupancy next changes.
+        next_boundary = std::min(next_boundary, occ_.link(lid).next_boundary(now));
+      }
+    }
+    if (idle) {
+      double rate = sim::kInfinity;
+      for (const topo::LinkId lid : f.path.links) {
+        rate = std::min(rate, net_->link_capacity(lid));
+        makeup_busy_[static_cast<std::size_t>(lid)] = 1;
+        // The grant lasts only until someone's planned slice begins here.
+        next_boundary = std::min(next_boundary, occ_.link(lid).next_boundary(now));
+      }
+      f.rate = rate;
+    }
+  }
+  return next_boundary;
+}
+
+}  // namespace taps::core

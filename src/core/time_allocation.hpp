@@ -1,0 +1,28 @@
+// Algorithm 3 of the paper: TimeAllocation(p, f).
+//
+// Given a candidate path p and a flow needing E seconds of transmission, the
+// controller computes the union T_ocp of the occupied-time sets of p's links
+// and allocates the first E seconds of idle time in its complement, starting
+// from `now`. The flow's completion time on p is the end of the last
+// allocated slice.
+#pragma once
+
+#include "core/occupancy.hpp"
+
+namespace taps::core {
+
+struct TimeAllocation {
+  util::IntervalSet slices;  // empty when infeasible before `horizon`
+  double completion = 0.0;   // end of last slice; meaningless when infeasible
+
+  [[nodiscard]] bool feasible() const { return !slices.empty(); }
+};
+
+/// Allocate `duration` seconds on `path` starting at `now`, finishing no
+/// later than `horizon` (the flow's deadline). Returns an infeasible result
+/// when the path lacks enough idle time before the horizon.
+[[nodiscard]] TimeAllocation allocate_time(const OccupancyMap& occupancy,
+                                           const topo::Path& path, double now,
+                                           double duration, double horizon);
+
+}  // namespace taps::core

@@ -1,0 +1,115 @@
+#include "exp/experiment.hpp"
+
+#include <chrono>
+#include <stdexcept>
+
+#include "core/taps_scheduler.hpp"
+#include "sched/baraat.hpp"
+#include "sched/d2tcp.hpp"
+#include "sched/d3.hpp"
+#include "sched/fair_sharing.hpp"
+#include "sched/pdq.hpp"
+#include "sched/varys.hpp"
+#include "workload/task_generator.hpp"
+
+namespace taps::exp {
+
+const char* to_string(SchedulerKind k) {
+  switch (k) {
+    case SchedulerKind::kFairSharing:
+      return "FairSharing";
+    case SchedulerKind::kD3:
+      return "D3";
+    case SchedulerKind::kPdq:
+      return "PDQ";
+    case SchedulerKind::kBaraat:
+      return "Baraat";
+    case SchedulerKind::kVarys:
+      return "Varys";
+    case SchedulerKind::kTaps:
+      return "TAPS";
+    case SchedulerKind::kD2Tcp:
+      return "D2TCP";
+  }
+  return "?";
+}
+
+const std::vector<SchedulerKind>& all_schedulers() {
+  static const std::vector<SchedulerKind> kAll = {
+      SchedulerKind::kFairSharing, SchedulerKind::kD3,    SchedulerKind::kPdq,
+      SchedulerKind::kBaraat,      SchedulerKind::kVarys, SchedulerKind::kTaps,
+  };
+  return kAll;
+}
+
+const std::vector<SchedulerKind>& extended_schedulers() {
+  static const std::vector<SchedulerKind> kExtended = [] {
+    std::vector<SchedulerKind> v = all_schedulers();
+    v.push_back(SchedulerKind::kD2Tcp);
+    return v;
+  }();
+  return kExtended;
+}
+
+SchedulerKind parse_scheduler(const std::string& name) {
+  for (const SchedulerKind k : extended_schedulers()) {
+    std::string s = to_string(k);
+    for (auto& c : s) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    std::string n = name;
+    for (auto& c : n) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    if (s == n) return k;
+  }
+  throw std::invalid_argument("unknown scheduler: " + name);
+}
+
+std::unique_ptr<sim::Scheduler> make_scheduler(SchedulerKind kind, std::size_t max_paths) {
+  switch (kind) {
+    case SchedulerKind::kFairSharing:
+      return std::make_unique<sched::FairSharing>();
+    case SchedulerKind::kD3:
+      return std::make_unique<sched::D3>();
+    case SchedulerKind::kPdq:
+      return std::make_unique<sched::Pdq>();
+    case SchedulerKind::kBaraat:
+      return std::make_unique<sched::Baraat>();
+    case SchedulerKind::kVarys:
+      return std::make_unique<sched::Varys>();
+    case SchedulerKind::kTaps: {
+      core::TapsConfig config;
+      config.max_paths = max_paths;
+      return std::make_unique<core::TapsScheduler>(config);
+    }
+    case SchedulerKind::kD2Tcp:
+      return std::make_unique<sched::D2Tcp>();
+  }
+  throw std::logic_error("unreachable scheduler kind");
+}
+
+ExperimentRun run_experiment_full(const workload::Scenario& scenario, SchedulerKind kind,
+                                  sim::TransmitObserver* observer) {
+  ExperimentRun run;
+  run.topology = workload::make_topology(scenario);
+  run.network = std::make_unique<net::Network>(*run.topology);
+
+  util::Rng rng(scenario.seed);
+  util::Rng workload_rng = rng.fork("workload");
+  (void)workload::generate(*run.network, scenario.workload, workload_rng);
+
+  run.scheduler = make_scheduler(kind, scenario.max_paths);
+
+  sim::FluidSimulator simulator(*run.network, *run.scheduler);
+  if (observer != nullptr) simulator.set_observer(observer);
+
+  const auto start = std::chrono::steady_clock::now();
+  run.result.stats = simulator.run();
+  const auto stop = std::chrono::steady_clock::now();
+  run.result.wall_seconds = std::chrono::duration<double>(stop - start).count();
+  run.result.metrics = metrics::collect(*run.network);
+  return run;
+}
+
+ExperimentResult run_experiment(const workload::Scenario& scenario, SchedulerKind kind) {
+  return run_experiment_full(scenario, kind).result;
+}
+
+}  // namespace taps::exp

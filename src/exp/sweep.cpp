@@ -1,0 +1,116 @@
+#include "exp/sweep.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+#include "metrics/report.hpp"
+#include "util/csv.hpp"
+#include "util/thread_pool.hpp"
+
+namespace taps::exp {
+
+namespace {
+
+metrics::RunMetrics average(const std::vector<metrics::RunMetrics>& ms) {
+  metrics::RunMetrics avg;
+  if (ms.empty()) return avg;
+  for (const auto& m : ms) {
+    avg.tasks_total += m.tasks_total;
+    avg.tasks_completed += m.tasks_completed;
+    avg.tasks_rejected += m.tasks_rejected;
+    avg.flows_total += m.flows_total;
+    avg.flows_completed += m.flows_completed;
+    avg.task_completion_ratio += m.task_completion_ratio;
+    avg.flow_completion_ratio += m.flow_completion_ratio;
+    avg.app_throughput += m.app_throughput;
+    avg.task_size_ratio += m.task_size_ratio;
+    avg.wasted_bandwidth_ratio += m.wasted_bandwidth_ratio;
+    avg.total_bytes += m.total_bytes;
+    avg.useful_bytes += m.useful_bytes;
+    avg.wasted_bytes += m.wasted_bytes;
+  }
+  const auto n = static_cast<double>(ms.size());
+  avg.task_completion_ratio /= n;
+  avg.flow_completion_ratio /= n;
+  avg.app_throughput /= n;
+  avg.task_size_ratio /= n;
+  avg.wasted_bandwidth_ratio /= n;
+  return avg;
+}
+
+}  // namespace
+
+SweepResult run_sweep(const std::vector<SweepPoint>& points,
+                      const std::vector<SchedulerKind>& schedulers, std::size_t threads,
+                      std::size_t repeats) {
+  SweepResult out;
+  out.cells.resize(points.size() * schedulers.size());
+
+  util::ThreadPool pool(threads);
+  pool.parallel_for(out.cells.size(), [&](std::size_t idx) {
+    const std::size_t pi = idx / schedulers.size();
+    const std::size_t si = idx % schedulers.size();
+    SweepCell& cell = out.cells[idx];
+    cell.x = points[pi].x;
+    cell.scheduler = schedulers[si];
+
+    std::vector<metrics::RunMetrics> reps;
+    reps.reserve(repeats);
+    sim::SimStats stats{};
+    double wall = 0.0;
+    for (std::size_t r = 0; r < repeats; ++r) {
+      workload::Scenario s = points[pi].scenario;
+      s.seed = util::hash_combine(s.seed, r);
+      const ExperimentResult res = run_experiment(s, schedulers[si]);
+      reps.push_back(res.metrics);
+      stats = res.stats;
+      wall += res.wall_seconds;
+    }
+    cell.result.metrics = average(reps);
+    cell.result.stats = stats;
+    cell.result.wall_seconds = wall;
+  });
+  return out;
+}
+
+void print_metric_table(std::ostream& os, const std::string& x_label,
+                        const std::vector<SweepPoint>& points,
+                        const std::vector<SchedulerKind>& schedulers, const SweepResult& result,
+                        const std::function<double(const metrics::RunMetrics&)>& select) {
+  std::vector<std::string> headers{x_label};
+  for (const SchedulerKind k : schedulers) headers.emplace_back(to_string(k));
+  metrics::Table table(std::move(headers));
+  for (std::size_t pi = 0; pi < points.size(); ++pi) {
+    std::vector<std::string> row{metrics::Table::format(points[pi].x)};
+    for (std::size_t si = 0; si < schedulers.size(); ++si) {
+      row.push_back(metrics::Table::format(
+          select(result.cell(pi, si, schedulers.size()).result.metrics)));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(os);
+}
+
+void write_sweep_csv(const std::string& path, const std::string& x_label,
+                     const std::vector<SweepPoint>& points,
+                     const std::vector<SchedulerKind>& schedulers, const SweepResult& result) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open CSV output: " + path);
+  util::CsvWriter csv(out);
+  csv.row(x_label, "scheduler", "task_completion_ratio", "flow_completion_ratio",
+          "app_throughput", "task_size_ratio", "wasted_bandwidth_ratio", "tasks_total",
+          "tasks_completed", "flows_total", "flows_completed", "wall_seconds");
+  for (std::size_t pi = 0; pi < points.size(); ++pi) {
+    for (std::size_t si = 0; si < schedulers.size(); ++si) {
+      const SweepCell& cell = result.cell(pi, si, schedulers.size());
+      const metrics::RunMetrics& m = cell.result.metrics;
+      csv.row(cell.x, to_string(cell.scheduler), m.task_completion_ratio,
+              m.flow_completion_ratio, m.app_throughput, m.task_size_ratio,
+              m.wasted_bandwidth_ratio, m.tasks_total, m.tasks_completed, m.flows_total,
+              m.flows_completed, cell.result.wall_seconds);
+    }
+  }
+}
+
+}  // namespace taps::exp

@@ -1,0 +1,56 @@
+// Parallel parameter sweeps: every (point, scheduler) pair is an independent
+// simulation, so the sweep fans out on a thread pool and collects rows in
+// deterministic order.
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "exp/experiment.hpp"
+
+namespace taps::exp {
+
+struct SweepPoint {
+  /// X-axis value as shown in the paper (e.g. deadline in ms).
+  double x = 0.0;
+  workload::Scenario scenario;
+};
+
+struct SweepCell {
+  double x = 0.0;
+  SchedulerKind scheduler = SchedulerKind::kTaps;
+  ExperimentResult result;
+};
+
+struct SweepResult {
+  std::vector<SweepCell> cells;  // ordered by (point index, scheduler index)
+
+  [[nodiscard]] const SweepCell& cell(std::size_t point, std::size_t scheduler,
+                                      std::size_t scheduler_count) const {
+    return cells[point * scheduler_count + scheduler];
+  }
+};
+
+/// Run all (point × scheduler) combinations; `threads == 0` uses all cores,
+/// `repeats > 1` averages metrics over that many seeds per cell.
+[[nodiscard]] SweepResult run_sweep(const std::vector<SweepPoint>& points,
+                                    const std::vector<SchedulerKind>& schedulers,
+                                    std::size_t threads = 0, std::size_t repeats = 1);
+
+/// Print one table: rows = points, one column per scheduler, values taken
+/// from `select(metrics)` (e.g. task completion ratio).
+void print_metric_table(std::ostream& os, const std::string& x_label,
+                        const std::vector<SweepPoint>& points,
+                        const std::vector<SchedulerKind>& schedulers, const SweepResult& result,
+                        const std::function<double(const metrics::RunMetrics&)>& select);
+
+/// Write the full sweep to CSV (one row per point x scheduler, all metric
+/// columns) so figures can be re-plotted externally (scripts/plot_figures.py).
+/// Throws std::runtime_error if the file cannot be opened.
+void write_sweep_csv(const std::string& path, const std::string& x_label,
+                     const std::vector<SweepPoint>& points,
+                     const std::vector<SchedulerKind>& schedulers, const SweepResult& result);
+
+}  // namespace taps::exp

@@ -1,0 +1,49 @@
+#include "metrics/collector.hpp"
+
+namespace taps::metrics {
+
+RunMetrics collect(const net::Network& net) {
+  RunMetrics m;
+  m.tasks_total = net.tasks().size();
+  m.flows_total = net.flows().size();
+
+  for (const auto& t : net.tasks()) {
+    if (t.state == net::TaskState::kCompleted) ++m.tasks_completed;
+    if (t.state == net::TaskState::kRejected) ++m.tasks_rejected;
+  }
+
+  double completed_task_bytes = 0.0;
+  for (const auto& f : net.flows()) {
+    m.total_bytes += f.spec.size;
+    const bool flow_ok = f.state == net::FlowState::kCompleted;
+    if (flow_ok) {
+      ++m.flows_completed;
+      m.useful_bytes += f.spec.size;
+    } else {
+      // Bytes already on the wire when the flow failed/was abandoned are the
+      // paper's wasted bandwidth. (Completed flows inside failed tasks are
+      // wasted at *task* level; Fig. 8 counts flow-level waste only.)
+      m.wasted_bytes += f.bytes_sent;
+    }
+    if (net.task(f.task()).state == net::TaskState::kCompleted) {
+      completed_task_bytes += f.spec.size;
+    }
+  }
+
+  if (m.tasks_total > 0) {
+    m.task_completion_ratio =
+        static_cast<double>(m.tasks_completed) / static_cast<double>(m.tasks_total);
+  }
+  if (m.flows_total > 0) {
+    m.flow_completion_ratio =
+        static_cast<double>(m.flows_completed) / static_cast<double>(m.flows_total);
+  }
+  if (m.total_bytes > 0.0) {
+    m.app_throughput = m.useful_bytes / m.total_bytes;
+    m.task_size_ratio = completed_task_bytes / m.total_bytes;
+    m.wasted_bandwidth_ratio = m.wasted_bytes / m.total_bytes;
+  }
+  return m;
+}
+
+}  // namespace taps::metrics

@@ -1,0 +1,37 @@
+// End-of-run metrics matching the paper's evaluation (Sec. V-A):
+//   - task completion ratio: tasks whose flows ALL met the deadline / tasks;
+//   - flow completion ratio: flows completed before deadline / flows,
+//     regardless of their task's fate;
+//   - application flow throughput: bytes of flows completed before deadline
+//     / total workload bytes (the size-weighted counterpart);
+//   - wasted bandwidth ratio: bytes actually transmitted by flows that did
+//     NOT complete / total workload bytes (Fig. 8's definition).
+#pragma once
+
+#include <cstddef>
+
+#include "net/network.hpp"
+
+namespace taps::metrics {
+
+struct RunMetrics {
+  std::size_t tasks_total = 0;
+  std::size_t tasks_completed = 0;
+  std::size_t tasks_rejected = 0;
+  std::size_t flows_total = 0;
+  std::size_t flows_completed = 0;
+
+  double task_completion_ratio = 0.0;
+  double flow_completion_ratio = 0.0;
+  double app_throughput = 0.0;        // size-weighted flow completion
+  double task_size_ratio = 0.0;       // bytes in fully-completed tasks / total
+  double wasted_bandwidth_ratio = 0.0;
+
+  double total_bytes = 0.0;
+  double useful_bytes = 0.0;  // bytes of flows completed before deadline
+  double wasted_bytes = 0.0;  // bytes sent by flows that did not complete
+};
+
+[[nodiscard]] RunMetrics collect(const net::Network& net);
+
+}  // namespace taps::metrics

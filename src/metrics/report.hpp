@@ -1,0 +1,41 @@
+// Fixed-width table printing for bench/example output: the rows the paper's
+// figures plot, readable in a terminal and trivially machine-parseable.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace taps::metrics {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: format arbitrary values (numbers get fixed precision).
+  template <typename... Ts>
+  void row(const Ts&... vals) {
+    std::vector<std::string> r;
+    r.reserve(sizeof...(vals));
+    (r.push_back(format(vals)), ...);
+    add_row(std::move(r));
+  }
+
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] static std::string format(double v);
+  [[nodiscard]] static std::string format(const std::string& s) { return s; }
+  [[nodiscard]] static std::string format(const char* s) { return s; }
+  [[nodiscard]] static std::string format(int v) { return std::to_string(v); }
+  [[nodiscard]] static std::string format(long v) { return std::to_string(v); }
+  [[nodiscard]] static std::string format(long long v) { return std::to_string(v); }
+  [[nodiscard]] static std::string format(std::size_t v) { return std::to_string(v); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace taps::metrics

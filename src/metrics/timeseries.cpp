@@ -1,0 +1,47 @@
+#include "metrics/timeseries.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace taps::metrics {
+
+void SegmentRecorder::on_transmit(const net::Flow& f, double t0, double t1, double bytes) {
+  if (bytes <= 0.0 || t1 <= t0) return;
+  segments_.push_back(Segment{f.id(), t0, t1, bytes});
+}
+
+std::vector<ThroughputBin> SegmentRecorder::bins(const net::Network& net,
+                                                 double bin_width) const {
+  std::vector<ThroughputBin> out;
+  if (segments_.empty() || bin_width <= 0.0) return out;
+
+  double end = 0.0;
+  for (const auto& s : segments_) end = std::max(end, s.t1);
+  const auto bin_count = static_cast<std::size_t>(std::ceil(end / bin_width));
+  out.resize(bin_count);
+  for (std::size_t i = 0; i < bin_count; ++i) {
+    out[i].t0 = static_cast<double>(i) * bin_width;
+    out[i].t1 = out[i].t0 + bin_width;
+  }
+
+  for (const auto& s : segments_) {
+    const bool useful = net.flow(s.flow).state == net::FlowState::kCompleted;
+    const double rate = s.bytes / (s.t1 - s.t0);
+    auto bin = static_cast<std::size_t>(s.t0 / bin_width);
+    double t = s.t0;
+    while (t < s.t1 && bin < bin_count) {
+      const double upto = std::min(s.t1, out[bin].t1);
+      const double b = rate * (upto - t);
+      if (useful) {
+        out[bin].useful_bytes += b;
+      } else {
+        out[bin].wasted_bytes += b;
+      }
+      t = upto;
+      ++bin;
+    }
+  }
+  return out;
+}
+
+}  // namespace taps::metrics

@@ -1,0 +1,49 @@
+// Effective-application-throughput time series (paper Fig. 14).
+//
+// Records every transmission segment during a run; after the run, bytes in
+// each time bin are classified by the final state of the flow that sent
+// them: bytes of flows that eventually completed are "useful". Effective
+// application throughput per bin = useful bytes / a normalization chosen by
+// the caller (the paper normalizes to the bandwidth actually in use).
+#pragma once
+
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace taps::metrics {
+
+struct ThroughputBin {
+  double t0 = 0.0;
+  double t1 = 0.0;
+  double useful_bytes = 0.0;
+  double wasted_bytes = 0.0;
+
+  /// Useful fraction of the bytes transmitted in this bin (0 when idle).
+  [[nodiscard]] double effective_fraction() const {
+    const double total = useful_bytes + wasted_bytes;
+    return total > 0.0 ? useful_bytes / total : 0.0;
+  }
+};
+
+class SegmentRecorder final : public sim::TransmitObserver {
+ public:
+  void on_transmit(const net::Flow& f, double t0, double t1, double bytes) override;
+
+  /// Bin all recorded segments into bins of `bin_width` seconds, classifying
+  /// bytes by each flow's final state in `net`. Segments spanning bin edges
+  /// are split pro rata (transmission is uniform inside a segment).
+  [[nodiscard]] std::vector<ThroughputBin> bins(const net::Network& net,
+                                                double bin_width) const;
+
+  [[nodiscard]] std::size_t segment_count() const { return segments_.size(); }
+
+ private:
+  struct Segment {
+    net::FlowId flow;
+    double t0, t1, bytes;
+  };
+  std::vector<Segment> segments_;
+};
+
+}  // namespace taps::metrics

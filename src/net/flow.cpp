@@ -1,0 +1,21 @@
+#include "net/flow.hpp"
+
+namespace taps::net {
+
+const char* to_string(FlowState s) {
+  switch (s) {
+    case FlowState::kPending:
+      return "pending";
+    case FlowState::kActive:
+      return "active";
+    case FlowState::kCompleted:
+      return "completed";
+    case FlowState::kMissed:
+      return "missed";
+    case FlowState::kRejected:
+      return "rejected";
+  }
+  return "?";
+}
+
+}  // namespace taps::net

@@ -1,0 +1,67 @@
+// Flow: the unit of transmission. Flows belong to tasks; all flows of a task
+// share the task's (absolute) deadline.
+#pragma once
+
+#include <cstdint>
+
+#include "topo/graph.hpp"
+
+namespace taps::net {
+
+using FlowId = std::int32_t;
+using TaskId = std::int32_t;
+
+inline constexpr FlowId kInvalidFlow = -1;
+inline constexpr TaskId kInvalidTask = -1;
+
+enum class FlowState : std::uint8_t {
+  kPending,    // not yet arrived or not yet admitted
+  kActive,     // admitted, transmitting (or waiting for its time slices)
+  kCompleted,  // all bytes delivered before the deadline
+  kMissed,     // deadline passed with bytes remaining
+  kRejected,   // never admitted (its task was rejected/preempted)
+};
+
+[[nodiscard]] const char* to_string(FlowState s);
+
+/// Immutable description of a flow (what the workload generator produces and
+/// what the sender's probe packet carries to the controller).
+struct FlowSpec {
+  FlowId id = kInvalidFlow;
+  TaskId task = kInvalidTask;
+  topo::NodeId src = topo::kInvalidNode;
+  topo::NodeId dst = topo::kInvalidNode;
+  double size = 0.0;      // bytes
+  double arrival = 0.0;   // seconds (same for all flows of a task)
+  double deadline = 0.0;  // absolute seconds (arrival + relative deadline)
+};
+
+/// Mutable runtime state of a flow during a simulation run.
+struct Flow {
+  FlowSpec spec;
+
+  FlowState state = FlowState::kPending;
+  double remaining = 0.0;    // bytes left to send
+  double rate = 0.0;         // currently assigned rate, bytes/second
+  double bytes_sent = 0.0;   // total bytes put on the wire so far
+  double completion_time = -1.0;  // set when state becomes kCompleted
+  topo::Path path;           // assigned route (empty until routed)
+
+  explicit Flow(const FlowSpec& s) : spec(s), remaining(s.size) {}
+
+  [[nodiscard]] FlowId id() const { return spec.id; }
+  [[nodiscard]] TaskId task() const { return spec.task; }
+  [[nodiscard]] bool finished() const {
+    return state == FlowState::kCompleted || state == FlowState::kMissed ||
+           state == FlowState::kRejected;
+  }
+  [[nodiscard]] bool active() const { return state == FlowState::kActive; }
+
+  /// Expected transmission time at `capacity` bytes/second (paper's E_i^j).
+  [[nodiscard]] double expected_time(double capacity) const { return remaining / capacity; }
+
+  /// Time to deadline from `now` (can be negative).
+  [[nodiscard]] double time_to_deadline(double now) const { return spec.deadline - now; }
+};
+
+}  // namespace taps::net

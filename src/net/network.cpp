@@ -1,0 +1,95 @@
+#include "net/network.hpp"
+
+#include <cassert>
+
+namespace taps::net {
+
+TaskId Network::add_task(double arrival, double deadline, std::span<const FlowSpec> flow_specs) {
+  const TaskId tid = static_cast<TaskId>(tasks_.size());
+  TaskSpec tspec;
+  tspec.id = tid;
+  tspec.arrival = arrival;
+  tspec.deadline = deadline;
+  tspec.flows.reserve(flow_specs.size());
+  for (const FlowSpec& fs : flow_specs) {
+    FlowSpec spec = fs;
+    spec.id = static_cast<FlowId>(flows_.size());
+    spec.task = tid;
+    spec.arrival = arrival;
+    spec.deadline = deadline;
+    assert(spec.src != spec.dst);
+    assert(spec.size > 0.0);
+    tspec.flows.push_back(spec.id);
+    flows_.emplace_back(spec);
+  }
+  tasks_.emplace_back(std::move(tspec));
+  return tid;
+}
+
+void Network::extend_task(TaskId id, double arrival, std::span<const FlowSpec> flow_specs) {
+  Task& t = task(id);
+  assert(arrival >= t.spec.arrival);
+  const bool dead = t.state == TaskState::kRejected || t.state == TaskState::kFailed;
+  for (const FlowSpec& fs : flow_specs) {
+    FlowSpec spec = fs;
+    spec.id = static_cast<FlowId>(flows_.size());
+    spec.task = id;
+    spec.arrival = arrival;
+    spec.deadline = t.spec.deadline;
+    assert(spec.src != spec.dst);
+    assert(spec.size > 0.0);
+    t.spec.flows.push_back(spec.id);
+    flows_.emplace_back(spec);
+    if (dead) flows_.back().state = FlowState::kRejected;
+  }
+  if (t.state == TaskState::kCompleted) t.state = TaskState::kAdmitted;
+}
+
+bool Network::uniform_capacity() const {
+  const auto& links = graph().links();
+  if (links.empty()) return true;
+  const double c = links.front().capacity;
+  for (const auto& l : links) {
+    if (l.capacity != c) return false;
+  }
+  return true;
+}
+
+void Network::on_flow_completed(FlowId id, double now) {
+  Flow& f = flow(id);
+  assert(!f.finished());
+  f.state = FlowState::kCompleted;
+  f.remaining = 0.0;
+  f.rate = 0.0;
+  f.completion_time = now;
+  Task& t = task(f.task());
+  ++t.completed_flows;
+  if (t.state == TaskState::kAdmitted && t.completed_flows == t.flow_count()) {
+    t.state = TaskState::kCompleted;
+  }
+}
+
+void Network::on_flow_missed(FlowId id) {
+  Flow& f = flow(id);
+  assert(!f.finished());
+  f.state = FlowState::kMissed;
+  f.rate = 0.0;
+  Task& t = task(f.task());
+  if (t.state == TaskState::kAdmitted || t.state == TaskState::kPending) {
+    t.state = TaskState::kFailed;
+  }
+}
+
+void Network::reject_task(TaskId id) {
+  Task& t = task(id);
+  t.state = TaskState::kRejected;
+  for (FlowId fid : t.spec.flows) {
+    Flow& f = flow(fid);
+    if (!f.finished()) {
+      f.state = FlowState::kRejected;
+      f.rate = 0.0;
+    }
+  }
+}
+
+}  // namespace taps::net

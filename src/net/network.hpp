@@ -1,0 +1,65 @@
+// Network: per-run mutable state — the task/flow registry bound to a
+// topology. Schedulers and the simulator operate on this object.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "net/task.hpp"
+#include "topo/paths.hpp"
+
+namespace taps::net {
+
+class Network {
+ public:
+  /// The topology must outlive the Network.
+  explicit Network(const topo::Topology& topology) : topo_(&topology) {}
+
+  /// Register a task and its flows. Flow ids and the task id are assigned
+  /// here (contiguous, in registration order) and written back into the
+  /// returned structures; `spec.flows`/`flow.task` are filled in.
+  TaskId add_task(double arrival, double deadline, std::span<const FlowSpec> flow_specs);
+
+  /// Append a later wave of flows to an existing task (the paper's dynamic
+  /// Algorithm-1 setting, where a task's flows arrive over time and share
+  /// the task's deadline). `arrival` must be >= the task's arrival. A task
+  /// that had already completed is reopened (kAdmitted) — it is complete
+  /// again only when the new wave also finishes. Waves cannot be added to
+  /// rejected or failed tasks (the flows are registered as kRejected).
+  void extend_task(TaskId id, double arrival, std::span<const FlowSpec> flow_specs);
+
+  [[nodiscard]] const topo::Topology& topology() const { return *topo_; }
+  [[nodiscard]] const topo::Graph& graph() const { return topo_->graph(); }
+
+  [[nodiscard]] Flow& flow(FlowId id) { return flows_[static_cast<std::size_t>(id)]; }
+  [[nodiscard]] const Flow& flow(FlowId id) const { return flows_[static_cast<std::size_t>(id)]; }
+  [[nodiscard]] Task& task(TaskId id) { return tasks_[static_cast<std::size_t>(id)]; }
+  [[nodiscard]] const Task& task(TaskId id) const { return tasks_[static_cast<std::size_t>(id)]; }
+
+  [[nodiscard]] std::vector<Flow>& flows() { return flows_; }
+  [[nodiscard]] const std::vector<Flow>& flows() const { return flows_; }
+  [[nodiscard]] std::vector<Task>& tasks() { return tasks_; }
+  [[nodiscard]] const std::vector<Task>& tasks() const { return tasks_; }
+
+  [[nodiscard]] double link_capacity(topo::LinkId id) const { return graph().link(id).capacity; }
+
+  /// Uniform capacity check: the paper assumes all links have equal
+  /// bandwidth; TAPS relies on this to reason in transfer-time units.
+  [[nodiscard]] bool uniform_capacity() const;
+  [[nodiscard]] double capacity() const { return graph().links().front().capacity; }
+
+  /// Record that a flow completed at `now`: updates flow & task state.
+  void on_flow_completed(FlowId id, double now);
+  /// Record that a flow missed its deadline: updates flow & task state.
+  void on_flow_missed(FlowId id);
+  /// Reject an entire task (on arrival, or preempted). Flows that already
+  /// completed stay completed; unfinished flows become kRejected.
+  void reject_task(TaskId id);
+
+ private:
+  const topo::Topology* topo_;
+  std::vector<Flow> flows_;
+  std::vector<Task> tasks_;
+};
+
+}  // namespace taps::net

@@ -1,0 +1,21 @@
+#include "net/task.hpp"
+
+namespace taps::net {
+
+const char* to_string(TaskState s) {
+  switch (s) {
+    case TaskState::kPending:
+      return "pending";
+    case TaskState::kAdmitted:
+      return "admitted";
+    case TaskState::kCompleted:
+      return "completed";
+    case TaskState::kFailed:
+      return "failed";
+    case TaskState::kRejected:
+      return "rejected";
+  }
+  return "?";
+}
+
+}  // namespace taps::net

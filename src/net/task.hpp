@@ -1,0 +1,52 @@
+// Task (coflow): a set of flows sharing an arrival time and a deadline.
+// A task succeeds iff every one of its flows completes before the deadline.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/flow.hpp"
+
+namespace taps::net {
+
+enum class TaskState : std::uint8_t {
+  kPending,    // not yet arrived
+  kAdmitted,   // accepted by the scheduler, flows in flight
+  kCompleted,  // all flows completed before deadline
+  kFailed,     // at least one flow missed the deadline
+  kRejected,   // declined on arrival or preempted by a later task
+};
+
+[[nodiscard]] const char* to_string(TaskState s);
+
+struct TaskSpec {
+  TaskId id = kInvalidTask;
+  double arrival = 0.0;
+  double deadline = 0.0;  // absolute
+  std::vector<FlowId> flows;
+};
+
+struct Task {
+  TaskSpec spec;
+  TaskState state = TaskState::kPending;
+  std::size_t completed_flows = 0;
+
+  explicit Task(TaskSpec s) : spec(std::move(s)) {}
+
+  [[nodiscard]] TaskId id() const { return spec.id; }
+  [[nodiscard]] std::size_t flow_count() const { return spec.flows.size(); }
+  [[nodiscard]] bool finished() const {
+    return state == TaskState::kCompleted || state == TaskState::kFailed ||
+           state == TaskState::kRejected;
+  }
+
+  /// Fraction of this task's flows that have completed (the paper's
+  /// "completion ratio of the task", used by the reject rule).
+  [[nodiscard]] double completion_ratio() const {
+    return spec.flows.empty()
+               ? 0.0
+               : static_cast<double>(completed_flows) / static_cast<double>(spec.flows.size());
+  }
+};
+
+}  // namespace taps::net

@@ -1,0 +1,188 @@
+#include "pkt/packet_sim.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace taps::pkt {
+
+using net::Flow;
+using net::FlowId;
+using net::FlowState;
+using net::TaskId;
+
+namespace {
+// A refresh chain event is pointless more often than this.
+constexpr double kMinRefreshGap = 1e-6;
+}  // namespace
+
+PacketSimulator::PacketSimulator(net::Network& net, sim::Scheduler& scheduler,
+                                 const PacketSimConfig& config)
+    : net_(&net), scheduler_(&scheduler), config_(config) {}
+
+PacketSimStats PacketSimulator::run() {
+  scheduler_->bind(*net_);
+  links_.assign(net_->graph().link_count(), LinkState{});
+  flows_.assign(net_->flows().size(), Emitter{});
+  stats_ = PacketSimStats{};
+
+  // Wave arrivals, exactly as the fluid simulator delivers them.
+  struct Wave {
+    double time;
+    TaskId task;
+  };
+  std::vector<Wave> waves;
+  for (const auto& t : net_->tasks()) {
+    double last = -1.0;
+    for (const FlowId fid : t.spec.flows) {
+      const double at = net_->flow(fid).spec.arrival;
+      if (at != last) {
+        waves.push_back(Wave{at, t.id()});
+        last = at;
+      }
+    }
+  }
+  std::sort(waves.begin(), waves.end(), [](const Wave& a, const Wave& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.task < b.task;
+  });
+
+  for (const Wave& w : waves) {
+    queue_.schedule(w.time, [this, task = w.task](double now) {
+      scheduler_->on_task_arrival(task, now);
+      for (const FlowId fid : net_->task(task).spec.flows) {
+        Flow& f = net_->flow(fid);
+        if (f.state != FlowState::kActive) continue;
+        // One deadline watchdog per activated flow.
+        queue_.schedule(f.spec.deadline,
+                        [this, fid](double at) { on_deadline(fid, at); });
+      }
+      refresh_rates(now);
+    });
+  }
+
+  while (!queue_.empty()) queue_.run_next();
+
+  stats_.end_time = queue_.now();
+  for (const auto& f : net_->flows()) {
+    if (f.state == FlowState::kCompleted) ++stats_.completions;
+    if (f.state == FlowState::kMissed) ++stats_.misses;
+  }
+  return stats_;
+}
+
+void PacketSimulator::refresh_rates(double now) {
+  next_rate_change_ = scheduler_->assign_rates(now);
+
+  bool any_active = false;
+  for (const auto& f : net_->flows()) {
+    if (!f.active()) continue;
+    any_active = true;
+    const auto& fs = flows_[static_cast<std::size_t>(f.id())];
+    if (f.rate > 0.0 && !fs.emit_scheduled && fs.emitted < f.spec.size - sim::kByteEpsilon) {
+      arm_emitter(f.id(), now);
+    }
+  }
+  if (!any_active) return;
+
+  // Periodic refresh chain, advanced to the scheduler's own next boundary
+  // when that comes sooner (TAPS slice edges). At most one pending refresh:
+  // every trigger (arrival, completion, deadline, tick) replaces the chain.
+  double next = now + config_.rate_update_interval;
+  if (next_rate_change_ > now + kMinRefreshGap) next = std::min(next, next_rate_change_);
+  if (refresh_event_ != 0) queue_.cancel(refresh_event_);
+  refresh_event_ = queue_.schedule(next, [this](double at) {
+    refresh_event_ = 0;
+    refresh_rates(at);
+  });
+}
+
+void PacketSimulator::arm_emitter(FlowId flow, double now) {
+  Emitter& fs = flows_[static_cast<std::size_t>(flow)];
+  fs.emit_scheduled = true;
+  queue_.schedule(now, [this, flow](double at) { emit_packet(flow, at); });
+}
+
+void PacketSimulator::emit_packet(FlowId flow, double now) {
+  Emitter& fs = flows_[static_cast<std::size_t>(flow)];
+  fs.emit_scheduled = false;
+  Flow& f = net_->flow(flow);
+  if (f.finished() || f.rate <= 0.0) return;  // re-armed by a later refresh
+  const double credit = f.spec.size - fs.emitted;
+  if (credit <= sim::kByteEpsilon) return;  // everything is on the wire
+
+  Packet p;
+  p.flow = flow;
+  p.bytes = std::min(config_.mtu, credit);
+  p.hop = 0;
+  fs.emitted += p.bytes;
+  f.bytes_sent += p.bytes;
+  f.remaining = f.spec.size - fs.emitted;  // sender-side view for schedulers
+  enqueue(p, now);
+
+  if (fs.emitted < f.spec.size - sim::kByteEpsilon) {
+    // Paced: the next packet leaves one serialization interval later.
+    fs.emit_scheduled = true;
+    queue_.schedule(now + p.bytes / f.rate,
+                    [this, flow](double at) { emit_packet(flow, at); });
+  }
+}
+
+void PacketSimulator::enqueue(const Packet& p, double now) {
+  const Flow& f = net_->flow(p.flow);
+  const topo::LinkId lid = f.path.links[p.hop];
+  LinkState& link = links_[static_cast<std::size_t>(lid)];
+  link.queue.push_back(p);
+  stats_.max_queue_depth = std::max(stats_.max_queue_depth, link.queue.size());
+  if (!link.busy) start_service(lid, now);
+}
+
+void PacketSimulator::start_service(topo::LinkId lid, double now) {
+  LinkState& link = links_[static_cast<std::size_t>(lid)];
+  assert(!link.queue.empty());
+  link.busy = true;
+  const double duration = link.queue.front().bytes / net_->link_capacity(lid);
+  queue_.schedule(now + duration, [this, lid](double at) { on_departure(lid, at); });
+}
+
+void PacketSimulator::on_departure(topo::LinkId lid, double now) {
+  LinkState& link = links_[static_cast<std::size_t>(lid)];
+  assert(link.busy && !link.queue.empty());
+  Packet p = link.queue.front();
+  link.queue.erase(link.queue.begin());
+  link.busy = false;
+  if (!link.queue.empty()) start_service(lid, now);
+
+  const Flow& f = net_->flow(p.flow);
+  ++p.hop;
+  if (p.hop < f.path.links.size()) {
+    enqueue(p, now);  // store-and-forward to the next hop
+    return;
+  }
+  // Delivered at the destination.
+  ++stats_.packets_delivered;
+  Emitter& fs = flows_[static_cast<std::size_t>(p.flow)];
+  fs.delivered += p.bytes;
+  if (!f.finished() && fs.delivered >= f.spec.size - sim::kByteEpsilon) {
+    finish_flow(p.flow, now);
+  }
+}
+
+void PacketSimulator::on_deadline(FlowId flow, double now) {
+  Flow& f = net_->flow(flow);
+  if (f.finished()) return;
+  net_->on_flow_missed(flow);
+  scheduler_->on_flow_finished(flow, now);
+  refresh_rates(now);
+}
+
+void PacketSimulator::finish_flow(FlowId flow, double now) {
+  Flow& f = net_->flow(flow);
+  // Delivery after the watchdog has fired cannot happen (the watchdog marks
+  // the flow missed and finished), so this is a genuine completion.
+  f.remaining = 0.0;
+  net_->on_flow_completed(flow, now);
+  scheduler_->on_flow_finished(flow, now);
+  refresh_rates(now);
+}
+
+}  // namespace taps::pkt

@@ -1,0 +1,86 @@
+// Packet-level network simulator: a finer-grained substrate used to validate
+// the fluid-flow abstraction the paper (and our benches) evaluate with.
+//
+// Model: store-and-forward with one FIFO output queue per directed link.
+// Hosts pace each flow at its scheduler-assigned rate, emitting MTU-sized
+// packets; every link serializes a packet in bytes/capacity seconds; a
+// packet is handed to the next link's queue when fully received; the flow
+// completes when its last packet is delivered at the destination.
+//
+// The same `sim::Scheduler` implementations drive this engine: rates are
+// refreshed on flow arrivals/finishes, at scheduler-reported rate-change
+// boundaries (TAPS slice edges), and on a periodic update tick (the packet
+// analogue of RTT-clocked adaptation). Agreement between this engine and
+// sim::FluidSimulator on completion ratios is checked in tests and
+// bench_packet_validation.
+#pragma once
+
+#include "net/network.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/simulator.hpp"
+
+namespace taps::pkt {
+
+struct PacketSimConfig {
+  double mtu = 1500.0;                  // bytes per packet
+  double rate_update_interval = 5e-4;   // periodic rate refresh (seconds)
+};
+
+struct PacketSimStats {
+  double end_time = 0.0;
+  std::size_t packets_delivered = 0;
+  std::size_t completions = 0;
+  std::size_t misses = 0;
+  std::size_t max_queue_depth = 0;  // worst per-link backlog observed
+};
+
+class PacketSimulator {
+ public:
+  PacketSimulator(net::Network& net, sim::Scheduler& scheduler,
+                  const PacketSimConfig& config = {});
+
+  /// Run to quiescence (all tasks arrived, no packets in flight, all flows
+  /// terminal).
+  PacketSimStats run();
+
+ private:
+  struct Packet {
+    net::FlowId flow = net::kInvalidFlow;
+    double bytes = 0.0;
+    std::size_t hop = 0;  // index into the flow's path
+  };
+
+  struct LinkState {
+    std::vector<Packet> queue;  // FIFO (front = index 0)
+    bool busy = false;
+  };
+
+  struct Emitter {
+    double emitted = 0.0;    // bytes handed to the NIC
+    double delivered = 0.0;  // bytes that reached the destination
+    bool emit_scheduled = false;
+  };
+
+  void refresh_rates(double now);
+  /// Schedule the next paced emission for `flow` if it has credit and rate.
+  void arm_emitter(net::FlowId flow, double now);
+  void emit_packet(net::FlowId flow, double now);
+  /// Enqueue `p` on the link it is about to traverse; start service if idle.
+  void enqueue(const Packet& p, double now);
+  void start_service(topo::LinkId link, double now);
+  void on_departure(topo::LinkId link, double now);
+  void on_deadline(net::FlowId flow, double now);
+  void finish_flow(net::FlowId flow, double now);
+
+  net::Network* net_;
+  sim::Scheduler* scheduler_;
+  PacketSimConfig config_;
+  sim::EventQueue queue_;
+  std::vector<LinkState> links_;
+  std::vector<Emitter> flows_;
+  PacketSimStats stats_;
+  double next_rate_change_ = sim::kInfinity;
+  sim::EventId refresh_event_ = 0;  // at most one pending refresh
+};
+
+}  // namespace taps::pkt

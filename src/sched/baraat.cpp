@@ -1,0 +1,57 @@
+#include "sched/baraat.hpp"
+
+#include <algorithm>
+
+namespace taps::sched {
+
+using net::Flow;
+using net::FlowId;
+
+void Baraat::bind(net::Network& net) {
+  BaseScheduler::bind(net);
+  link_busy_.assign(net.graph().link_count(), 0);
+}
+
+void Baraat::on_task_arrival(net::TaskId id, double now) { admit_all_ecmp(id, now); }
+
+double Baraat::assign_rates(double /*now*/) {
+  auto& flows = active_flows();
+
+  // Priority: task FIFO (arrival, then task id), then SJF within the task.
+  std::vector<FlowId> order(flows.begin(), flows.end());
+  std::sort(order.begin(), order.end(), [this](FlowId a, FlowId b) {
+    const Flow& fa = net_->flow(a);
+    const Flow& fb = net_->flow(b);
+    const auto& ta = net_->task(fa.task());
+    const auto& tb = net_->task(fb.task());
+    if (ta.spec.arrival != tb.spec.arrival) return ta.spec.arrival < tb.spec.arrival;
+    if (fa.task() != fb.task()) return fa.task() < fb.task();
+    if (fa.remaining != fb.remaining) return fa.remaining < fb.remaining;
+    return a < b;
+  });
+
+  std::fill(link_busy_.begin(), link_busy_.end(), 0);
+  for (const FlowId fid : order) {
+    Flow& f = net_->flow(fid);
+    bool free = true;
+    for (const topo::LinkId lid : f.path.links) {
+      if (link_busy_[static_cast<std::size_t>(lid)] != 0) {
+        free = false;
+        break;
+      }
+    }
+    if (free) {
+      double rate = sim::kInfinity;
+      for (const topo::LinkId lid : f.path.links) {
+        rate = std::min(rate, net_->link_capacity(lid));
+        link_busy_[static_cast<std::size_t>(lid)] = 1;
+      }
+      f.rate = rate;
+    } else {
+      f.rate = 0.0;
+    }
+  }
+  return sim::kInfinity;
+}
+
+}  // namespace taps::sched

@@ -1,0 +1,25 @@
+// Baraat baseline (Dogar et al., SIGCOMM'14), flow-level model: task-aware
+// but deadline-agnostic. Tasks are serialized FIFO by arrival; all flows of
+// an earlier task strictly outrank flows of later tasks; inside a task flows
+// follow SJF. Flow scheduling is PDQ-like (exclusive full-rate link use),
+// with no deadline-based termination — which is exactly why Baraat wastes
+// bandwidth in deadline-sensitive settings (paper Fig. 8).
+#pragma once
+
+#include "sched/scheduler.hpp"
+
+namespace taps::sched {
+
+class Baraat final : public BaseScheduler {
+ public:
+  [[nodiscard]] std::string name() const override { return "Baraat"; }
+
+  void bind(net::Network& net) override;
+  void on_task_arrival(net::TaskId id, double now) override;
+  double assign_rates(double now) override;
+
+ private:
+  std::vector<char> link_busy_;
+};
+
+}  // namespace taps::sched

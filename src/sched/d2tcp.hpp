@@ -1,0 +1,46 @@
+// D2TCP (Vamanan et al., SIGCOMM'12), fluid-flow model — an *extension*
+// beyond the paper's evaluated baselines (the TAPS paper discusses D2TCP in
+// related work but does not simulate it).
+//
+// D2TCP modulates DCTCP's congestion avoidance by deadline urgency: each
+// flow backs off by p = alpha^d, where d = Tc/D is the ratio of the time the
+// flow still needs (at its current throughput) to the time it has left,
+// clamped to [0.5, 2]. Urgent flows (d > 1) back off less and so claim a
+// larger share; relaxed flows yield. At flow level this converges to a
+// d-weighted bandwidth split, which we model directly as weighted max-min
+// sharing with the urgency recomputed from each flow's previous rate — the
+// same fixed-point the congestion-window dynamics settle into.
+//
+// Like DCTCP/D2TCP deployments (and unlike D3/PDQ/TAPS), there is no
+// admission control: doomed flows keep transmitting until their deadline
+// passes, wasting bandwidth.
+#pragma once
+
+#include "sched/scheduler.hpp"
+
+namespace taps::sched {
+
+struct D2TcpConfig {
+  double min_urgency = 0.5;  // the paper's clamp on d
+  double max_urgency = 2.0;
+  /// Window dynamics adapt every RTT; the fluid model refreshes urgencies at
+  /// this interval even between flow arrivals/completions.
+  double update_interval = 0.001;  // seconds
+};
+
+class D2Tcp final : public BaseScheduler {
+ public:
+  explicit D2Tcp(const D2TcpConfig& config = {}) : config_(config) {}
+
+  [[nodiscard]] std::string name() const override { return "D2TCP"; }
+
+  void bind(net::Network& net) override;
+  void on_task_arrival(net::TaskId id, double now) override;
+  double assign_rates(double now) override;
+
+ private:
+  D2TcpConfig config_;
+  std::vector<double> weights_;  // per-flow urgency d, indexed by FlowId
+};
+
+}  // namespace taps::sched

@@ -1,0 +1,21 @@
+// D3 baseline (Wilson et al., SIGCOMM'11), flow-level model with the
+// improvements described in the PDQ paper: each flow requests
+// r = remaining / time-to-deadline; requests are granted greedily in flow
+// *arrival order* (FCFS — the source of D3's priority-inversion problem the
+// TAPS paper highlights), then spare capacity is distributed max-min as the
+// base rate.
+#pragma once
+
+#include "sched/scheduler.hpp"
+
+namespace taps::sched {
+
+class D3 final : public BaseScheduler {
+ public:
+  [[nodiscard]] std::string name() const override { return "D3"; }
+
+  void on_task_arrival(net::TaskId id, double now) override;
+  double assign_rates(double now) override;
+};
+
+}  // namespace taps::sched

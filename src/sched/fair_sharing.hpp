@@ -1,0 +1,18 @@
+// Fair Sharing baseline: deadline- and task-agnostic max-min fair sharing of
+// link capacity among all active flows (the behaviour of TCP-like transports
+// idealized at flow level, as in the paper's evaluation).
+#pragma once
+
+#include "sched/scheduler.hpp"
+
+namespace taps::sched {
+
+class FairSharing final : public BaseScheduler {
+ public:
+  [[nodiscard]] std::string name() const override { return "FairSharing"; }
+
+  void on_task_arrival(net::TaskId id, double now) override;
+  double assign_rates(double now) override;
+};
+
+}  // namespace taps::sched

@@ -1,0 +1,214 @@
+#include "sched/scheduler.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/rng.hpp"
+
+namespace taps::sched {
+
+using net::Flow;
+using net::FlowId;
+using net::FlowState;
+using net::TaskId;
+using net::TaskState;
+
+void BaseScheduler::bind(net::Network& net) {
+  sim::Scheduler::bind(net);
+  active_.clear();
+  residual_.assign(net.graph().link_count(), 0.0);
+  link_flow_count_.assign(net.graph().link_count(), 0);
+  link_weight_.assign(net.graph().link_count(), 0.0);
+}
+
+void BaseScheduler::on_flow_finished(net::FlowId id, double /*now*/) {
+  std::erase(active_, id);
+}
+
+std::vector<FlowId> BaseScheduler::pending_wave(TaskId id, double now) const {
+  std::vector<FlowId> wave;
+  for (const FlowId fid : net_->task(id).spec.flows) {
+    const Flow& f = net_->flow(fid);
+    if (f.state == FlowState::kPending && f.spec.arrival <= now + sim::kTimeEpsilon) {
+      wave.push_back(fid);
+    }
+  }
+  return wave;
+}
+
+void BaseScheduler::admit_all_ecmp(TaskId id, double now) {
+  net::Task& t = net_->task(id);
+  const std::vector<FlowId> wave = pending_wave(id, now);
+  if (t.state == TaskState::kRejected) {
+    // The whole task was declined earlier; its later waves never transmit.
+    for (const FlowId fid : wave) net_->flow(fid).state = FlowState::kRejected;
+    return;
+  }
+  if (t.state == TaskState::kPending) t.state = TaskState::kAdmitted;
+  for (const FlowId fid : wave) {
+    Flow& f = net_->flow(fid);
+    route_ecmp(f);
+    f.state = FlowState::kActive;
+    active_.push_back(fid);
+  }
+}
+
+void BaseScheduler::route_ecmp(Flow& f) {
+  const auto candidates = net_->topology().paths(f.spec.src, f.spec.dst, max_paths_);
+  assert(!candidates.empty());
+  const std::uint64_t h = util::hash_combine(static_cast<std::uint64_t>(f.id()) + 1,
+                                             0x9d2c5680u ^ static_cast<std::uint64_t>(f.spec.src));
+  f.path = topo::pick_ecmp(candidates, h);
+}
+
+std::vector<FlowId>& BaseScheduler::active_flows() {
+  std::erase_if(active_, [this](FlowId id) { return net_->flow(id).finished(); });
+  return active_;
+}
+
+void BaseScheduler::progressive_fill(const std::vector<FlowId>& flows,
+                                     std::vector<double>& residual) {
+  // Water-filling: raise every unfrozen flow's share uniformly until a link
+  // saturates; freeze the flows crossing it; repeat. At least one link
+  // saturates per round, so rounds <= number of distinct used links.
+  constexpr double kEps = 1e-9;
+
+  std::vector<FlowId> alive;
+  alive.reserve(flows.size());
+  std::vector<topo::LinkId> used_links;
+  for (const FlowId fid : flows) {
+    const Flow& f = net_->flow(fid);
+    if (f.finished() || f.remaining <= sim::kByteEpsilon) continue;
+    alive.push_back(fid);
+    for (const topo::LinkId lid : f.path.links) {
+      if (link_flow_count_[static_cast<std::size_t>(lid)]++ == 0) used_links.push_back(lid);
+    }
+  }
+
+  while (!alive.empty()) {
+    // Bottleneck share: the smallest per-flow increment that saturates a link.
+    double share = sim::kInfinity;
+    for (const topo::LinkId lid : used_links) {
+      const auto i = static_cast<std::size_t>(lid);
+      if (link_flow_count_[i] > 0) {
+        share = std::min(share, residual[i] / link_flow_count_[i]);
+      }
+    }
+    if (share == sim::kInfinity) break;  // no alive flow crosses any link (impossible)
+    share = std::max(share, 0.0);
+
+    for (const FlowId fid : alive) {
+      net_->flow(fid).rate += share;
+      for (const topo::LinkId lid : net_->flow(fid).path.links) {
+        residual[static_cast<std::size_t>(lid)] -= share;
+      }
+    }
+    // Freeze flows crossing any saturated link.
+    std::vector<FlowId> still_alive;
+    still_alive.reserve(alive.size());
+    for (const FlowId fid : alive) {
+      const Flow& f = net_->flow(fid);
+      bool frozen = false;
+      for (const topo::LinkId lid : f.path.links) {
+        if (residual[static_cast<std::size_t>(lid)] <= kEps) {
+          frozen = true;
+          break;
+        }
+      }
+      if (frozen) {
+        for (const topo::LinkId lid : f.path.links) {
+          --link_flow_count_[static_cast<std::size_t>(lid)];
+        }
+      } else {
+        still_alive.push_back(fid);
+      }
+    }
+    if (still_alive.size() == alive.size()) {
+      // Numerical guard: no flow froze although a link reported saturation.
+      break;
+    }
+    alive = std::move(still_alive);
+  }
+  // Reset the shared counter buffer for the next call.
+  for (const FlowId fid : alive) {
+    for (const topo::LinkId lid : net_->flow(fid).path.links) {
+      --link_flow_count_[static_cast<std::size_t>(lid)];
+    }
+  }
+  for (const topo::LinkId lid : used_links) {
+    assert(link_flow_count_[static_cast<std::size_t>(lid)] >= 0);
+    link_flow_count_[static_cast<std::size_t>(lid)] = 0;
+  }
+}
+
+void BaseScheduler::progressive_fill_weighted(const std::vector<FlowId>& flows,
+                                              std::vector<double>& residual,
+                                              const std::vector<double>& weights) {
+  constexpr double kEps = 1e-9;
+
+  std::vector<FlowId> alive;
+  alive.reserve(flows.size());
+  std::vector<topo::LinkId> used_links;
+  for (const FlowId fid : flows) {
+    const Flow& f = net_->flow(fid);
+    if (f.finished() || f.remaining <= sim::kByteEpsilon) continue;
+    if (weights[static_cast<std::size_t>(fid)] <= 0.0) continue;
+    alive.push_back(fid);
+    for (const topo::LinkId lid : f.path.links) {
+      const auto i = static_cast<std::size_t>(lid);
+      if (link_weight_[i] == 0.0) used_links.push_back(lid);
+      link_weight_[i] += weights[static_cast<std::size_t>(fid)];
+    }
+  }
+
+  while (!alive.empty()) {
+    // Smallest per-unit-weight increment that saturates some link.
+    double unit = sim::kInfinity;
+    for (const topo::LinkId lid : used_links) {
+      const auto i = static_cast<std::size_t>(lid);
+      if (link_weight_[i] > 0.0) unit = std::min(unit, residual[i] / link_weight_[i]);
+    }
+    if (unit == sim::kInfinity) break;
+    unit = std::max(unit, 0.0);
+
+    for (const FlowId fid : alive) {
+      const double inc = unit * weights[static_cast<std::size_t>(fid)];
+      net_->flow(fid).rate += inc;
+      for (const topo::LinkId lid : net_->flow(fid).path.links) {
+        residual[static_cast<std::size_t>(lid)] -= inc;
+      }
+    }
+    std::vector<FlowId> still_alive;
+    still_alive.reserve(alive.size());
+    for (const FlowId fid : alive) {
+      const Flow& f = net_->flow(fid);
+      bool frozen = false;
+      for (const topo::LinkId lid : f.path.links) {
+        if (residual[static_cast<std::size_t>(lid)] <= kEps) {
+          frozen = true;
+          break;
+        }
+      }
+      if (frozen) {
+        for (const topo::LinkId lid : f.path.links) {
+          link_weight_[static_cast<std::size_t>(lid)] -=
+              weights[static_cast<std::size_t>(fid)];
+        }
+      } else {
+        still_alive.push_back(fid);
+      }
+    }
+    if (still_alive.size() == alive.size()) break;  // numerical guard
+    alive = std::move(still_alive);
+  }
+  for (const FlowId fid : alive) {
+    for (const topo::LinkId lid : net_->flow(fid).path.links) {
+      link_weight_[static_cast<std::size_t>(lid)] -= weights[static_cast<std::size_t>(fid)];
+    }
+  }
+  for (const topo::LinkId lid : used_links) {
+    link_weight_[static_cast<std::size_t>(lid)] = 0.0;
+  }
+}
+
+}  // namespace taps::sched

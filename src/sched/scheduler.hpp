@@ -1,0 +1,61 @@
+// Shared infrastructure for concrete schedulers: active-flow bookkeeping,
+// flow-level ECMP path assignment, and max-min progressive filling (used by
+// Fair Sharing, and for spare-capacity redistribution in D3/Varys).
+#pragma once
+
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace taps::sched {
+
+/// Default cap on candidate paths considered per flow (fat-tree pairs can
+/// have hundreds of equal-cost paths; see DESIGN.md).
+inline constexpr std::size_t kDefaultMaxPaths = 16;
+
+class BaseScheduler : public sim::Scheduler {
+ public:
+  void bind(net::Network& net) override;
+
+  void on_flow_finished(net::FlowId id, double now) override;
+
+ protected:
+  /// Admit the task's currently-arriving flows (those still kPending with
+  /// arrival <= now): route each with ECMP and mark it active. Later waves
+  /// of the same task are admitted when their arrival event fires. Waves of
+  /// a task that was rejected as a whole are declined outright.
+  void admit_all_ecmp(net::TaskId id, double now);
+
+  /// The task's flows that are arriving at `now` and not yet handled.
+  [[nodiscard]] std::vector<net::FlowId> pending_wave(net::TaskId id, double now) const;
+
+  /// Assign a deterministic hash-based ECMP path to one flow.
+  void route_ecmp(net::Flow& f);
+
+  /// Flows currently admitted and unfinished (pruned on demand).
+  [[nodiscard]] std::vector<net::FlowId>& active_flows();
+
+  /// Max-min fair ("progressive filling") allocation of `residual` link
+  /// capacity among `flows`, *added* to each flow's current rate. `residual`
+  /// is indexed by LinkId and is consumed in place.
+  void progressive_fill(const std::vector<net::FlowId>& flows, std::vector<double>& residual);
+
+  /// Weighted variant: each unfrozen flow's rate grows proportionally to
+  /// `weights[flow]` (indexed by FlowId) until a link saturates. With all
+  /// weights equal it reduces to progressive_fill. Used by D2TCP's
+  /// deadline-urgency-weighted sharing.
+  void progressive_fill_weighted(const std::vector<net::FlowId>& flows,
+                                 std::vector<double>& residual,
+                                 const std::vector<double>& weights);
+
+  std::vector<net::FlowId> active_;
+  // Scratch buffers reused across assign_rates calls (sized to link count).
+  std::vector<double> residual_;
+  std::vector<int> link_flow_count_;
+  std::vector<double> link_weight_;
+
+ private:
+  std::size_t max_paths_ = kDefaultMaxPaths;
+};
+
+}  // namespace taps::sched

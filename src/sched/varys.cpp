@@ -1,0 +1,128 @@
+#include "sched/varys.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace taps::sched {
+
+using net::Flow;
+using net::FlowId;
+using net::FlowState;
+using net::TaskId;
+using net::TaskState;
+
+void Varys::bind(net::Network& net) {
+  BaseScheduler::bind(net);
+  reserved_.assign(net.graph().link_count(), 0.0);
+  flow_reserve_.assign(net.flows().size(), 0.0);
+}
+
+void Varys::on_task_arrival(TaskId id, double now) {
+  net::Task& t = net_->task(id);
+  constexpr double kSlack = 1e-9;
+
+  const std::vector<FlowId> wave = pending_wave(id, now);
+  if (t.state == TaskState::kRejected) {
+    for (const FlowId fid : wave) net_->flow(fid).state = FlowState::kRejected;
+    return;
+  }
+
+  // Route first (ECMP), then test reservations link by link. The admission
+  // is all-or-nothing per task: if any wave does not fit, the whole task is
+  // discarded (Varys has no notion of partially useful coflows).
+  struct Candidate {
+    FlowId id;
+    double reserve;
+  };
+  std::vector<Candidate> cands;
+  cands.reserve(wave.size());
+  // Temporarily accumulate the wave's own demand per link to detect
+  // intra-wave oversubscription as well.
+  std::vector<std::pair<topo::LinkId, double>> demand;
+  bool fits = true;
+  for (const FlowId fid : wave) {
+    Flow& f = net_->flow(fid);
+    route_ecmp(f);
+    const double rel_deadline = f.spec.deadline - now;
+    if (rel_deadline <= sim::kTimeEpsilon) {
+      fits = false;
+      break;
+    }
+    const double r = f.spec.size / rel_deadline;
+    cands.push_back(Candidate{fid, r});
+    for (const topo::LinkId lid : f.path.links) demand.emplace_back(lid, r);
+  }
+  if (fits) {
+    std::sort(demand.begin(), demand.end());
+    for (std::size_t i = 0; i < demand.size();) {
+      const topo::LinkId lid = demand[i].first;
+      double sum = 0.0;
+      while (i < demand.size() && demand[i].first == lid) sum += demand[i++].second;
+      const auto li = static_cast<std::size_t>(lid);
+      if (reserved_[li] + sum > net_->link_capacity(lid) + kSlack) {
+        fits = false;
+        break;
+      }
+    }
+  }
+
+  if (!fits) {
+    // Release reservations held by this task's in-flight flows, then drop it.
+    for (const FlowId fid : t.spec.flows) {
+      const Flow& f = net_->flow(fid);
+      const double r = flow_reserve_[static_cast<std::size_t>(fid)];
+      if (r > 0.0 && !f.finished()) {
+        for (const topo::LinkId lid : f.path.links) {
+          reserved_[static_cast<std::size_t>(lid)] -= r;
+        }
+        flow_reserve_[static_cast<std::size_t>(fid)] = 0.0;
+      }
+    }
+    net_->reject_task(id);
+    return;
+  }
+  if (t.state == TaskState::kPending) t.state = TaskState::kAdmitted;
+  for (const Candidate& c : cands) {
+    Flow& f = net_->flow(c.id);
+    f.state = FlowState::kActive;
+    flow_reserve_[static_cast<std::size_t>(c.id)] = c.reserve;
+    for (const topo::LinkId lid : f.path.links) {
+      reserved_[static_cast<std::size_t>(lid)] += c.reserve;
+    }
+    active_.push_back(c.id);
+  }
+}
+
+void Varys::on_flow_finished(FlowId id, double now) {
+  const Flow& f = net_->flow(id);
+  const double r = flow_reserve_[static_cast<std::size_t>(id)];
+  if (r > 0.0) {
+    for (const topo::LinkId lid : f.path.links) {
+      reserved_[static_cast<std::size_t>(lid)] -= r;
+    }
+    flow_reserve_[static_cast<std::size_t>(id)] = 0.0;
+  }
+  BaseScheduler::on_flow_finished(id, now);
+}
+
+double Varys::assign_rates(double /*now*/) {
+  auto& flows = active_flows();
+  for (const auto& l : net_->graph().links()) {
+    residual_[static_cast<std::size_t>(l.id)] = l.capacity;
+  }
+  // Guaranteed reservation first...
+  for (const FlowId fid : flows) {
+    Flow& f = net_->flow(fid);
+    const double r = flow_reserve_[static_cast<std::size_t>(fid)];
+    f.rate = r;
+    for (const topo::LinkId lid : f.path.links) {
+      residual_[static_cast<std::size_t>(lid)] =
+          std::max(0.0, residual_[static_cast<std::size_t>(lid)] - r);
+    }
+  }
+  // ...then spare capacity max-min on top (finishes admitted flows early).
+  progressive_fill(flows, residual_);
+  return sim::kInfinity;
+}
+
+}  // namespace taps::sched

@@ -1,0 +1,32 @@
+// Varys baseline (Chowdhury et al., SIGCOMM'14), deadline-sensitive variant
+// (paper Sec. V-A: "Varys of Pseudocode 1 and 2 adapted to deadline-sensitive
+// simulations"): tasks are admitted strictly in arrival order; admission
+// reserves rate r = size / relative-deadline for every flow of the task on
+// its path; if any link lacks headroom the whole task is rejected — Varys
+// never preempts an admitted task, which is the arrival-order sensitivity the
+// TAPS paper criticizes. Rejected tasks never transmit (no wasted bytes).
+//
+// Admitted flows are guaranteed their reservation; spare capacity is
+// redistributed max-min (MADD-style acceleration), so admitted tasks always
+// finish at or before their deadlines.
+#pragma once
+
+#include "sched/scheduler.hpp"
+
+namespace taps::sched {
+
+class Varys final : public BaseScheduler {
+ public:
+  [[nodiscard]] std::string name() const override { return "Varys"; }
+
+  void bind(net::Network& net) override;
+  void on_task_arrival(net::TaskId id, double now) override;
+  void on_flow_finished(net::FlowId id, double now) override;
+  double assign_rates(double now) override;
+
+ private:
+  std::vector<double> reserved_;       // per-link reserved rate
+  std::vector<double> flow_reserve_;   // per-flow reservation (bytes/second)
+};
+
+}  // namespace taps::sched

@@ -1,0 +1,147 @@
+#include "sdn/controller.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace taps::sdn {
+
+using net::FlowId;
+using net::FlowState;
+using net::TaskId;
+using net::TaskState;
+
+Controller::Controller(net::Network& net, const ControllerConfig& config)
+    : net_(&net), config_(config), taps_(config.taps) {
+  taps_.bind(net);
+  for (const auto& node : net.graph().nodes()) {
+    if (node.kind != topo::NodeKind::kHost) {
+      switches_.emplace(node.id, Switch(node.id, config.table_capacity));
+    }
+  }
+}
+
+Switch* Controller::switch_at(topo::NodeId node) {
+  auto it = switches_.find(node);
+  return it == switches_.end() ? nullptr : &it->second;
+}
+
+SliceGrant Controller::make_grant(FlowId flow) const {
+  const net::Flow& f = net_->flow(flow);
+  SliceGrant g;
+  g.flow = flow;
+  g.path = f.path;
+  g.slices = taps_.slices(flow);
+  double rate = std::numeric_limits<double>::infinity();
+  for (const topo::LinkId lid : f.path.links) {
+    rate = std::min(rate, net_->link_capacity(lid));
+  }
+  g.rate = rate;
+  return g;
+}
+
+void Controller::install_route(FlowId flow, const topo::Path& path) {
+  // Entry at every switch on the path: node links[i].src forwards the flow
+  // onto links[i] (links[0] leaves the source host itself — no switch).
+  for (std::size_t i = 1; i < path.links.size(); ++i) {
+    const auto& link = net_->graph().link(path.links[i]);
+    if (Switch* sw = switch_at(link.src)) {
+      sw->table().install(flow, link.id);
+      ++installs_;
+    }
+  }
+  installed_[flow] = path;
+}
+
+void Controller::withdraw_route(FlowId flow) {
+  auto it = installed_.find(flow);
+  if (it == installed_.end()) return;
+  for (std::size_t i = 1; i < it->second.links.size(); ++i) {
+    const auto& link = net_->graph().link(it->second.links[i]);
+    if (Switch* sw = switch_at(link.src)) {
+      if (sw->table().remove(flow)) ++withdrawals_;
+    }
+  }
+  installed_.erase(it);
+}
+
+ScheduleReply Controller::on_probe(const ProbePacket& probe, double now) {
+  return decide(probe.task, now);
+}
+
+void Controller::on_flow_probe(const SchedulingHeader& header, double now) {
+  PendingBatch& batch = pending_[header.task];
+  if (batch.probes == 0) batch.first_probe = now;
+  ++batch.probes;
+}
+
+double Controller::next_flush_time() const {
+  double earliest = std::numeric_limits<double>::infinity();
+  for (const auto& [task, batch] : pending_) {
+    earliest = std::min(earliest, batch.first_probe + config_.gather_window);
+  }
+  return earliest;
+}
+
+std::vector<ScheduleReply> Controller::flush(double now) {
+  std::vector<TaskId> due;
+  for (const auto& [task, batch] : pending_) {
+    if (batch.first_probe + config_.gather_window <= now + 1e-12) due.push_back(task);
+  }
+  std::sort(due.begin(), due.end());
+  std::vector<ScheduleReply> replies;
+  replies.reserve(due.size());
+  for (const TaskId task : due) {
+    pending_.erase(task);
+    replies.push_back(decide(task, now));
+  }
+  return replies;
+}
+
+ScheduleReply Controller::decide(TaskId task, double now) {
+  // Snapshot admitted tasks to detect preemption.
+  std::vector<TaskId> admitted_before;
+  for (const auto& t : net_->tasks()) {
+    if (t.state == TaskState::kAdmitted) admitted_before.push_back(t.id());
+  }
+
+  taps_.on_task_arrival(task, now);
+
+  ScheduleReply reply;
+  reply.task = task;
+  reply.accepted = net_->task(task).state == TaskState::kAdmitted;
+
+  for (const TaskId tid : admitted_before) {
+    if (net_->task(tid).state == TaskState::kRejected) {
+      reply.preempted.push_back(tid);
+      for (const FlowId fid : net_->task(tid).spec.flows) withdraw_route(fid);
+    }
+  }
+
+  if (reply.accepted) {
+    for (const FlowId fid : net_->task(task).spec.flows) {
+      const net::Flow& f = net_->flow(fid);
+      // Waves of this task that have not arrived yet (and flows already
+      // completed) get no grant.
+      if (f.state != FlowState::kActive || f.remaining <= sim::kByteEpsilon) continue;
+      reply.grants.push_back(make_grant(fid));
+      install_route(fid, f.path);
+    }
+    // Refresh routes/slices of all other still-admitted flows: the global
+    // re-plan may have moved them.
+    for (const auto& f : net_->flows()) {
+      if (f.task() == task || f.state != FlowState::kActive) continue;
+      if (f.remaining <= sim::kByteEpsilon) continue;
+      reply.grants.push_back(make_grant(f.id()));
+      withdraw_route(f.id());
+      install_route(f.id(), f.path);
+    }
+  }
+  return reply;
+}
+
+void Controller::on_term(const TermPacket& term) {
+  withdraw_route(term.flow);
+  taps_.on_flow_finished(term.flow, term.at);
+}
+
+}  // namespace taps::sdn

@@ -1,0 +1,80 @@
+// The TAPS SDN controller (paper Sec. IV-C): receives probe packets, runs
+// the centralized algorithm (admission + slice pre-allocation + routing),
+// installs/withdraws flow-table entries on the switches along each accepted
+// flow's path, and answers senders with slice grants.
+//
+// Re-planning on each arrival can move already-granted flows' slices or
+// paths, so every reply also carries refreshed grants ("updates") for the
+// previously admitted flows the senders must apply.
+#pragma once
+
+#include <unordered_map>
+
+#include "core/taps_scheduler.hpp"
+#include "sdn/messages.hpp"
+#include "sdn/switch.hpp"
+
+namespace taps::sdn {
+
+struct ControllerConfig {
+  core::TapsConfig taps;
+  std::size_t table_capacity = 1000;  // entries installed per switch (paper)
+  /// Algorithm 1's wait time T: after the first flow of a task is probed,
+  /// the controller buffers further probes of the same task for this long
+  /// before running one admission decision over the whole batch. 0 disables
+  /// buffering (each probe is decided immediately).
+  double gather_window = 0.0;
+};
+
+class Controller {
+ public:
+  /// Binds to the network for the run; builds one Switch per non-host node.
+  Controller(net::Network& net, const ControllerConfig& config);
+
+  /// Steps 3-5 of Fig. 4. Runs the centralized algorithm for the probed task
+  /// and returns the decision plus all grants/updates/withdrawals implied.
+  [[nodiscard]] ScheduleReply on_probe(const ProbePacket& probe, double now);
+
+  /// A sender reported flow completion: withdraw its route entries.
+  void on_term(const TermPacket& term);
+
+  /// Buffer one flow announcement (per-flow probing with a gather window).
+  /// The decision is made when the batch's window expires — poll
+  /// next_flush_time() and call flush(now) at/after it.
+  void on_flow_probe(const SchedulingHeader& header, double now);
+
+  /// Earliest instant at which a buffered batch is due (infinity if none).
+  [[nodiscard]] double next_flush_time() const;
+
+  /// Decide every batch whose gather window has expired.
+  [[nodiscard]] std::vector<ScheduleReply> flush(double now);
+
+  [[nodiscard]] Switch* switch_at(topo::NodeId node);
+  [[nodiscard]] const core::TapsScheduler& scheduler() const { return taps_; }
+
+  [[nodiscard]] std::size_t entries_installed() const { return installs_; }
+  [[nodiscard]] std::size_t entries_withdrawn() const { return withdrawals_; }
+
+ private:
+  void install_route(net::FlowId flow, const topo::Path& path);
+  void withdraw_route(net::FlowId flow);
+  [[nodiscard]] SliceGrant make_grant(net::FlowId flow) const;
+  /// Run the centralized algorithm for `task` at `now` and build the reply.
+  [[nodiscard]] ScheduleReply decide(net::TaskId task, double now);
+
+  struct PendingBatch {
+    double first_probe = 0.0;
+    std::size_t probes = 0;
+  };
+
+  net::Network* net_;
+  ControllerConfig config_;
+  core::TapsScheduler taps_;
+  std::unordered_map<topo::NodeId, Switch> switches_;
+  std::unordered_map<net::FlowId, topo::Path> installed_;
+  std::unordered_map<net::TaskId, PendingBatch> pending_;
+  std::size_t installs_ = 0;
+  std::size_t withdrawals_ = 0;
+};
+
+}  // namespace taps::sdn

@@ -1,0 +1,30 @@
+#include "sdn/flow_table.hpp"
+
+#include <algorithm>
+
+namespace taps::sdn {
+
+bool FlowTable::install(net::FlowId flow, topo::LinkId out_link) {
+  auto it = entries_.find(flow);
+  if (it != entries_.end()) {
+    it->second = out_link;
+    return true;
+  }
+  if (entries_.size() >= capacity_) {
+    ++refused_;
+    return false;
+  }
+  entries_.emplace(flow, out_link);
+  peak_ = std::max(peak_, entries_.size());
+  return true;
+}
+
+bool FlowTable::remove(net::FlowId flow) { return entries_.erase(flow) > 0; }
+
+std::optional<topo::LinkId> FlowTable::lookup(net::FlowId flow) const {
+  auto it = entries_.find(flow);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace taps::sdn

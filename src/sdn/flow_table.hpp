@@ -1,0 +1,41 @@
+// SDN switch flow table with a bounded entry count. The paper notes that
+// commodity SDN switches hold fewer than ~2000 entries and that the
+// controller therefore installs at most 1k entries per switch; installs
+// beyond capacity are refused and counted.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <unordered_map>
+
+#include "net/flow.hpp"
+#include "topo/graph.hpp"
+
+namespace taps::sdn {
+
+class FlowTable {
+ public:
+  explicit FlowTable(std::size_t capacity = 1000) : capacity_(capacity) {}
+
+  /// Install "flow -> output link". Returns false (and counts the refusal)
+  /// when the table is full; re-installing an existing flow updates it.
+  bool install(net::FlowId flow, topo::LinkId out_link);
+
+  /// Withdraw an entry; returns false if it was not present.
+  bool remove(net::FlowId flow);
+
+  [[nodiscard]] std::optional<topo::LinkId> lookup(net::FlowId flow) const;
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::size_t peak_size() const { return peak_; }
+  [[nodiscard]] std::size_t refused_installs() const { return refused_; }
+
+ private:
+  std::size_t capacity_;
+  std::unordered_map<net::FlowId, topo::LinkId> entries_;
+  std::size_t peak_ = 0;
+  std::size_t refused_ = 0;
+};
+
+}  // namespace taps::sdn

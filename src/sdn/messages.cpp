@@ -1,0 +1,4 @@
+#include "sdn/messages.hpp"
+
+// Message types are plain data; this translation unit exists so the target
+// has a home for future serialization helpers.

@@ -1,0 +1,55 @@
+// Control-plane messages exchanged between TAPS senders, the SDN controller
+// and switches (paper Fig. 4): the probe packet carrying a task's scheduling
+// headers (steps 1-2), the controller's reply with pre-allocated time slices
+// (steps 4B/5), and the TERM packet a sender emits when a flow completes.
+#pragma once
+
+#include <vector>
+
+#include "net/flow.hpp"
+#include "topo/graph.hpp"
+#include "util/interval_set.hpp"
+
+namespace taps::sdn {
+
+/// Scheduling header for one flow: Src, Dst, s (size), d (deadline) — the
+/// tuple the paper's senders encapsulate into the probe packet.
+struct SchedulingHeader {
+  net::FlowId flow = net::kInvalidFlow;
+  net::TaskId task = net::kInvalidTask;
+  topo::NodeId src = topo::kInvalidNode;
+  topo::NodeId dst = topo::kInvalidNode;
+  double size = 0.0;      // bytes
+  double deadline = 0.0;  // absolute seconds
+};
+
+/// Step 2: one probe per task (all flows of a task are announced together).
+struct ProbePacket {
+  net::TaskId task = net::kInvalidTask;
+  double sent_at = 0.0;
+  std::vector<SchedulingHeader> flows;
+};
+
+/// Step 4B: per-flow grant — the route and the pre-allocated time slices.
+struct SliceGrant {
+  net::FlowId flow = net::kInvalidFlow;
+  topo::Path path;
+  util::IntervalSet slices;
+  double rate = 0.0;  // bytes/second while inside a slice
+};
+
+/// Controller reply: acceptance with grants, or a discard notice (step 5).
+struct ScheduleReply {
+  net::TaskId task = net::kInvalidTask;
+  bool accepted = false;
+  std::vector<SliceGrant> grants;
+  std::vector<net::TaskId> preempted;  // tasks discarded to admit this one
+};
+
+/// Sender -> controller when a flow finishes (route entries are withdrawn).
+struct TermPacket {
+  net::FlowId flow = net::kInvalidFlow;
+  double at = 0.0;
+};
+
+}  // namespace taps::sdn

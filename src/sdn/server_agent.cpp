@@ -1,0 +1,104 @@
+#include "sdn/server_agent.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace taps::sdn {
+
+using net::FlowId;
+
+void ServerAgent::on_grant(const SliceGrant& grant) {
+  assert(env_.net->flow(grant.flow).spec.src == host_);
+  LocalFlow& lf = local_[grant.flow];
+  if (lf.pending != 0) {
+    env_.queue->cancel(lf.pending);
+    lf.pending = 0;
+  }
+  lf.grant = grant;
+  arm(grant.flow, env_.queue->now());
+}
+
+void ServerAgent::cancel(FlowId flow) {
+  auto it = local_.find(flow);
+  if (it == local_.end()) return;
+  if (it->second.pending != 0) env_.queue->cancel(it->second.pending);
+  local_.erase(it);
+}
+
+void ServerAgent::arm(FlowId flow, double from) {
+  auto it = local_.find(flow);
+  if (it == local_.end()) return;
+  LocalFlow& lf = it->second;
+  const net::Flow& f = env_.net->flow(flow);
+  if (f.finished() || f.remaining <= sim::kByteEpsilon) return;
+
+  // Next instant inside a granted slice at/after `from`.
+  double start = sim::kInfinity;
+  for (const util::Interval& iv : lf.grant.slices.intervals()) {
+    if (iv.hi <= from + sim::kTimeEpsilon) continue;
+    start = std::max(from, iv.lo);
+    break;
+  }
+  if (start == sim::kInfinity) return;  // no slice left (stale grant)
+  lf.pending = env_.queue->schedule(start, [this, flow](double now) { transmit(flow, now); });
+}
+
+void ServerAgent::transmit(FlowId flow, double now) {
+  auto it = local_.find(flow);
+  if (it == local_.end()) return;
+  LocalFlow& lf = it->second;
+  lf.pending = 0;
+  net::Flow& f = env_.net->flow(flow);
+  if (f.finished()) return;
+
+  // Locate the slice containing `now`.
+  const util::Interval* slice = nullptr;
+  for (const util::Interval& iv : lf.grant.slices.intervals()) {
+    if (now >= iv.lo - sim::kTimeEpsilon && now < iv.hi) {
+      slice = &iv;
+      break;
+    }
+  }
+  if (slice == nullptr) {
+    arm(flow, now);
+    return;
+  }
+
+  const double rate = lf.grant.rate;
+  double bytes = std::min({env_.quantum, f.remaining, (slice->hi - now) * rate});
+  bytes = std::max(bytes, 0.0);
+  const double t_end = now + bytes / rate;
+
+  // Data plane: the burst traverses every switch on the path. With the
+  // controller operating normally every entry exists; if a flow table was
+  // full when the route was installed (the paper's 1k-entry constraint),
+  // the burst is dropped at that switch and makes no progress — the wire
+  // time is spent either way.
+  bool delivered = true;
+  for (std::size_t i = 1; i < lf.grant.path.links.size(); ++i) {
+    const auto& link = env_.net->graph().link(lf.grant.path.links[i]);
+    if (Switch* sw = env_.controller->switch_at(link.src)) {
+      if (!sw->forward(flow).has_value()) delivered = false;
+    }
+  }
+  ++quanta_;
+
+  if (delivered) {
+    f.remaining -= bytes;
+    f.bytes_sent += bytes;
+    if (env_.recorder != nullptr && bytes > 0.0) {
+      env_.recorder->on_transmit(f, now, t_end, bytes);
+    }
+  }
+
+  if (f.remaining <= sim::kByteEpsilon) {
+    env_.net->on_flow_completed(flow, t_end);
+    ++completed_;
+    env_.controller->on_term(TermPacket{flow, t_end});
+    local_.erase(flow);
+    return;
+  }
+  arm(flow, t_end);
+}
+
+}  // namespace taps::sdn

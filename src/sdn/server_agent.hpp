@@ -1,0 +1,57 @@
+// TAPS server module (paper Sec. IV-D): keeps per-flow state (deadline,
+// expected transmission time, granted time slices), monitors the clock, and
+// puts the flow's bytes on the wire only inside its granted slices — in
+// packet-sized quanta so the emulation exercises switch forwarding — then
+// reports TERM to the controller.
+#pragma once
+
+#include <unordered_map>
+
+#include "metrics/timeseries.hpp"
+#include "sdn/controller.hpp"
+#include "sim/event_queue.hpp"
+
+namespace taps::sdn {
+
+class ServerAgent {
+ public:
+  struct Env {
+    sim::EventQueue* queue = nullptr;
+    net::Network* net = nullptr;
+    Controller* controller = nullptr;
+    metrics::SegmentRecorder* recorder = nullptr;  // optional
+    double quantum = 12500.0;                      // bytes per emulated packet burst
+  };
+
+  ServerAgent(topo::NodeId host, Env env) : host_(host), env_(env) {}
+
+  [[nodiscard]] topo::NodeId host() const { return host_; }
+
+  /// Apply a (possibly refreshed) grant for a flow originating at this host.
+  void on_grant(const SliceGrant& grant);
+
+  /// The flow's task was preempted: stop sending and drop local state.
+  void cancel(net::FlowId flow);
+
+  [[nodiscard]] std::size_t flows_completed() const { return completed_; }
+  [[nodiscard]] std::size_t quanta_sent() const { return quanta_; }
+
+ private:
+  struct LocalFlow {
+    SliceGrant grant;
+    sim::EventId pending = 0;  // scheduled transmit event (0 = none)
+  };
+
+  /// Schedule the next transmission step for `flow` at/after `from`.
+  void arm(net::FlowId flow, double from);
+  /// One transmission quantum at time `now`.
+  void transmit(net::FlowId flow, double now);
+
+  topo::NodeId host_;
+  Env env_;
+  std::unordered_map<net::FlowId, LocalFlow> local_;
+  std::size_t completed_ = 0;
+  std::size_t quanta_ = 0;
+};
+
+}  // namespace taps::sdn

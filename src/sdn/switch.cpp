@@ -1,0 +1,15 @@
+#include "sdn/switch.hpp"
+
+namespace taps::sdn {
+
+std::optional<topo::LinkId> Switch::forward(net::FlowId flow) {
+  const auto out = table_.lookup(flow);
+  if (out.has_value()) {
+    ++forwarded_;
+  } else {
+    ++dropped_;
+  }
+  return out;
+}
+
+}  // namespace taps::sdn

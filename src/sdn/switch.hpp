@@ -1,0 +1,33 @@
+// TAPS switch model: pure forwarding against controller-installed entries —
+// the paper's point is that switches need *no* modification (no rate
+// computation, unlike D3/PDQ switches).
+#pragma once
+
+#include "sdn/flow_table.hpp"
+
+namespace taps::sdn {
+
+class Switch {
+ public:
+  Switch(topo::NodeId node, std::size_t table_capacity)
+      : node_(node), table_(table_capacity) {}
+
+  [[nodiscard]] topo::NodeId node() const { return node_; }
+  [[nodiscard]] FlowTable& table() { return table_; }
+  [[nodiscard]] const FlowTable& table() const { return table_; }
+
+  /// Data-plane forwarding: look up the output link for a packet of `flow`.
+  /// Returns the link, or nullopt (a drop) when no entry is installed.
+  [[nodiscard]] std::optional<topo::LinkId> forward(net::FlowId flow);
+
+  [[nodiscard]] std::size_t packets_forwarded() const { return forwarded_; }
+  [[nodiscard]] std::size_t packets_dropped() const { return dropped_; }
+
+ private:
+  topo::NodeId node_;
+  FlowTable table_;
+  std::size_t forwarded_ = 0;
+  std::size_t dropped_ = 0;
+};
+
+}  // namespace taps::sdn

@@ -1,0 +1,129 @@
+#include "sdn/testbed.hpp"
+
+#include <algorithm>
+
+#include "sched/fair_sharing.hpp"
+#include "sdn/server_agent.hpp"
+#include "topo/partial_fattree.hpp"
+#include "workload/task_generator.hpp"
+
+namespace taps::sdn {
+
+workload::Scenario testbed_scenario(const TestbedConfig& config) {
+  workload::Scenario s = workload::Scenario::testbed();
+  s.seed = config.seed;
+  s.workload.task_count = config.flow_count;
+  s.workload.mean_flow_size = config.mean_flow_size;
+  s.workload.flow_size_stddev = config.mean_flow_size / 4.0;
+  s.workload.mean_deadline = config.mean_deadline;
+  return s;
+}
+
+namespace {
+
+/// The TAPS half: full SDN message-path emulation over an event queue.
+void run_taps_side(const TestbedConfig& config, const workload::Scenario& scenario,
+                   TestbedResult& out) {
+  topo::PartialFatTree topology;
+  net::Network network(topology);
+  util::Rng rng(scenario.seed);
+  util::Rng workload_rng = rng.fork("workload");
+  (void)workload::generate(network, scenario.workload, workload_rng);
+
+  ControllerConfig cc;
+  cc.table_capacity = config.table_capacity;
+  cc.taps.max_paths = scenario.max_paths;
+  Controller controller(network, cc);
+
+  metrics::SegmentRecorder recorder;
+  sim::EventQueue queue;
+
+  // One agent per host.
+  std::unordered_map<topo::NodeId, ServerAgent> agents;
+  ServerAgent::Env env;
+  env.queue = &queue;
+  env.net = &network;
+  env.controller = &controller;
+  env.recorder = &recorder;
+  env.quantum = config.quantum;
+  for (const topo::NodeId host : topology.hosts()) {
+    agents.emplace(host, ServerAgent(host, env));
+  }
+
+  auto deliver = [&](const ScheduleReply& reply) {
+    for (const net::TaskId victim : reply.preempted) {
+      for (const net::FlowId fid : network.task(victim).spec.flows) {
+        agents.at(network.flow(fid).spec.src).cancel(fid);
+      }
+    }
+    for (const SliceGrant& g : reply.grants) {
+      ++out.grants;
+      agents.at(network.flow(g.flow).spec.src).on_grant(g);
+    }
+  };
+
+  // Schedule one probe per task; the controller's decision lands one
+  // control-plane latency after the probe is sent.
+  for (const auto& task : network.tasks()) {
+    queue.schedule(task.spec.arrival + config.control_latency, [&, tid = task.id()](double now) {
+      ProbePacket probe;
+      probe.task = tid;
+      probe.sent_at = now - config.control_latency;
+      for (const net::FlowId fid : network.task(tid).spec.flows) {
+        const auto& f = network.flow(fid);
+        probe.flows.push_back(SchedulingHeader{fid, tid, f.spec.src, f.spec.dst, f.spec.size,
+                                               f.spec.deadline});
+      }
+      ++out.probes;
+      deliver(controller.on_probe(probe, now));
+    });
+  }
+
+  while (!queue.empty()) queue.run_next();
+
+  // Anything still unfinished at the end of the run missed its deadline.
+  for (auto& f : network.flows()) {
+    if (!f.finished()) network.on_flow_missed(f.id());
+  }
+
+  out.taps_bins = recorder.bins(network, config.bin_width);
+  out.taps_metrics = metrics::collect(network);
+  out.entries_installed = controller.entries_installed();
+  out.entries_withdrawn = controller.entries_withdrawn();
+  for (const topo::NodeId host : topology.hosts()) {
+    out.quanta_sent += agents.at(host).quanta_sent();
+  }
+  for (const auto& node : topology.graph().nodes()) {
+    if (const Switch* sw = controller.switch_at(node.id)) {
+      out.switch_drops += sw->packets_dropped();
+    }
+  }
+}
+
+}  // namespace
+
+TestbedResult run_testbed(const TestbedConfig& config) {
+  TestbedResult out;
+  const workload::Scenario scenario = testbed_scenario(config);
+
+  run_taps_side(config, scenario, out);
+
+  // Fair Sharing half: same workload (same seed) through the fluid simulator.
+  topo::PartialFatTree topology;
+  net::Network network(topology);
+  util::Rng rng(scenario.seed);
+  util::Rng workload_rng = rng.fork("workload");
+  (void)workload::generate(network, scenario.workload, workload_rng);
+
+  sched::FairSharing fair;
+  sim::FluidSimulator simulator(network, fair);
+  metrics::SegmentRecorder fair_recorder;
+  simulator.set_observer(&fair_recorder);
+  (void)simulator.run();
+
+  out.fair_bins = fair_recorder.bins(network, config.bin_width);
+  out.fair_metrics = metrics::collect(network);
+  return out;
+}
+
+}  // namespace taps::sdn

@@ -1,0 +1,59 @@
+#include "sim/event_queue.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace taps::sim {
+
+EventId EventQueue::schedule(double at, Callback cb) {
+  if (at < now_) throw std::invalid_argument("EventQueue::schedule in the past");
+  const EventId id = next_id_++;
+  heap_.push(Entry{at, next_seq_++, id});
+  callbacks_.emplace(id, std::move(cb));
+  ++live_count_;
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+  const auto erased = callbacks_.erase(id);
+  if (erased > 0) {
+    --live_count_;
+    return true;
+  }
+  return false;
+}
+
+void EventQueue::drop_stale() const {
+  while (!heap_.empty() && callbacks_.find(heap_.top().id) == callbacks_.end()) {
+    // const_cast-free: heap_ is mutable for exactly this lazily-cleaning read.
+    heap_.pop();
+  }
+}
+
+double EventQueue::peek_time() const {
+  drop_stale();
+  assert(!heap_.empty());
+  return heap_.top().time;
+}
+
+void EventQueue::run_next() {
+  drop_stale();
+  assert(!heap_.empty());
+  const Entry e = heap_.top();
+  heap_.pop();
+  auto it = callbacks_.find(e.id);
+  assert(it != callbacks_.end());
+  Callback cb = std::move(it->second);
+  callbacks_.erase(it);
+  --live_count_;
+  now_ = e.time;
+  cb(now_);
+}
+
+void EventQueue::run_until(double until) {
+  while (!empty() && peek_time() <= until) run_next();
+  now_ = std::max(now_, until);
+}
+
+}  // namespace taps::sim

@@ -1,0 +1,61 @@
+// Generic discrete-event queue: time-ordered callbacks with stable FIFO
+// tie-breaking and O(log n) cancellation. Used by the SDN testbed emulator;
+// the fluid simulator computes its next-event times directly.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+namespace taps::sim {
+
+using EventId = std::uint64_t;
+
+class EventQueue {
+ public:
+  using Callback = std::function<void(double now)>;
+
+  /// Schedule `cb` at absolute time `at` (must be >= now()).
+  EventId schedule(double at, Callback cb);
+
+  /// Cancel a pending event; returns false if it already ran or was cancelled.
+  bool cancel(EventId id);
+
+  [[nodiscard]] bool empty() const { return live_count_ == 0; }
+  [[nodiscard]] std::size_t size() const { return live_count_; }
+  [[nodiscard]] double now() const { return now_; }
+
+  /// Time of the next pending event (requires !empty()).
+  [[nodiscard]] double peek_time() const;
+
+  /// Pop and run the next event; advances now(). Requires !empty().
+  void run_next();
+
+  /// Run events until the queue drains or now() would exceed `until`.
+  void run_until(double until);
+
+ private:
+  struct Entry {
+    double time;
+    std::uint64_t seq;
+    EventId id;
+    bool operator>(const Entry& o) const {
+      if (time != o.time) return time > o.time;
+      return seq > o.seq;
+    }
+  };
+
+  /// Pop heap entries whose id is no longer in callbacks_ (cancelled).
+  void drop_stale() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::unordered_map<EventId, Callback> callbacks_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t next_seq_ = 0;
+  std::size_t live_count_ = 0;
+  double now_ = 0.0;
+};
+
+}  // namespace taps::sim

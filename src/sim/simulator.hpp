@@ -1,0 +1,96 @@
+// Fluid-flow discrete-event simulator.
+//
+// The paper evaluates every protocol with a *flow-level* simulator: between
+// events, each flow transmits at a scheduler-assigned rate; events are task
+// arrivals, flow completions, flow deadlines, and scheduler-internal rate
+// changes (TAPS time-slice boundaries). This engine drives any Scheduler
+// over a Network and keeps byte accounting exact.
+#pragma once
+
+#include <limits>
+#include <string>
+
+#include "net/network.hpp"
+
+namespace taps::sim {
+
+inline constexpr double kInfinity = std::numeric_limits<double>::infinity();
+/// Sub-byte tolerance when deciding that a flow has finished.
+inline constexpr double kByteEpsilon = 1e-6;
+/// Tolerance when comparing simulation times.
+inline constexpr double kTimeEpsilon = 1e-9;
+
+/// Scheduling policy driven by the simulator. Implementations mutate flow
+/// state in the Network: admit/reject tasks, assign paths, set rates.
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Bind to the network for one run. Called once before the first event.
+  virtual void bind(net::Network& net) { net_ = &net; }
+
+  /// A task (and all of its flows) arrived at `now`. The scheduler must
+  /// leave each of the task's flows either kActive (admitted) or kRejected.
+  /// It may also preempt previously admitted tasks (mark them rejected).
+  virtual void on_task_arrival(net::TaskId id, double now) = 0;
+
+  /// A flow left the active set (completed or missed its deadline) at `now`.
+  /// The flow's final state is already recorded in the Network.
+  virtual void on_flow_finished(net::FlowId id, double now) = 0;
+
+  /// Recompute rates of all active flows at `now` (writes Flow::rate).
+  /// May proactively terminate doomed flows (PDQ Early Termination) via
+  /// Network::on_flow_missed. Returns the earliest future time at which
+  /// rates will change even without an arrival/completion/deadline
+  /// (kInfinity if none) — TAPS returns its next time-slice boundary.
+  virtual double assign_rates(double now) = 0;
+
+ protected:
+  net::Network* net_ = nullptr;
+};
+
+/// Observes actual transmission segments (used for throughput-vs-time
+/// series, e.g. the testbed experiment).
+class TransmitObserver {
+ public:
+  virtual ~TransmitObserver() = default;
+  /// Flow `f` transmitted `bytes` uniformly over [t0, t1).
+  virtual void on_transmit(const net::Flow& f, double t0, double t1, double bytes) = 0;
+};
+
+struct SimStats {
+  double end_time = 0.0;        // time of the last event processed
+  std::size_t events = 0;       // event-loop iterations
+  std::size_t completions = 0;  // flows completed
+  std::size_t misses = 0;       // flows that missed their deadline
+};
+
+class FluidSimulator {
+ public:
+  FluidSimulator(net::Network& net, Scheduler& scheduler)
+      : net_(&net), scheduler_(&scheduler) {}
+
+  void set_observer(TransmitObserver* observer) { observer_ = observer; }
+
+  /// Run to quiescence: all tasks arrived and no active flow remains.
+  SimStats run();
+
+  [[nodiscard]] double now() const { return now_; }
+
+ private:
+  /// Advance all active flows from now_ to `t` at their current rates.
+  void advance_to(double t);
+  /// Mark finished flows (completed / missed) and notify the scheduler.
+  void settle(double now);
+
+  net::Network* net_;
+  Scheduler* scheduler_;
+  TransmitObserver* observer_ = nullptr;
+  std::vector<net::FlowId> active_;
+  double now_ = 0.0;
+  SimStats stats_;
+};
+
+}  // namespace taps::sim

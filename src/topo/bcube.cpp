@@ -1,0 +1,103 @@
+#include "topo/bcube.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace taps::topo {
+
+BCube::BCube(const BCubeConfig& config) : n_(config.n), k_(config.k) {
+  if (n_ < 2 || k_ < 0 || k_ > 3) {
+    throw std::invalid_argument("BCube: need n >= 2 and 0 <= k <= 3");
+  }
+  pow_.resize(static_cast<std::size_t>(k_) + 2);
+  pow_[0] = 1;
+  for (std::size_t i = 1; i < pow_.size(); ++i) pow_[i] = pow_[i - 1] * n_;
+  const int servers = pow_[static_cast<std::size_t>(k_) + 1];
+  const int switches_per_level = pow_[static_cast<std::size_t>(k_)];
+
+  hosts_.reserve(static_cast<std::size_t>(servers));
+  for (int s = 0; s < servers; ++s) {
+    hosts_.push_back(graph_.add_node(NodeKind::kHost, "srv" + std::to_string(s)));
+  }
+  switches_.resize(static_cast<std::size_t>(k_) + 1);
+  for (int l = 0; l <= k_; ++l) {
+    auto& level = switches_[static_cast<std::size_t>(l)];
+    level.reserve(static_cast<std::size_t>(switches_per_level));
+    for (int i = 0; i < switches_per_level; ++i) {
+      level.push_back(graph_.add_node(
+          NodeKind::kTor, "sw" + std::to_string(l) + "." + std::to_string(i)));
+    }
+    for (int s = 0; s < servers; ++s) {
+      graph_.add_duplex_link(hosts_[static_cast<std::size_t>(s)],
+                             level[static_cast<std::size_t>(switch_index(s, l))],
+                             config.link_capacity);
+    }
+  }
+}
+
+int BCube::digit(int s, int level) const {
+  return (s / pow_[static_cast<std::size_t>(level)]) % n_;
+}
+
+int BCube::with_digit(int s, int level, int v) const {
+  const int p = pow_[static_cast<std::size_t>(level)];
+  return s + (v - digit(s, level)) * p;
+}
+
+int BCube::switch_index(int s, int level) const {
+  // Remove digit a_level: low digits stay, high digits shift down.
+  const int p = pow_[static_cast<std::size_t>(level)];
+  return (s % p) + (s / (p * n_)) * p;
+}
+
+void BCube::hop_via(Path& path, int from_server, int to_server, int level) const {
+  assert(switch_index(from_server, level) == switch_index(to_server, level));
+  const NodeId sw = switches_[static_cast<std::size_t>(level)]
+                             [static_cast<std::size_t>(switch_index(from_server, level))];
+  path.links.push_back(
+      graph_.link_between(hosts_[static_cast<std::size_t>(from_server)], sw));
+  path.links.push_back(
+      graph_.link_between(sw, hosts_[static_cast<std::size_t>(to_server)]));
+}
+
+std::vector<Path> BCube::paths(NodeId src, NodeId dst, std::size_t max_paths) const {
+  assert(src != dst);
+  if (max_paths == 0) return {};
+  // Recover server indices (hosts_ is sorted by construction order = index).
+  const auto src_it = std::lower_bound(hosts_.begin(), hosts_.end(), src);
+  const auto dst_it = std::lower_bound(hosts_.begin(), hosts_.end(), dst);
+  assert(src_it != hosts_.end() && *src_it == src);
+  assert(dst_it != hosts_.end() && *dst_it == dst);
+  const int a = static_cast<int>(src_it - hosts_.begin());
+  const int b = static_cast<int>(dst_it - hosts_.begin());
+
+  // Digits where the two addresses differ; each correction is one two-hop
+  // relay through the switch of that level.
+  std::vector<int> levels;
+  for (int l = 0; l <= k_; ++l) {
+    if (digit(a, l) != digit(b, l)) levels.push_back(l);
+  }
+  assert(!levels.empty());
+
+  // One path per rotation of the correction order (the classic BCube
+  // construction: starting the corrections at each differing level yields
+  // parallel paths; relays are distinct intermediate servers).
+  std::vector<Path> out;
+  for (std::size_t start = 0; start < levels.size() && out.size() < max_paths; ++start) {
+    Path path;
+    int at = a;
+    for (std::size_t i = 0; i < levels.size(); ++i) {
+      const int level = levels[(start + i) % levels.size()];
+      const int next = with_digit(at, level, digit(b, level));
+      hop_via(path, at, next, level);
+      at = next;
+    }
+    assert(at == b);
+    assert(is_valid_path(graph_, path, src, dst));
+    out.push_back(std::move(path));
+  }
+  return out;
+}
+
+}  // namespace taps::topo

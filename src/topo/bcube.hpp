@@ -1,0 +1,58 @@
+// BCube(n, k) server-centric topology (Guo et al., SIGCOMM'09) — one of the
+// rich-connected architectures the paper names when claiming TAPS applies to
+// general data-center topologies (Sec. III-B).
+//
+// BCube(n, k) has n^(k+1) servers and (k+1) levels of switches with n^k
+// switches per level, each with n ports. Server s (written in base n as
+// digits a_k..a_0) connects to switch <level l, index = digits of s without
+// a_l> for every level l. Any two distinct servers have k+1 parallel paths
+// (one "correcting" digit order per level) — here enumerated via the
+// level-permutation construction for the digits that differ.
+//
+// BCube is server-centric: intermediate hops relay through *servers*. The
+// path model already allows host nodes mid-path, so TAPS's slice allocation
+// and the baselines run unchanged.
+#pragma once
+
+#include "topo/paths.hpp"
+
+namespace taps::topo {
+
+struct BCubeConfig {
+  int n = 4;  // switch port count (servers per BCube(n,0))
+  int k = 1;  // levels - 1; servers = n^(k+1)
+  double link_capacity = kGigabitPerSecond;
+};
+
+class BCube final : public Topology {
+ public:
+  explicit BCube(const BCubeConfig& config);
+
+  [[nodiscard]] std::vector<Path> paths(NodeId src, NodeId dst,
+                                        std::size_t max_paths) const override;
+  [[nodiscard]] std::string name() const override { return "bcube"; }
+
+  [[nodiscard]] int n() const { return n_; }
+  [[nodiscard]] int k() const { return k_; }
+  [[nodiscard]] NodeId server(int index) const { return hosts_[static_cast<std::size_t>(index)]; }
+  [[nodiscard]] NodeId switch_at(int level, int index) const {
+    return switches_[static_cast<std::size_t>(level)][static_cast<std::size_t>(index)];
+  }
+
+ private:
+  /// Digit a_l of server index s in base n.
+  [[nodiscard]] int digit(int s, int level) const;
+  /// Server index with digit a_l replaced by v.
+  [[nodiscard]] int with_digit(int s, int level, int v) const;
+  /// Switch index serving server s at level l (s's digits without a_l).
+  [[nodiscard]] int switch_index(int s, int level) const;
+  /// Append the two-hop traversal src -> level-l switch -> dst to `path`.
+  void hop_via(Path& path, int from_server, int to_server, int level) const;
+
+  int n_;
+  int k_;
+  std::vector<std::vector<NodeId>> switches_;  // [level][index]
+  std::vector<int> pow_;                       // n^i
+};
+
+}  // namespace taps::topo

@@ -1,0 +1,57 @@
+// k-ary fat-tree topology (Al-Fares et al.), the paper's multi-rooted setup:
+// a 32-pod fat-tree with 8192 hosts and 1 Gbps links.
+//
+// Layout for even k:
+//   - k pods, each with k/2 edge (ToR) switches and k/2 aggregation switches;
+//   - each edge switch serves k/2 hosts;
+//   - (k/2)^2 core switches; aggregation switch j of every pod connects to
+//     cores [j*k/2, (j+1)*k/2).
+//
+// Equal-cost path structure between hosts:
+//   - same edge switch: 1 path (2 hops);
+//   - same pod, different edge: k/2 paths (one per aggregation switch);
+//   - different pods: (k/2)^2 paths (one per core switch).
+// Paths are constructed analytically (no graph search).
+#pragma once
+
+#include "topo/paths.hpp"
+
+namespace taps::topo {
+
+struct FatTreeConfig {
+  int k = 8;  // must be even, >= 2
+  double link_capacity = kGigabitPerSecond;
+
+  /// Paper-scale preset: 32-pod fat-tree, 8192 hosts.
+  [[nodiscard]] static FatTreeConfig paper() { return FatTreeConfig{32, kGigabitPerSecond}; }
+  /// Scaled-down preset for quick runs: k=8, 128 hosts.
+  [[nodiscard]] static FatTreeConfig scaled() { return FatTreeConfig{8, kGigabitPerSecond}; }
+};
+
+class FatTree final : public Topology {
+ public:
+  explicit FatTree(const FatTreeConfig& config);
+
+  [[nodiscard]] std::vector<Path> paths(NodeId src, NodeId dst,
+                                        std::size_t max_paths) const override;
+  [[nodiscard]] std::string name() const override { return "fat-tree"; }
+
+  [[nodiscard]] int k() const { return k_; }
+  [[nodiscard]] int pod_of_host(NodeId host) const;
+  [[nodiscard]] NodeId edge_of_host(NodeId host) const;
+
+  // Node id accessors for tests.
+  [[nodiscard]] NodeId host(int pod, int edge, int index) const;
+  [[nodiscard]] NodeId edge_switch(int pod, int index) const;
+  [[nodiscard]] NodeId agg_switch(int pod, int index) const;
+  [[nodiscard]] NodeId core_switch(int index) const;
+
+ private:
+  int k_;
+  int half_;  // k/2
+  std::vector<NodeId> edges_;   // pod * half_ + e
+  std::vector<NodeId> aggs_;    // pod * half_ + a
+  std::vector<NodeId> cores_;   // a * half_ + c
+};
+
+}  // namespace taps::topo

@@ -1,0 +1,63 @@
+#include "topo/graph.hpp"
+
+#include <cassert>
+
+namespace taps::topo {
+
+const char* to_string(NodeKind kind) {
+  switch (kind) {
+    case NodeKind::kHost:
+      return "host";
+    case NodeKind::kTor:
+      return "tor";
+    case NodeKind::kAggregation:
+      return "agg";
+    case NodeKind::kCore:
+      return "core";
+  }
+  return "?";
+}
+
+NodeId Graph::add_node(NodeKind kind, std::string name) {
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(Node{id, kind, std::move(name)});
+  out_.emplace_back();
+  return id;
+}
+
+LinkId Graph::add_link(NodeId src, NodeId dst, double capacity) {
+  assert(src >= 0 && static_cast<std::size_t>(src) < nodes_.size());
+  assert(dst >= 0 && static_cast<std::size_t>(dst) < nodes_.size());
+  assert(src != dst);
+  assert(capacity > 0.0);
+  const LinkId id = static_cast<LinkId>(links_.size());
+  links_.push_back(Link{id, src, dst, capacity});
+  out_[static_cast<std::size_t>(src)].push_back(id);
+  by_pair_.emplace(pair_key(src, dst), id);
+  return id;
+}
+
+LinkId Graph::add_duplex_link(NodeId a, NodeId b, double capacity) {
+  const LinkId forward = add_link(a, b, capacity);
+  add_link(b, a, capacity);
+  return forward;
+}
+
+LinkId Graph::link_between(NodeId src, NodeId dst) const {
+  auto it = by_pair_.find(pair_key(src, dst));
+  return it == by_pair_.end() ? kInvalidLink : it->second;
+}
+
+bool is_valid_path(const Graph& g, const Path& path, NodeId src, NodeId dst) {
+  if (path.empty()) return false;
+  NodeId at = src;
+  for (LinkId lid : path.links) {
+    if (lid < 0 || static_cast<std::size_t>(lid) >= g.link_count()) return false;
+    const Link& l = g.link(lid);
+    if (l.src != at) return false;
+    at = l.dst;
+  }
+  return at == dst;
+}
+
+}  // namespace taps::topo

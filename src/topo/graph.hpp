@@ -1,0 +1,92 @@
+// Capacitated directed multigraph underlying every topology.
+//
+// Units convention across the library: flow sizes in *bytes*, link capacity
+// in *bytes per second*, time in *seconds*.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace taps::topo {
+
+using NodeId = std::int32_t;
+using LinkId = std::int32_t;
+
+inline constexpr NodeId kInvalidNode = -1;
+inline constexpr LinkId kInvalidLink = -1;
+
+/// 1 Gbps expressed in bytes/second (the paper's uniform link speed).
+inline constexpr double kGigabitPerSecond = 1e9 / 8.0;
+
+enum class NodeKind : std::uint8_t { kHost, kTor, kAggregation, kCore };
+
+[[nodiscard]] const char* to_string(NodeKind kind);
+
+struct Node {
+  NodeId id = kInvalidNode;
+  NodeKind kind = NodeKind::kHost;
+  std::string name;
+};
+
+struct Link {
+  LinkId id = kInvalidLink;
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  double capacity = kGigabitPerSecond;  // bytes/second
+};
+
+class Graph {
+ public:
+  NodeId add_node(NodeKind kind, std::string name);
+
+  /// Add a directed link src -> dst.
+  LinkId add_link(NodeId src, NodeId dst, double capacity);
+
+  /// Add both directions with equal capacity; returns the src -> dst id.
+  LinkId add_duplex_link(NodeId a, NodeId b, double capacity);
+
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] std::size_t link_count() const { return links_.size(); }
+
+  [[nodiscard]] const Node& node(NodeId id) const { return nodes_[static_cast<std::size_t>(id)]; }
+  [[nodiscard]] const Link& link(LinkId id) const { return links_[static_cast<std::size_t>(id)]; }
+  [[nodiscard]] const std::vector<Node>& nodes() const { return nodes_; }
+  [[nodiscard]] const std::vector<Link>& links() const { return links_; }
+
+  /// Outgoing link ids from `node`.
+  [[nodiscard]] const std::vector<LinkId>& out_links(NodeId node) const {
+    return out_[static_cast<std::size_t>(node)];
+  }
+
+  /// Directed link id from src to dst, or kInvalidLink.
+  [[nodiscard]] LinkId link_between(NodeId src, NodeId dst) const;
+
+ private:
+  static std::uint64_t pair_key(NodeId a, NodeId b) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(a)) << 32) |
+           static_cast<std::uint32_t>(b);
+  }
+
+  std::vector<Node> nodes_;
+  std::vector<Link> links_;
+  std::vector<std::vector<LinkId>> out_;
+  std::unordered_map<std::uint64_t, LinkId> by_pair_;
+};
+
+/// A routing path: the ordered directed links from a source host to a
+/// destination host.
+struct Path {
+  std::vector<LinkId> links;
+
+  [[nodiscard]] bool empty() const { return links.empty(); }
+  [[nodiscard]] std::size_t hops() const { return links.size(); }
+
+  friend bool operator==(const Path&, const Path&) = default;
+};
+
+/// Validate that `path` is a connected chain from src to dst in `g`.
+[[nodiscard]] bool is_valid_path(const Graph& g, const Path& path, NodeId src, NodeId dst);
+
+}  // namespace taps::topo

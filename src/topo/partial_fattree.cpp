@@ -1,0 +1,37 @@
+#include "topo/partial_fattree.hpp"
+
+namespace taps::topo {
+
+PartialFatTree::PartialFatTree(double link_capacity) {
+  const double cap = link_capacity;
+  NodeId cores[2];
+  for (int c = 0; c < 2; ++c) {
+    cores[c] = graph_.add_node(NodeKind::kCore, "core" + std::to_string(c));
+  }
+  for (int p = 0; p < 2; ++p) {
+    NodeId aggs[2];
+    for (int a = 0; a < 2; ++a) {
+      aggs[a] = graph_.add_node(NodeKind::kAggregation,
+                                "agg" + std::to_string(p) + "." + std::to_string(a));
+      graph_.add_duplex_link(aggs[a], cores[a], cap);
+    }
+    for (int e = 0; e < 2; ++e) {
+      const NodeId edge = graph_.add_node(
+          NodeKind::kTor, "edge" + std::to_string(p) + "." + std::to_string(e));
+      for (int a = 0; a < 2; ++a) graph_.add_duplex_link(edge, aggs[a], cap);
+      for (int h = 0; h < 2; ++h) {
+        const NodeId host = graph_.add_node(
+            NodeKind::kHost, "h" + std::to_string(p) + "." + std::to_string(e) + "." +
+                                 std::to_string(h));
+        graph_.add_duplex_link(host, edge, cap);
+        hosts_.push_back(host);
+      }
+    }
+  }
+}
+
+std::vector<Path> PartialFatTree::paths(NodeId src, NodeId dst, std::size_t max_paths) const {
+  return all_shortest_paths(graph_, src, dst, max_paths);
+}
+
+}  // namespace taps::topo

@@ -1,0 +1,22 @@
+// The paper's testbed topology (Fig. 13): a partial fat-tree with 8 hosts in
+// 4 racks across 2 pods. Each pod has 2 edge switches (2 hosts each) and
+// 2 aggregation switches; 2 core switches join the pods (aggregation switch
+// j of each pod connects to core j). All links 1 Gbps.
+//
+// Small enough that candidate paths are enumerated by graph search.
+#pragma once
+
+#include "topo/paths.hpp"
+
+namespace taps::topo {
+
+class PartialFatTree final : public Topology {
+ public:
+  explicit PartialFatTree(double link_capacity = kGigabitPerSecond);
+
+  [[nodiscard]] std::vector<Path> paths(NodeId src, NodeId dst,
+                                        std::size_t max_paths) const override;
+  [[nodiscard]] std::string name() const override { return "partial-fat-tree-testbed"; }
+};
+
+}  // namespace taps::topo

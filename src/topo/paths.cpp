@@ -1,0 +1,78 @@
+#include "topo/paths.hpp"
+
+#include <cassert>
+#include <deque>
+#include <limits>
+#include <stdexcept>
+
+namespace taps::topo {
+
+std::vector<Path> all_shortest_paths(const Graph& g, NodeId src, NodeId dst,
+                                     std::size_t max_paths) {
+  assert(src != dst);
+  if (max_paths == 0) return {};
+
+  constexpr int kUnreached = std::numeric_limits<int>::max();
+  // BFS from dst over reversed edges gives dist-to-dst for every node.
+  std::vector<int> dist(g.node_count(), kUnreached);
+  {
+    // Build reverse adjacency on the fly: for BFS from dst we need in-links,
+    // so scan all links once into a reverse adjacency list.
+    std::vector<std::vector<NodeId>> rev(g.node_count());
+    for (const Link& l : g.links()) rev[static_cast<std::size_t>(l.dst)].push_back(l.src);
+    std::deque<NodeId> queue;
+    dist[static_cast<std::size_t>(dst)] = 0;
+    queue.push_back(dst);
+    while (!queue.empty()) {
+      const NodeId u = queue.front();
+      queue.pop_front();
+      for (NodeId v : rev[static_cast<std::size_t>(u)]) {
+        if (dist[static_cast<std::size_t>(v)] == kUnreached) {
+          dist[static_cast<std::size_t>(v)] = dist[static_cast<std::size_t>(u)] + 1;
+          queue.push_back(v);
+        }
+      }
+    }
+  }
+  if (dist[static_cast<std::size_t>(src)] == kUnreached) return {};
+
+  // DFS over the distance-decreasing DAG, collecting up to max_paths paths.
+  // Recursion depth is the shortest-path length (<= network diameter).
+  std::vector<Path> out;
+  Path current;
+  auto dfs = [&](auto&& self, NodeId node) -> void {
+    if (out.size() >= max_paths) return;
+    if (node == dst) {
+      out.push_back(current);
+      return;
+    }
+    for (const LinkId lid : g.out_links(node)) {
+      if (out.size() >= max_paths) return;
+      const Link& l = g.link(lid);
+      if (dist[static_cast<std::size_t>(l.dst)] == dist[static_cast<std::size_t>(node)] - 1) {
+        current.links.push_back(lid);
+        self(self, l.dst);
+        current.links.pop_back();
+      }
+    }
+  };
+  dfs(dfs, src);
+  return out;
+}
+
+const Path& pick_ecmp(const std::vector<Path>& candidates, std::uint64_t hash) {
+  if (candidates.empty()) throw std::logic_error("pick_ecmp on empty candidate list");
+  return candidates[hash % candidates.size()];
+}
+
+GenericTopology::GenericTopology(Graph graph, std::vector<NodeId> hosts, std::string name)
+    : name_(std::move(name)) {
+  graph_ = std::move(graph);
+  hosts_ = std::move(hosts);
+}
+
+std::vector<Path> GenericTopology::paths(NodeId src, NodeId dst, std::size_t max_paths) const {
+  return all_shortest_paths(graph_, src, dst, max_paths);
+}
+
+}  // namespace taps::topo

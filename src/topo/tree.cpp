@@ -1,0 +1,81 @@
+#include "topo/tree.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace taps::topo {
+
+SingleRootedConfig SingleRootedConfig::paper() { return SingleRootedConfig{40, 30, 30, kGigabitPerSecond}; }
+
+SingleRootedConfig SingleRootedConfig::scaled() { return SingleRootedConfig{8, 5, 6, kGigabitPerSecond}; }
+
+SingleRootedTree::SingleRootedTree(const SingleRootedConfig& config) : config_(config) {
+  if (config.hosts_per_rack <= 0 || config.racks_per_pod <= 0 || config.pods <= 0) {
+    throw std::invalid_argument("SingleRootedTree: all dimensions must be positive");
+  }
+  const std::size_t total_nodes =
+      1 + static_cast<std::size_t>(config.pods) * (1 + static_cast<std::size_t>(config.racks_per_pod) *
+                                                           (1 + static_cast<std::size_t>(config.hosts_per_rack)));
+  parent_.assign(total_nodes, kInvalidNode);
+  depth_.assign(total_nodes, 0);
+
+  root_ = graph_.add_node(NodeKind::kCore, "core");
+  depth_[static_cast<std::size_t>(root_)] = 0;
+
+  for (int p = 0; p < config.pods; ++p) {
+    const NodeId agg = graph_.add_node(NodeKind::kAggregation, "agg" + std::to_string(p));
+    graph_.add_duplex_link(agg, root_, config.link_capacity);
+    parent_[static_cast<std::size_t>(agg)] = root_;
+    depth_[static_cast<std::size_t>(agg)] = 1;
+    for (int r = 0; r < config.racks_per_pod; ++r) {
+      const NodeId tor = graph_.add_node(
+          NodeKind::kTor, "tor" + std::to_string(p) + "." + std::to_string(r));
+      graph_.add_duplex_link(tor, agg, config.link_capacity);
+      parent_[static_cast<std::size_t>(tor)] = agg;
+      depth_[static_cast<std::size_t>(tor)] = 2;
+      for (int h = 0; h < config.hosts_per_rack; ++h) {
+        const NodeId host = graph_.add_node(
+            NodeKind::kHost, "h" + std::to_string(p) + "." + std::to_string(r) + "." +
+                                 std::to_string(h));
+        graph_.add_duplex_link(host, tor, config.link_capacity);
+        parent_[static_cast<std::size_t>(host)] = tor;
+        depth_[static_cast<std::size_t>(host)] = 3;
+        hosts_.push_back(host);
+      }
+    }
+  }
+  assert(graph_.node_count() == total_nodes);
+}
+
+std::vector<Path> SingleRootedTree::paths(NodeId src, NodeId dst, std::size_t max_paths) const {
+  assert(src != dst);
+  if (max_paths == 0) return {};
+  // Climb both endpoints to their lowest common ancestor; the unique path is
+  // src..lca (upward) followed by lca..dst (downward).
+  std::vector<NodeId> ua{src};  // src, parent(src), ..., lca
+  std::vector<NodeId> ub{dst};  // dst, parent(dst), ..., lca
+  NodeId a = src;
+  NodeId b = dst;
+  while (a != b) {
+    if (depth_[static_cast<std::size_t>(a)] >= depth_[static_cast<std::size_t>(b)]) {
+      a = parent_[static_cast<std::size_t>(a)];
+      ua.push_back(a);
+    } else {
+      b = parent_[static_cast<std::size_t>(b)];
+      ub.push_back(b);
+    }
+  }
+
+  Path path;
+  path.links.reserve(ua.size() + ub.size() - 2);
+  for (std::size_t i = 0; i + 1 < ua.size(); ++i) {
+    path.links.push_back(graph_.link_between(ua[i], ua[i + 1]));
+  }
+  for (std::size_t i = ub.size() - 1; i-- > 0;) {
+    path.links.push_back(graph_.link_between(ub[i + 1], ub[i]));
+  }
+  assert(is_valid_path(graph_, path, src, dst));
+  return {std::move(path)};
+}
+
+}  // namespace taps::topo

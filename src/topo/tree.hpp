@@ -1,0 +1,45 @@
+// Single-rooted tree topology (paper Fig. 5).
+//
+// hosts -- ToR -- aggregation -- core (single root). The paper's full scale
+// is 40 hosts/rack x 30 racks/pod x 30 pods = 36 000 hosts, all 1 Gbps links.
+// Every host pair has exactly one path (up to the lowest common ancestor and
+// back down), constructed analytically from parent pointers.
+#pragma once
+
+#include "topo/paths.hpp"
+
+namespace taps::topo {
+
+struct SingleRootedConfig {
+  int hosts_per_rack = 40;
+  int racks_per_pod = 30;
+  int pods = 30;
+  double link_capacity = kGigabitPerSecond;
+
+  /// Paper-scale preset (36 000 hosts).
+  [[nodiscard]] static SingleRootedConfig paper();
+  /// Scaled-down preset for quick runs (240 hosts).
+  [[nodiscard]] static SingleRootedConfig scaled();
+};
+
+class SingleRootedTree final : public Topology {
+ public:
+  explicit SingleRootedTree(const SingleRootedConfig& config);
+
+  [[nodiscard]] std::vector<Path> paths(NodeId src, NodeId dst,
+                                        std::size_t max_paths) const override;
+  [[nodiscard]] std::string name() const override { return "single-rooted-tree"; }
+
+  [[nodiscard]] const SingleRootedConfig& config() const { return config_; }
+  [[nodiscard]] NodeId root() const { return root_; }
+  /// Parent switch of any non-root node.
+  [[nodiscard]] NodeId parent(NodeId node) const { return parent_[static_cast<std::size_t>(node)]; }
+
+ private:
+  SingleRootedConfig config_;
+  NodeId root_ = kInvalidNode;
+  std::vector<NodeId> parent_;
+  std::vector<int> depth_;
+};
+
+}  // namespace taps::topo

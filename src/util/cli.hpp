@@ -1,0 +1,54 @@
+// Tiny command-line option parser shared by examples and bench binaries.
+//
+// Supports `--name value`, `--name=value` and boolean `--flag` forms, prints
+// a generated --help, and rejects unknown options.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace taps::util {
+
+class Cli {
+ public:
+  Cli(std::string program, std::string description)
+      : program_(std::move(program)), description_(std::move(description)) {}
+
+  void add_flag(const std::string& name, const std::string& help);
+  void add_option(const std::string& name, const std::string& help,
+                  const std::string& default_value);
+
+  /// Parse argv. Returns false (after printing help/error) if the program
+  /// should exit; `exit_code()` then says with which status.
+  [[nodiscard]] bool parse(int argc, const char* const* argv);
+
+  [[nodiscard]] int exit_code() const { return exit_code_; }
+
+  [[nodiscard]] bool flag(const std::string& name) const;
+  [[nodiscard]] std::string str(const std::string& name) const;
+  [[nodiscard]] double num(const std::string& name) const;
+  [[nodiscard]] std::int64_t integer(const std::string& name) const;
+
+  [[nodiscard]] std::string help_text() const;
+
+ private:
+  struct Opt {
+    std::string help;
+    std::string value;
+    bool is_flag = false;
+    bool set = false;
+  };
+
+  Opt* find(const std::string& name);
+  const Opt* find(const std::string& name) const;
+
+  std::string program_;
+  std::string description_;
+  std::vector<std::pair<std::string, Opt>> opts_;
+  int exit_code_ = 0;
+};
+
+}  // namespace taps::util

@@ -1,0 +1,55 @@
+// Lightweight leveled logging. Off by default above WARN so simulations stay
+// quiet; benches/examples can raise verbosity with --verbose.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace taps::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+/// Thread-safe emit to stderr with a level prefix.
+void log_message(LogLevel level, const std::string& msg);
+
+namespace detail {
+class LogLine {
+ public:
+  LogLine(LogLevel level, bool enabled) : level_(level), enabled_(enabled) {}
+  ~LogLine() {
+    if (enabled_) log_message(level_, os_.str());
+  }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    if (enabled_) os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool enabled_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+[[nodiscard]] inline detail::LogLine log_debug() {
+  return {LogLevel::kDebug, log_level() <= LogLevel::kDebug};
+}
+[[nodiscard]] inline detail::LogLine log_info() {
+  return {LogLevel::kInfo, log_level() <= LogLevel::kInfo};
+}
+[[nodiscard]] inline detail::LogLine log_warn() {
+  return {LogLevel::kWarn, log_level() <= LogLevel::kWarn};
+}
+[[nodiscard]] inline detail::LogLine log_error() {
+  return {LogLevel::kError, log_level() <= LogLevel::kError};
+}
+
+}  // namespace taps::util

@@ -1,0 +1,62 @@
+#include "util/rng.hpp"
+
+#include <cassert>
+
+namespace taps::util {
+
+std::uint64_t fnv1a(std::string_view s) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) noexcept {
+  // splitmix64-style finalizer over the xor of the inputs.
+  std::uint64_t x = a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2));
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+Rng Rng::fork(std::string_view tag) const {
+  return Rng(hash_combine(seed_, fnv1a(tag)));
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  assert(lo <= hi);
+  return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+}
+
+double Rng::uniform_real(double lo, double hi) {
+  return std::uniform_real_distribution<double>(lo, hi)(engine_);
+}
+
+double Rng::exponential(double mean) {
+  assert(mean > 0.0);
+  return std::exponential_distribution<double>(1.0 / mean)(engine_);
+}
+
+double Rng::normal_truncated(double mean, double stddev, double min) {
+  std::normal_distribution<double> dist(mean, stddev);
+  for (int attempt = 0; attempt < 1024; ++attempt) {
+    const double v = dist(engine_);
+    if (v >= min) return v;
+  }
+  return min;  // pathological parameters: clamp rather than loop forever
+}
+
+std::int64_t Rng::poisson(double mean) {
+  assert(mean >= 0.0);
+  if (mean == 0.0) return 0;
+  return std::poisson_distribution<std::int64_t>(mean)(engine_);
+}
+
+bool Rng::bernoulli(double p) { return std::bernoulli_distribution(p)(engine_); }
+
+}  // namespace taps::util

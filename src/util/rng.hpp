@@ -1,0 +1,48 @@
+// Deterministic random number generation for reproducible experiments.
+//
+// Every bench/example derives all randomness from a single user-visible seed.
+// Rng::fork(tag) splits an independent, stable stream per component so that
+// adding a consumer does not perturb the draws seen by the others.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <string_view>
+
+namespace taps::util {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed), seed_(seed) {}
+
+  /// Derive an independent stream identified by `tag`.
+  [[nodiscard]] Rng fork(std::string_view tag) const;
+
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+  /// Uniform real in [lo, hi).
+  [[nodiscard]] double uniform_real(double lo, double hi);
+  /// Exponential with the given mean (> 0).
+  [[nodiscard]] double exponential(double mean);
+  /// Normal with the given mean/stddev, truncated below at `min` by resampling.
+  [[nodiscard]] double normal_truncated(double mean, double stddev, double min);
+  /// Poisson draw with the given mean.
+  [[nodiscard]] std::int64_t poisson(double mean);
+  /// Bernoulli with probability p.
+  [[nodiscard]] bool bernoulli(double p);
+
+  /// Access to the raw engine for std distributions / std::shuffle.
+  [[nodiscard]] std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  std::uint64_t seed_;
+};
+
+/// Stable 64-bit FNV-1a hash (used for stream splitting and ECMP hashing).
+[[nodiscard]] std::uint64_t fnv1a(std::string_view s) noexcept;
+[[nodiscard]] std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) noexcept;
+
+}  // namespace taps::util

@@ -1,0 +1,39 @@
+// Summary statistics helpers used by metrics collectors and benches.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace taps::util {
+
+/// Online accumulator: count / mean / variance (Welford) / min / max / sum.
+class Summary {
+ public:
+  void add(double x);
+  void merge(const Summary& other);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const { return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0; }
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Percentile of a sample (linear interpolation, p in [0,100]).
+/// Sorts a copy; intended for end-of-run reporting, not hot paths.
+[[nodiscard]] double percentile(std::vector<double> xs, double p);
+
+/// Arithmetic mean of a sample (0 for empty).
+[[nodiscard]] double mean_of(const std::vector<double>& xs);
+
+}  // namespace taps::util

@@ -1,0 +1,42 @@
+// Named experiment scenarios: topology choice + workload parameters.
+//
+// Every figure's bench builds its sweep from one of these presets. The
+// paper-scale topologies (36 000-host tree, 32-pod fat-tree) are available
+// behind `full_scale`; the scaled presets keep the same oversubscription
+// structure at wall-clock-friendly size (see DESIGN.md).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "topo/fattree.hpp"
+#include "topo/partial_fattree.hpp"
+#include "topo/tree.hpp"
+#include "workload/task_generator.hpp"
+
+namespace taps::workload {
+
+enum class TopoKind { kSingleRooted, kFatTree, kTestbed };
+
+[[nodiscard]] const char* to_string(TopoKind k);
+
+struct Scenario {
+  std::string name = "default";
+  TopoKind topo = TopoKind::kSingleRooted;
+  bool full_scale = false;
+  WorkloadConfig workload;
+  std::size_t max_paths = 16;  // candidate-path budget (TAPS) / ECMP fan-out
+  std::uint64_t seed = 42;
+
+  /// Paper Sec. V-A defaults on the single-rooted tree.
+  [[nodiscard]] static Scenario single_rooted(bool full_scale = false);
+  /// Paper Sec. V-A defaults on the fat-tree (multi-rooted).
+  [[nodiscard]] static Scenario fat_tree(bool full_scale = false);
+  /// Paper Sec. VI testbed: 8-host partial fat-tree, 100 flows of ~100 KB.
+  [[nodiscard]] static Scenario testbed();
+};
+
+/// Instantiate the scenario's topology.
+[[nodiscard]] std::unique_ptr<topo::Topology> make_topology(const Scenario& s);
+
+}  // namespace taps::workload

@@ -1,0 +1,122 @@
+#include "workload/task_generator.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <random>
+#include <span>
+#include <stdexcept>
+
+namespace taps::workload {
+
+const char* to_string(SizeDistribution d) {
+  switch (d) {
+    case SizeDistribution::kNormal:
+      return "normal";
+    case SizeDistribution::kLognormal:
+      return "lognormal";
+    case SizeDistribution::kPareto:
+      return "pareto";
+  }
+  return "?";
+}
+
+namespace {
+
+double draw_size(const WorkloadConfig& config, util::Rng& rng) {
+  switch (config.size_distribution) {
+    case SizeDistribution::kNormal:
+      return rng.normal_truncated(config.mean_flow_size, config.flow_size_stddev,
+                                  config.min_flow_size);
+    case SizeDistribution::kLognormal: {
+      // Match mean and the configured stddev: for LN(mu, s),
+      // mean = exp(mu + s^2/2) and var = (exp(s^2)-1) mean^2.
+      const double cv2 = (config.flow_size_stddev * config.flow_size_stddev) /
+                         (config.mean_flow_size * config.mean_flow_size);
+      const double s2 = std::log1p(cv2);
+      const double mu = std::log(config.mean_flow_size) - 0.5 * s2;
+      std::lognormal_distribution<double> dist(mu, std::sqrt(s2));
+      return std::max(config.min_flow_size, dist(rng.engine()));
+    }
+    case SizeDistribution::kPareto: {
+      // Bounded Pareto, shape a = 1.5; scale chosen so E[X] = mean:
+      // for unbounded Pareto, E = a*xm/(a-1) -> xm = mean*(a-1)/a.
+      constexpr double kShape = 1.5;
+      const double xm = config.mean_flow_size * (kShape - 1.0) / kShape;
+      const double u = std::max(1e-12, rng.uniform_real(0.0, 1.0));
+      const double x = xm / std::pow(u, 1.0 / kShape);
+      return std::clamp(x, config.min_flow_size, 50.0 * config.mean_flow_size);
+    }
+  }
+  return config.mean_flow_size;
+}
+
+}  // namespace
+
+std::vector<net::TaskId> generate(net::Network& net, const WorkloadConfig& config,
+                                  util::Rng& rng) {
+  if (!net.tasks().empty()) {
+    throw std::invalid_argument("workload::generate expects an empty network");
+  }
+  const auto& hosts = net.topology().hosts();
+  if (hosts.size() < 2) throw std::invalid_argument("topology needs at least 2 hosts");
+
+  std::vector<net::TaskId> out;
+  out.reserve(static_cast<std::size_t>(config.task_count));
+
+  double arrival = 0.0;
+  for (int i = 0; i < config.task_count; ++i) {
+    // Poisson arrivals: exponential inter-arrival gaps.
+    if (i > 0) arrival += rng.exponential(1.0 / config.arrival_rate);
+
+    const double rel_deadline =
+        std::max(config.min_deadline, rng.exponential(config.mean_deadline));
+    const double deadline = arrival + rel_deadline;
+
+    std::int64_t flow_count = 1;
+    if (!config.single_flow_tasks) {
+      flow_count = std::max<std::int64_t>(1, rng.poisson(config.flows_per_task_mean));
+    }
+
+    std::vector<net::FlowSpec> flows;
+    flows.reserve(static_cast<std::size_t>(flow_count));
+    for (std::int64_t j = 0; j < flow_count; ++j) {
+      net::FlowSpec fs;
+      const auto src_idx = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(hosts.size()) - 1));
+      auto dst_idx = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(hosts.size()) - 2));
+      if (dst_idx >= src_idx) ++dst_idx;  // uniform over hosts != src
+      fs.src = hosts[src_idx];
+      fs.dst = hosts[dst_idx];
+      fs.size = draw_size(config, rng);
+      flows.push_back(fs);
+    }
+
+    const int waves = std::max(1, config.waves_per_task);
+    if (waves == 1 || flows.size() < 2) {
+      out.push_back(net.add_task(arrival, deadline, flows));
+      continue;
+    }
+    // Split the flow list uniformly across waves; later waves arrive after
+    // exponential gaps but inherit the task's deadline.
+    const std::size_t per_wave = (flows.size() + static_cast<std::size_t>(waves) - 1) /
+                                 static_cast<std::size_t>(waves);
+    const std::span<const net::FlowSpec> all(flows);
+    const net::TaskId tid =
+        net.add_task(arrival, deadline, all.subspan(0, std::min(per_wave, flows.size())));
+    out.push_back(tid);
+    // Keep every wave inside the first 80% of the deadline window: a wave
+    // arriving at/after the deadline could never complete and would just
+    // fail the task unconditionally.
+    const double latest_wave = arrival + 0.8 * (deadline - arrival);
+    double wave_at = arrival;
+    for (std::size_t start = per_wave; start < flows.size(); start += per_wave) {
+      wave_at = std::min(wave_at + rng.exponential(config.wave_gap_mean), latest_wave);
+      net.extend_task(tid, wave_at, all.subspan(start, std::min(per_wave, flows.size() - start)));
+    }
+  }
+  return out;
+}
+
+}  // namespace taps::workload

@@ -1,0 +1,53 @@
+// Workload generation following the paper's evaluation setup (Sec. V-A):
+// Poisson task arrivals at rate lambda; each task has a Poisson-distributed
+// number of flows (mean mu, at least 1) that all arrive with the task and
+// share one deadline; deadlines are exponential (default mean 40 ms); flow
+// sizes are normal (default mean 200 KB); endpoints are uniform random
+// distinct hosts.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/network.hpp"
+#include "util/rng.hpp"
+
+namespace taps::workload {
+
+/// Flow-size distribution family. The paper generates sizes from a normal
+/// distribution; production data-center traffic is famously heavy-tailed,
+/// so log-normal and (bounded) Pareto options let the benches test whether
+/// the schedulers' ordering is robust to the shape assumption.
+enum class SizeDistribution { kNormal, kLognormal, kPareto };
+
+[[nodiscard]] const char* to_string(SizeDistribution d);
+
+struct WorkloadConfig {
+  int task_count = 30;
+  double flows_per_task_mean = 24.0;
+  double arrival_rate = 300.0;     // lambda, tasks per second
+  double mean_deadline = 0.040;    // seconds (relative), exponential
+  double min_deadline = 0.002;     // floor: below this a flow cannot even start
+  double mean_flow_size = 200e3;   // bytes
+  double flow_size_stddev = 50e3;  // bytes (paper gives only the mean)
+  double min_flow_size = 10e3;     // bytes, truncation floor
+  /// Shape of the size distribution; every family is parameterized to hit
+  /// `mean_flow_size` on average (Pareto uses shape 1.5, truncated at
+  /// 50x the mean so task sizes stay finite-variance in practice).
+  SizeDistribution size_distribution = SizeDistribution::kNormal;
+  bool single_flow_tasks = false;  // Fig. 10 mode: task == flow
+
+  /// Multi-wave tasks (the paper's dynamic Algorithm-1 setting): each task's
+  /// flows are split uniformly across this many arrival waves; waves after
+  /// the first arrive `wave_gap_mean` (exponential) apart and share the
+  /// task's deadline. 1 = every flow arrives with the task (paper default).
+  int waves_per_task = 1;
+  double wave_gap_mean = 0.005;  // seconds
+};
+
+/// Generate `config.task_count` tasks into `net` (which must be empty).
+/// Returns the created task ids. All randomness comes from `rng`.
+std::vector<net::TaskId> generate(net::Network& net, const WorkloadConfig& config,
+                                  util::Rng& rng);
+
+}  // namespace taps::workload

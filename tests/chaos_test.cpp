@@ -1,0 +1,117 @@
+// Robustness sweep on random topologies: generate random connected graphs
+// (not just the paper's regular trees/fat-trees), random workloads on them,
+// run every scheduler, and audit the physics. Shakes out assumptions that
+// regular topologies hide (asymmetric paths, odd hop counts, multiple
+// bottlenecks per path).
+#include <gtest/gtest.h>
+
+#include "common/fixtures.hpp"
+#include "workload/task_generator.hpp"
+
+namespace taps {
+namespace {
+
+/// Random two-tier topology: `switches` switches connected by a random
+/// spanning tree plus extra random switch-switch links (multipath), and
+/// 2-4 hosts per switch. Connected by construction.
+std::unique_ptr<topo::GenericTopology> random_topology(util::Rng& rng) {
+  topo::Graph g;
+  const int switches = static_cast<int>(rng.uniform_int(3, 7));
+  std::vector<topo::NodeId> sw;
+  for (int i = 0; i < switches; ++i) {
+    sw.push_back(g.add_node(topo::NodeKind::kTor, "s" + std::to_string(i)));
+  }
+  // Spanning tree.
+  for (int i = 1; i < switches; ++i) {
+    const auto parent = static_cast<std::size_t>(rng.uniform_int(0, i - 1));
+    g.add_duplex_link(sw[static_cast<std::size_t>(i)], sw[parent], 1e8);
+  }
+  // Extra links for path diversity.
+  const int extras = static_cast<int>(rng.uniform_int(0, switches));
+  for (int e = 0; e < extras; ++e) {
+    const auto a = static_cast<std::size_t>(rng.uniform_int(0, switches - 1));
+    const auto b = static_cast<std::size_t>(rng.uniform_int(0, switches - 1));
+    if (a != b && g.link_between(sw[a], sw[b]) == topo::kInvalidLink) {
+      g.add_duplex_link(sw[a], sw[b], 1e8);
+    }
+  }
+  std::vector<topo::NodeId> hosts;
+  for (int i = 0; i < switches; ++i) {
+    const int n = static_cast<int>(rng.uniform_int(2, 4));
+    for (int h = 0; h < n; ++h) {
+      const auto host =
+          g.add_node(topo::NodeKind::kHost, "h" + std::to_string(i) + "." + std::to_string(h));
+      g.add_duplex_link(host, sw[static_cast<std::size_t>(i)], 1e8);
+      hosts.push_back(host);
+    }
+  }
+  return std::make_unique<topo::GenericTopology>(std::move(g), std::move(hosts), "random");
+}
+
+class ChaosTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ChaosTest, AllSchedulersSurviveRandomTopologies) {
+  util::Rng rng(GetParam());
+  for (int round = 0; round < 4; ++round) {
+    util::Rng topo_rng = rng.fork("topo" + std::to_string(round));
+    const auto topology = random_topology(topo_rng);
+
+    for (const exp::SchedulerKind kind : exp::extended_schedulers()) {
+      net::Network net(*topology);
+      workload::WorkloadConfig wc;
+      wc.task_count = 10;
+      wc.flows_per_task_mean = 5.0;
+      wc.mean_flow_size = 50e3;
+      wc.mean_deadline = 0.030;
+      wc.arrival_rate = 500.0;
+      util::Rng wl = rng.fork("wl" + std::to_string(round));
+      (void)workload::generate(net, wc, wl);
+
+      const auto sched = exp::make_scheduler(kind, 8);
+      sim::FluidSimulator simulator(net, *sched);
+      const sim::SimStats stats = simulator.run();
+      EXPECT_GT(stats.events, 0u);
+
+      for (const auto& f : net.flows()) {
+        EXPECT_TRUE(f.finished())
+            << exp::to_string(kind) << " round " << round << " flow " << f.id();
+        EXPECT_NEAR(f.bytes_sent + f.remaining, f.spec.size, 1e-2) << exp::to_string(kind);
+        if (f.state == net::FlowState::kCompleted) {
+          EXPECT_LE(f.completion_time, f.spec.deadline + 1e-6);
+        }
+      }
+      for (const auto& t : net.tasks()) {
+        EXPECT_TRUE(t.finished()) << exp::to_string(kind);
+        if (kind == exp::SchedulerKind::kTaps) {
+          EXPECT_NE(t.state, net::TaskState::kFailed) << "round " << round;
+        }
+      }
+    }
+  }
+}
+
+TEST_P(ChaosTest, TapsNeverWastesOnRandomTopologies) {
+  util::Rng rng(GetParam() + 5000);
+  util::Rng topo_rng = rng.fork("topo");
+  const auto topology = random_topology(topo_rng);
+  net::Network net(*topology);
+  workload::WorkloadConfig wc;
+  wc.task_count = 15;
+  wc.flows_per_task_mean = 6.0;
+  wc.mean_flow_size = 80e3;
+  wc.mean_deadline = 0.020;
+  wc.arrival_rate = 800.0;
+  util::Rng wl = rng.fork("wl");
+  (void)workload::generate(net, wc, wl);
+
+  const auto sched = exp::make_scheduler(exp::SchedulerKind::kTaps, 8);
+  sim::FluidSimulator simulator(net, *sched);
+  (void)simulator.run();
+  const metrics::RunMetrics m = metrics::collect(net);
+  EXPECT_DOUBLE_EQ(m.wasted_bandwidth_ratio, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosTest, ::testing::Values(11u, 29u, 47u, 83u, 131u));
+
+}  // namespace
+}  // namespace taps

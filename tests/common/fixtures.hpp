@@ -1,0 +1,124 @@
+// Shared test fixtures: tiny topologies and scenario builders used across
+// scheduler/core tests, including the paper's worked examples (Figs. 1-3).
+//
+// The motivation examples use unit link capacity so flow "sizes" read
+// directly as transmission-time units, exactly as in the paper's figures.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "exp/experiment.hpp"
+#include "sim/simulator.hpp"
+#include "topo/paths.hpp"
+
+namespace taps::test {
+
+/// Dumbbell: `side` hosts on each of two switches joined by one bottleneck
+/// link; every cross flow shares exactly that link (given distinct hosts).
+///
+///   L0..L{side-1} - s1 ===bottleneck=== s2 - R0..R{side-1}
+struct Dumbbell {
+  std::unique_ptr<topo::GenericTopology> topology;
+  std::vector<topo::NodeId> left;
+  std::vector<topo::NodeId> right;
+};
+
+inline Dumbbell make_dumbbell(int side = 6, double capacity = 1.0) {
+  topo::Graph g;
+  std::vector<topo::NodeId> hosts;
+  const topo::NodeId s1 = g.add_node(topo::NodeKind::kTor, "s1");
+  const topo::NodeId s2 = g.add_node(topo::NodeKind::kTor, "s2");
+  g.add_duplex_link(s1, s2, capacity);
+  Dumbbell d;
+  for (int i = 0; i < side; ++i) {
+    const topo::NodeId h = g.add_node(topo::NodeKind::kHost, "L" + std::to_string(i));
+    g.add_duplex_link(h, s1, capacity);
+    d.left.push_back(h);
+    hosts.push_back(h);
+  }
+  for (int i = 0; i < side; ++i) {
+    const topo::NodeId h = g.add_node(topo::NodeKind::kHost, "R" + std::to_string(i));
+    g.add_duplex_link(h, s2, capacity);
+    d.right.push_back(h);
+    hosts.push_back(h);
+  }
+  d.topology = std::make_unique<topo::GenericTopology>(std::move(g), std::move(hosts),
+                                                       "dumbbell");
+  return d;
+}
+
+/// The Fig. 3 topology: hosts 1..4, switches S1..S5, unit capacity.
+/// Paths: f1: 1-S1-S5-S2-2, f2: 1-S1-S5-S4-4, f3: 3-S3-S5-S2-2,
+/// f4: 3-S3-S5-S4-4 (each pair of flows shares the links the example needs).
+struct Fig3Topo {
+  std::unique_ptr<topo::GenericTopology> topology;
+  topo::NodeId h1, h2, h3, h4;
+};
+
+inline Fig3Topo make_fig3_topology(double capacity = 1.0) {
+  topo::Graph g;
+  const topo::NodeId s1 = g.add_node(topo::NodeKind::kTor, "S1");
+  const topo::NodeId s2 = g.add_node(topo::NodeKind::kTor, "S2");
+  const topo::NodeId s3 = g.add_node(topo::NodeKind::kTor, "S3");
+  const topo::NodeId s4 = g.add_node(topo::NodeKind::kTor, "S4");
+  const topo::NodeId s5 = g.add_node(topo::NodeKind::kAggregation, "S5");
+  Fig3Topo t;
+  t.h1 = g.add_node(topo::NodeKind::kHost, "1");
+  t.h2 = g.add_node(topo::NodeKind::kHost, "2");
+  t.h3 = g.add_node(topo::NodeKind::kHost, "3");
+  t.h4 = g.add_node(topo::NodeKind::kHost, "4");
+  g.add_duplex_link(t.h1, s1, capacity);
+  g.add_duplex_link(t.h2, s2, capacity);
+  g.add_duplex_link(t.h3, s3, capacity);
+  g.add_duplex_link(t.h4, s4, capacity);
+  g.add_duplex_link(s1, s5, capacity);
+  g.add_duplex_link(s2, s5, capacity);
+  g.add_duplex_link(s3, s5, capacity);
+  g.add_duplex_link(s4, s5, capacity);
+  t.topology = std::make_unique<topo::GenericTopology>(
+      std::move(g), std::vector<topo::NodeId>{t.h1, t.h2, t.h3, t.h4}, "fig3");
+  return t;
+}
+
+/// Add a task with explicit (src, dst, size) flows sharing one deadline.
+inline net::TaskId add_task(net::Network& net, double arrival, double deadline,
+                            std::vector<net::FlowSpec> flows) {
+  for (auto& f : flows) {
+    f.arrival = arrival;
+    f.deadline = deadline;
+  }
+  return net.add_task(arrival, deadline, flows);
+}
+
+inline net::FlowSpec flow(topo::NodeId src, topo::NodeId dst, double size) {
+  net::FlowSpec f;
+  f.src = src;
+  f.dst = dst;
+  f.size = size;
+  return f;
+}
+
+/// Run `scheduler` over `net` to quiescence.
+inline sim::SimStats run(net::Network& net, sim::Scheduler& scheduler) {
+  sim::FluidSimulator simulator(net, scheduler);
+  return simulator.run();
+}
+
+inline std::size_t completed_tasks(const net::Network& net) {
+  std::size_t n = 0;
+  for (const auto& t : net.tasks()) {
+    if (t.state == net::TaskState::kCompleted) ++n;
+  }
+  return n;
+}
+
+inline std::size_t completed_flows(const net::Network& net) {
+  std::size_t n = 0;
+  for (const auto& f : net.flows()) {
+    if (f.state == net::FlowState::kCompleted) ++n;
+  }
+  return n;
+}
+
+}  // namespace taps::test

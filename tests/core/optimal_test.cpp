@@ -1,0 +1,94 @@
+#include "core/optimal.hpp"
+
+#include <gtest/gtest.h>
+
+namespace taps::core {
+namespace {
+
+TEST(EdfFeasible, EmptyIsFeasible) { EXPECT_TRUE(edf_feasible({})); }
+
+TEST(EdfFeasible, SingleJobFits) {
+  EXPECT_TRUE(edf_feasible({SlFlow{0.0, 4.0, 4.0}}));
+  EXPECT_FALSE(edf_feasible({SlFlow{0.0, 4.0, 4.1}}));
+}
+
+TEST(EdfFeasible, TwoJobsSerialized) {
+  EXPECT_TRUE(edf_feasible({SlFlow{0.0, 2.0, 1.0}, SlFlow{0.0, 4.0, 3.0}}));
+  EXPECT_FALSE(edf_feasible({SlFlow{0.0, 2.0, 1.0}, SlFlow{0.0, 3.0, 3.0}}));
+}
+
+TEST(EdfFeasible, PreemptionEnablesFit) {
+  // Long loose job + short tight job arriving later: EDF preempts.
+  EXPECT_TRUE(edf_feasible({SlFlow{0.0, 10.0, 5.0}, SlFlow{2.0, 3.0, 1.0}}));
+}
+
+TEST(EdfFeasible, ReleaseTimesRespected) {
+  // Job can't start before release even if the machine is idle.
+  EXPECT_FALSE(edf_feasible({SlFlow{3.0, 4.0, 2.0}}));
+  EXPECT_TRUE(edf_feasible({SlFlow{3.0, 5.0, 2.0}}));
+}
+
+TEST(EdfFeasible, IdleGapsHandled) {
+  EXPECT_TRUE(edf_feasible({SlFlow{0.0, 1.0, 1.0}, SlFlow{5.0, 6.0, 1.0}}));
+}
+
+TEST(EdfFeasible, PaperFig1TaskSets) {
+  // Fig. 1: t1 = {2,4} with deadline 4 is infeasible on one unit link;
+  // t2 = {1,3} is exactly feasible; both together are not.
+  EXPECT_FALSE(edf_feasible({SlFlow{0, 4, 2}, SlFlow{0, 4, 4}}));
+  EXPECT_TRUE(edf_feasible({SlFlow{0, 4, 1}, SlFlow{0, 4, 3}}));
+  EXPECT_FALSE(edf_feasible({SlFlow{0, 4, 2}, SlFlow{0, 4, 4}, SlFlow{0, 4, 1},
+                             SlFlow{0, 4, 3}}));
+}
+
+TEST(OptimalSingleLink, PicksLargestFeasibleSubset) {
+  // Fig. 1's instance: the optimum is exactly one task (t2).
+  const std::vector<SlTask> tasks{
+      SlTask{{SlFlow{0, 4, 2}, SlFlow{0, 4, 4}}},
+      SlTask{{SlFlow{0, 4, 1}, SlFlow{0, 4, 3}}},
+  };
+  const OptimalResult r = optimal_single_link(tasks);
+  EXPECT_EQ(r.tasks_completed, 1u);
+  ASSERT_EQ(r.accepted.size(), 1u);
+  EXPECT_EQ(r.accepted[0], 1u);
+}
+
+TEST(OptimalSingleLink, Fig2BothTasksFit) {
+  const std::vector<SlTask> tasks{
+      SlTask{{SlFlow{0, 4, 1}, SlFlow{0, 4, 1}}},
+      SlTask{{SlFlow{0, 2, 1}, SlFlow{0, 2, 1}}},
+  };
+  const OptimalResult r = optimal_single_link(tasks);
+  EXPECT_EQ(r.tasks_completed, 2u);
+}
+
+TEST(OptimalSingleLink, EmptyInput) {
+  const OptimalResult r = optimal_single_link({});
+  EXPECT_EQ(r.tasks_completed, 0u);
+  EXPECT_TRUE(r.accepted.empty());
+}
+
+TEST(OptimalSingleLink, AllInfeasibleTasks) {
+  const std::vector<SlTask> tasks{SlTask{{SlFlow{0, 1, 2}}}, SlTask{{SlFlow{0, 1, 3}}}};
+  EXPECT_EQ(optimal_single_link(tasks).tasks_completed, 0u);
+}
+
+TEST(OptimalSingleLink, PrefersMoreTasksOverBigTasks) {
+  // One big task excludes two small ones; optimum takes the two.
+  const std::vector<SlTask> tasks{
+      SlTask{{SlFlow{0, 4, 4}}},
+      SlTask{{SlFlow{0, 4, 2}}},
+      SlTask{{SlFlow{0, 4, 2}}},
+  };
+  const OptimalResult r = optimal_single_link(tasks);
+  EXPECT_EQ(r.tasks_completed, 2u);
+  EXPECT_EQ(r.accepted, (std::vector<std::size_t>{1, 2}));
+}
+
+TEST(OptimalSingleLink, TooManyTasksThrows) {
+  std::vector<SlTask> tasks(21, SlTask{{SlFlow{0, 1, 0.01}}});
+  EXPECT_THROW((void)optimal_single_link(tasks), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace taps::core

@@ -1,0 +1,108 @@
+#include "core/reject_rule.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/fixtures.hpp"
+
+namespace taps::core {
+namespace {
+
+using test::add_task;
+using test::flow;
+using test::make_dumbbell;
+
+struct RuleFixture : public ::testing::Test {
+  test::Dumbbell d = make_dumbbell(8);
+  net::Network net{*d.topology};
+
+  net::TaskId two_flow_task(int base) {
+    return add_task(net, 0.0, 4.0,
+                    {flow(d.left[static_cast<std::size_t>(base)],
+                          d.right[static_cast<std::size_t>(base)], 1.0),
+                     flow(d.left[static_cast<std::size_t>(base) + 1],
+                          d.right[static_cast<std::size_t>(base) + 1], 1.0)});
+  }
+
+  static FlowPlan plan(net::FlowId fid, bool feasible) {
+    FlowPlan p;
+    p.flow = fid;
+    p.feasible = feasible;
+    return p;
+  }
+};
+
+TEST_F(RuleFixture, AcceptWhenAllFeasible) {
+  const net::TaskId t0 = two_flow_task(0);
+  const net::TaskId t1 = two_flow_task(2);
+  (void)t0;
+  const std::vector<FlowPlan> trial{plan(0, true), plan(1, true), plan(2, true),
+                                    plan(3, true)};
+  const RejectOutcome out = apply_reject_rule(net, t1, trial);
+  EXPECT_EQ(out.decision, Decision::kAccept);
+}
+
+TEST_F(RuleFixture, RejectWhenNewTaskInfeasible) {
+  (void)two_flow_task(0);
+  const net::TaskId t1 = two_flow_task(2);
+  const std::vector<FlowPlan> trial{plan(0, true), plan(1, true), plan(2, true),
+                                    plan(3, false)};  // flow 3 belongs to t1
+  const RejectOutcome out = apply_reject_rule(net, t1, trial);
+  EXPECT_EQ(out.decision, Decision::kRejectNew);
+}
+
+TEST_F(RuleFixture, RejectWhenMultipleTasksMiss) {
+  (void)two_flow_task(0);
+  (void)two_flow_task(2);
+  const net::TaskId t2 = two_flow_task(4);
+  const std::vector<FlowPlan> trial{plan(0, false), plan(1, true), plan(2, false),
+                                    plan(3, true),  plan(4, true), plan(5, true)};
+  const RejectOutcome out = apply_reject_rule(net, t2, trial);
+  EXPECT_EQ(out.decision, Decision::kRejectNew);
+}
+
+TEST_F(RuleFixture, RejectWhenVictimHasEqualProgress) {
+  // Single missing task != newcomer, but completion ratios tie (0 == 0):
+  // the paper keeps the incumbent ("not less than" -> reject the newcomer).
+  const net::TaskId t0 = two_flow_task(0);
+  (void)t0;
+  const net::TaskId t1 = two_flow_task(2);
+  const std::vector<FlowPlan> trial{plan(0, false), plan(1, true), plan(2, true),
+                                    plan(3, true)};
+  const RejectOutcome out = apply_reject_rule(net, t1, trial);
+  EXPECT_EQ(out.decision, Decision::kRejectNew);
+}
+
+TEST_F(RuleFixture, PreemptsVictimWithLowerProgress) {
+  const net::TaskId t0 = two_flow_task(0);
+  const net::TaskId t1 = two_flow_task(2);
+  // Give the newcomer t1 progress (one flow already completed) and let t0 be
+  // the single missing task with zero progress: t0 is preempted.
+  net.task(t1).state = net::TaskState::kAdmitted;
+  net.flow(2).state = net::FlowState::kActive;
+  net.on_flow_completed(2, 1.0);
+  const std::vector<FlowPlan> trial{plan(0, false), plan(1, true), plan(3, true)};
+  const RejectOutcome out = apply_reject_rule(net, t1, trial);
+  EXPECT_EQ(out.decision, Decision::kPreemptVictim);
+  EXPECT_EQ(out.victim, t0);
+}
+
+TEST_F(RuleFixture, KeepsVictimWithHigherProgress) {
+  const net::TaskId t0 = two_flow_task(0);
+  const net::TaskId t1 = two_flow_task(2);
+  // Incumbent t0 already completed one flow; newcomer t1 has none.
+  net.task(t0).state = net::TaskState::kAdmitted;
+  net.flow(0).state = net::FlowState::kActive;
+  net.on_flow_completed(0, 1.0);
+  const std::vector<FlowPlan> trial{plan(1, false), plan(2, true), plan(3, true)};
+  const RejectOutcome out = apply_reject_rule(net, t1, trial);
+  EXPECT_EQ(out.decision, Decision::kRejectNew);
+}
+
+TEST(RejectRuleNames, ToString) {
+  EXPECT_STREQ(to_string(Decision::kAccept), "accept");
+  EXPECT_STREQ(to_string(Decision::kRejectNew), "reject-new");
+  EXPECT_STREQ(to_string(Decision::kPreemptVictim), "preempt-victim");
+}
+
+}  // namespace
+}  // namespace taps::core

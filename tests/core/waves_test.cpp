@@ -1,0 +1,248 @@
+// Multi-wave tasks: the paper's dynamic Algorithm-1 setting where a task's
+// flows arrive over time (sharing the task deadline). These tests exercise
+// the wave plumbing end-to-end and — crucially — the reject rule's
+// preemption branch, which is only reachable when a newcomer wave belongs to
+// a task with more progress than the task it displaces.
+#include <gtest/gtest.h>
+
+#include "common/fixtures.hpp"
+#include "core/taps_scheduler.hpp"
+#include "sched/fair_sharing.hpp"
+#include "sched/varys.hpp"
+
+namespace taps::core {
+namespace {
+
+using test::add_task;
+using test::flow;
+using test::make_dumbbell;
+
+net::TaskId add_wave_task(net::Network& net, double arrival, double deadline,
+                          std::vector<net::FlowSpec> first_wave) {
+  for (auto& f : first_wave) {
+    f.arrival = arrival;
+    f.deadline = deadline;
+  }
+  return net.add_task(arrival, deadline, first_wave);
+}
+
+TEST(Waves, ExtendTaskRegistersLaterFlows) {
+  auto d = make_dumbbell();
+  net::Network net(*d.topology);
+  const net::TaskId tid =
+      add_wave_task(net, 0.0, 10.0, {flow(d.left[0], d.right[0], 1.0)});
+  net.extend_task(tid, 2.0, std::vector<net::FlowSpec>{flow(d.left[1], d.right[1], 1.0)});
+
+  ASSERT_EQ(net.task(tid).flow_count(), 2u);
+  EXPECT_DOUBLE_EQ(net.flows()[1].spec.arrival, 2.0);
+  EXPECT_DOUBLE_EQ(net.flows()[1].spec.deadline, 10.0);  // inherits the deadline
+  EXPECT_EQ(net.flows()[1].task(), tid);
+}
+
+TEST(Waves, ExtendRejectedTaskMarksFlowsRejected) {
+  auto d = make_dumbbell();
+  net::Network net(*d.topology);
+  const net::TaskId tid =
+      add_wave_task(net, 0.0, 10.0, {flow(d.left[0], d.right[0], 1.0)});
+  net.reject_task(tid);
+  net.extend_task(tid, 2.0, std::vector<net::FlowSpec>{flow(d.left[1], d.right[1], 1.0)});
+  EXPECT_EQ(net.flows()[1].state, net::FlowState::kRejected);
+}
+
+TEST(Waves, FairSharingTransmitsWavesAsTheyArrive) {
+  auto d = make_dumbbell();
+  net::Network net(*d.topology);
+  const net::TaskId tid =
+      add_wave_task(net, 0.0, 20.0, {flow(d.left[0], d.right[0], 2.0)});
+  net.extend_task(tid, 5.0, std::vector<net::FlowSpec>{flow(d.left[1], d.right[1], 2.0)});
+
+  sched::FairSharing sched;
+  (void)test::run(net, sched);
+  // First wave finishes alone at t=2; second starts at its arrival t=5.
+  EXPECT_NEAR(net.flows()[0].completion_time, 2.0, 1e-9);
+  EXPECT_NEAR(net.flows()[1].completion_time, 7.0, 1e-9);
+  EXPECT_EQ(net.task(tid).state, net::TaskState::kCompleted);
+}
+
+TEST(Waves, TaskNotCompleteUntilAllWavesFinish) {
+  auto d = make_dumbbell();
+  net::Network net(*d.topology);
+  const net::TaskId tid =
+      add_wave_task(net, 0.0, 20.0, {flow(d.left[0], d.right[0], 1.0)});
+  net.extend_task(tid, 8.0, std::vector<net::FlowSpec>{flow(d.left[1], d.right[1], 1.0)});
+  sched::FairSharing sched;
+  sim::FluidSimulator simulator(net, sched);
+  (void)simulator.run();
+  EXPECT_EQ(net.task(tid).state, net::TaskState::kCompleted);
+  EXPECT_GT(net.flows()[1].completion_time, net.flows()[0].completion_time);
+}
+
+TEST(Waves, TapsSchedulesLaterWaves) {
+  auto d = make_dumbbell();
+  net::Network net(*d.topology);
+  const net::TaskId tid =
+      add_wave_task(net, 0.0, 20.0, {flow(d.left[0], d.right[0], 2.0)});
+  net.extend_task(tid, 3.0, std::vector<net::FlowSpec>{flow(d.left[1], d.right[1], 2.0)});
+  TapsScheduler sched;
+  (void)test::run(net, sched);
+  EXPECT_EQ(net.task(tid).state, net::TaskState::kCompleted);
+  EXPECT_NEAR(net.flows()[0].completion_time, 2.0, 1e-9);
+  EXPECT_NEAR(net.flows()[1].completion_time, 5.0, 1e-9);
+}
+
+TEST(Waves, TapsRejectsWholeTaskWhenWaveCannotFit) {
+  auto d = make_dumbbell();
+  net::Network net(*d.topology);
+  // Wave 2 of t0 arrives so late that its flow cannot meet the deadline.
+  const net::TaskId tid = add_wave_task(net, 0.0, 4.0, {flow(d.left[0], d.right[0], 1.0)});
+  net.extend_task(tid, 3.5, std::vector<net::FlowSpec>{flow(d.left[1], d.right[1], 2.0)});
+  TapsScheduler sched;
+  (void)test::run(net, sched);
+  // The task is rejected as a whole (task is the accept/reject unit); the
+  // first wave's completed flow stays completed, the late wave never runs.
+  EXPECT_EQ(net.task(tid).state, net::TaskState::kRejected);
+  EXPECT_EQ(net.flows()[0].state, net::FlowState::kCompleted);
+  EXPECT_EQ(net.flows()[1].state, net::FlowState::kRejected);
+  EXPECT_DOUBLE_EQ(net.flows()[1].bytes_sent, 0.0);
+}
+
+TEST(Waves, VarysRejectsWholeTaskWhenWaveDoesNotFit) {
+  auto d = make_dumbbell();
+  net::Network net(*d.topology);
+  const net::TaskId t0 = add_wave_task(net, 0.0, 4.0, {flow(d.left[0], d.right[0], 1.0)});
+  // Second wave demands r = 4/2 = 2 > capacity: impossible reservation.
+  net.extend_task(t0, 2.0, std::vector<net::FlowSpec>{flow(d.left[1], d.right[1], 4.0)});
+  sched::Varys sched;
+  (void)test::run(net, sched);
+  EXPECT_EQ(net.task(t0).state, net::TaskState::kRejected);
+}
+
+// The paper's preemption branch, finally live: task A is half done when its
+// second wave arrives; fresh task B holds the capacity the wave needs. The
+// trial's only missing flows belong to B, and B's completion ratio (0) is
+// strictly below A's (1/3 completed) -> B is preempted, A completes.
+TEST(Waves, ProgressPreemptionDisplacesFresherTask) {
+  auto d = make_dumbbell();
+  net::Network net(*d.topology);
+  // Task A: first wave 1 unit at t=0, deadline 10.
+  const net::TaskId a = add_wave_task(net, 0.0, 10.0, {flow(d.left[0], d.right[0], 1.0)});
+  // Task B arrives at t=2 and fills the rest of the horizon: 7 units, d=10.
+  add_task(net, 2.0, 10.0, {flow(d.left[1], d.right[1], 7.0)});
+  // Task A's second wave: 2 flows x 3 units, deadline 10 — cannot fit while
+  // B holds [3,10).
+  net.extend_task(a, 3.0,
+                  std::vector<net::FlowSpec>{flow(d.left[2], d.right[2], 3.0),
+                                             flow(d.left[3], d.right[3], 3.0)});
+
+  TapsScheduler sched;
+  (void)test::run(net, sched);
+
+  EXPECT_EQ(net.task(a).state, net::TaskState::kCompleted);
+  EXPECT_EQ(net.task(1).state, net::TaskState::kRejected);  // B preempted
+  EXPECT_EQ(sched.counters().tasks_preempted, 1u);
+}
+
+TEST(Waves, SchedulablePolicyPreemptsForFreshTasks) {
+  // Under kSchedulable, a fully feasible newcomer (ratio 1) displaces a
+  // doomed incumbent even with zero progress — the Varys-limitation fix in
+  // its most aggressive reading.
+  auto d = make_dumbbell();
+  net::Network net(*d.topology);
+  add_task(net, 0.0, 10.0, {flow(d.left[0], d.right[0], 9.0)});  // incumbent hog
+  add_task(net, 1.0, 3.0, {flow(d.left[1], d.right[1], 1.9)});   // urgent newcomer
+  TapsConfig config;
+  config.preempt_policy = PreemptPolicy::kSchedulable;
+  TapsScheduler sched(config);
+  (void)test::run(net, sched);
+
+  EXPECT_EQ(net.task(1).state, net::TaskState::kCompleted);
+  EXPECT_EQ(net.task(0).state, net::TaskState::kRejected);
+  EXPECT_EQ(sched.counters().tasks_preempted, 1u);
+}
+
+TEST(Waves, ProgressPolicyKeepsIncumbentOnTie) {
+  // Same scenario under the paper-literal policy: both ratios are 0, so the
+  // newcomer is rejected and the incumbent finishes.
+  auto d = make_dumbbell();
+  net::Network net(*d.topology);
+  add_task(net, 0.0, 10.0, {flow(d.left[0], d.right[0], 9.0)});
+  add_task(net, 1.0, 3.0, {flow(d.left[1], d.right[1], 1.9)});
+  TapsScheduler sched;  // kProgress default
+  (void)test::run(net, sched);
+
+  EXPECT_EQ(net.task(0).state, net::TaskState::kCompleted);
+  EXPECT_EQ(net.task(1).state, net::TaskState::kRejected);
+  EXPECT_EQ(sched.counters().tasks_preempted, 0u);
+}
+
+TEST(Waves, GeneratorSplitsFlowsAcrossWaves) {
+  const auto topo = workload::make_topology(workload::Scenario::single_rooted(false));
+  net::Network net(*topo);
+  workload::WorkloadConfig wc;
+  wc.task_count = 10;
+  wc.flows_per_task_mean = 9.0;
+  wc.waves_per_task = 3;
+  util::Rng rng(5);
+  (void)workload::generate(net, wc, rng);
+
+  std::size_t multi_arrival_tasks = 0;
+  for (const auto& t : net.tasks()) {
+    double first = -1.0;
+    bool differs = false;
+    for (const net::FlowId fid : t.spec.flows) {
+      const auto& f = net.flow(fid);
+      EXPECT_DOUBLE_EQ(f.spec.deadline, t.spec.deadline);
+      EXPECT_GE(f.spec.arrival, t.spec.arrival);
+      EXPECT_LT(f.spec.arrival, t.spec.deadline);
+      if (first < 0.0) {
+        first = f.spec.arrival;
+      } else if (f.spec.arrival != first) {
+        differs = true;
+      }
+    }
+    if (differs) ++multi_arrival_tasks;
+  }
+  EXPECT_GT(multi_arrival_tasks, 0u);
+}
+
+TEST(Waves, AllSchedulersSurviveWavyWorkload) {
+  const auto topo = workload::make_topology(workload::Scenario::single_rooted(false));
+  for (const exp::SchedulerKind kind : exp::all_schedulers()) {
+    net::Network net(*topo);
+    workload::WorkloadConfig wc;
+    wc.task_count = 12;
+    wc.flows_per_task_mean = 8.0;
+    wc.waves_per_task = 3;
+    util::Rng rng(11);
+    (void)workload::generate(net, wc, rng);
+    const auto sched = exp::make_scheduler(kind, 16);
+    sim::FluidSimulator simulator(net, *sched);
+    (void)simulator.run();
+    for (const auto& f : net.flows()) {
+      EXPECT_TRUE(f.finished()) << exp::to_string(kind);
+      EXPECT_NEAR(f.bytes_sent + f.remaining, f.spec.size, 1e-3) << exp::to_string(kind);
+    }
+  }
+}
+
+TEST(Waves, TapsAdmittedTasksStillNeverFailWithWaves) {
+  const auto topo = workload::make_topology(workload::Scenario::single_rooted(false));
+  for (const std::uint64_t seed : {1u, 2u, 3u}) {
+    net::Network net(*topo);
+    workload::WorkloadConfig wc;
+    wc.task_count = 15;
+    wc.flows_per_task_mean = 10.0;
+    wc.waves_per_task = 2;
+    util::Rng rng(seed);
+    (void)workload::generate(net, wc, rng);
+    TapsScheduler sched;
+    sim::FluidSimulator simulator(net, sched);
+    (void)simulator.run();
+    for (const auto& t : net.tasks()) {
+      EXPECT_NE(t.state, net::TaskState::kFailed) << "seed " << seed;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace taps::core

@@ -1,0 +1,155 @@
+#include "exp/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "exp/sweep.hpp"
+
+#include <filesystem>
+
+#include "util/csv.hpp"
+
+namespace taps::exp {
+namespace {
+
+workload::Scenario tiny_scenario() {
+  workload::Scenario s = workload::Scenario::single_rooted(false);
+  s.workload.task_count = 10;
+  s.workload.flows_per_task_mean = 6.0;
+  s.seed = 11;
+  return s;
+}
+
+TEST(SchedulerRegistry, NamesRoundTrip) {
+  for (const SchedulerKind k : all_schedulers()) {
+    EXPECT_EQ(parse_scheduler(to_string(k)), k);
+  }
+  EXPECT_EQ(parse_scheduler("taps"), SchedulerKind::kTaps);
+  EXPECT_EQ(parse_scheduler("FAIRSHARING"), SchedulerKind::kFairSharing);
+  EXPECT_THROW((void)parse_scheduler("bogus"), std::invalid_argument);
+}
+
+TEST(SchedulerRegistry, FactoryProducesNamedSchedulers) {
+  for (const SchedulerKind k : all_schedulers()) {
+    const auto s = make_scheduler(k, 8);
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(s->name(), to_string(k));
+  }
+}
+
+TEST(Experiment, RunsEverySchedulerOnTinyScenario) {
+  const workload::Scenario s = tiny_scenario();
+  for (const SchedulerKind k : all_schedulers()) {
+    const ExperimentResult r = run_experiment(s, k);
+    EXPECT_EQ(r.metrics.tasks_total, 10u) << to_string(k);
+    EXPECT_GE(r.metrics.task_completion_ratio, 0.0);
+    EXPECT_LE(r.metrics.task_completion_ratio, 1.0);
+    EXPECT_GT(r.stats.events, 0u);
+  }
+}
+
+TEST(Experiment, DeterministicPerSeed) {
+  const workload::Scenario s = tiny_scenario();
+  const auto a = run_experiment(s, SchedulerKind::kTaps);
+  const auto b = run_experiment(s, SchedulerKind::kTaps);
+  EXPECT_DOUBLE_EQ(a.metrics.task_completion_ratio, b.metrics.task_completion_ratio);
+  EXPECT_DOUBLE_EQ(a.metrics.useful_bytes, b.metrics.useful_bytes);
+}
+
+TEST(Experiment, TapsAndVarysNeverWasteBandwidth) {
+  const workload::Scenario s = tiny_scenario();
+  EXPECT_DOUBLE_EQ(run_experiment(s, SchedulerKind::kTaps).metrics.wasted_bandwidth_ratio,
+                   0.0);
+  EXPECT_DOUBLE_EQ(run_experiment(s, SchedulerKind::kVarys).metrics.wasted_bandwidth_ratio,
+                   0.0);
+}
+
+TEST(Experiment, TapsTasksCompleteOrAreRejected) {
+  const workload::Scenario s = tiny_scenario();
+  const auto run = run_experiment_full(s, SchedulerKind::kTaps);
+  for (const auto& t : run.network->tasks()) {
+    EXPECT_TRUE(t.state == net::TaskState::kCompleted ||
+                t.state == net::TaskState::kRejected);
+  }
+}
+
+TEST(Experiment, ObserverReceivesSegments) {
+  class Count final : public sim::TransmitObserver {
+   public:
+    std::size_t n = 0;
+    void on_transmit(const net::Flow&, double, double, double) override { ++n; }
+  };
+  Count obs;
+  const auto run = run_experiment_full(tiny_scenario(), SchedulerKind::kFairSharing, &obs);
+  EXPECT_GT(obs.n, 0u);
+}
+
+TEST(Sweep, RunsAllCellsInOrder) {
+  std::vector<SweepPoint> points;
+  for (const double ms : {20.0, 40.0}) {
+    workload::Scenario s = tiny_scenario();
+    s.workload.mean_deadline = ms / 1000.0;
+    points.push_back(SweepPoint{ms, s});
+  }
+  const std::vector<SchedulerKind> scheds{SchedulerKind::kFairSharing,
+                                          SchedulerKind::kTaps};
+  const SweepResult r = run_sweep(points, scheds, 2);
+  ASSERT_EQ(r.cells.size(), 4u);
+  EXPECT_DOUBLE_EQ(r.cell(0, 0, 2).x, 20.0);
+  EXPECT_EQ(r.cell(0, 1, 2).scheduler, SchedulerKind::kTaps);
+  EXPECT_DOUBLE_EQ(r.cell(1, 0, 2).x, 40.0);
+}
+
+TEST(Sweep, RepeatsAverageMetrics) {
+  std::vector<SweepPoint> points{SweepPoint{1.0, tiny_scenario()}};
+  const std::vector<SchedulerKind> scheds{SchedulerKind::kTaps};
+  const SweepResult r = run_sweep(points, scheds, 1, 3);
+  const auto& m = r.cells[0].result.metrics;
+  EXPECT_EQ(m.tasks_total, 30u);  // summed over 3 repeats
+  EXPECT_GE(m.task_completion_ratio, 0.0);
+  EXPECT_LE(m.task_completion_ratio, 1.0);
+}
+
+TEST(Sweep, CsvRoundTrip) {
+  std::vector<SweepPoint> points{SweepPoint{20.0, tiny_scenario()}};
+  const std::vector<SchedulerKind> scheds{SchedulerKind::kFairSharing,
+                                          SchedulerKind::kTaps};
+  const SweepResult r = run_sweep(points, scheds, 1);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "taps_sweep_test.csv").string();
+  write_sweep_csv(path, "deadline_ms", points, scheds, r);
+
+  const auto rows = util::read_csv(path);
+  ASSERT_EQ(rows.size(), 3u);  // header + 1 point x 2 schedulers
+  EXPECT_EQ(rows[0][0], "deadline_ms");
+  EXPECT_EQ(rows[1][1], "FairSharing");
+  EXPECT_EQ(rows[2][1], "TAPS");
+  // Metric column survives the round trip exactly.
+  EXPECT_DOUBLE_EQ(std::stod(rows[2][2]),
+                   r.cell(0, 1, 2).result.metrics.task_completion_ratio);
+  std::remove(path.c_str());
+}
+
+TEST(Sweep, CsvUnwritablePathThrows) {
+  std::vector<SweepPoint> points{SweepPoint{1.0, tiny_scenario()}};
+  const std::vector<SchedulerKind> scheds{SchedulerKind::kTaps};
+  const SweepResult r = run_sweep(points, scheds, 1);
+  EXPECT_THROW(write_sweep_csv("/nonexistent/dir/x.csv", "x", points, scheds, r),
+               std::runtime_error);
+}
+
+TEST(Sweep, PrintTableShape) {
+  std::vector<SweepPoint> points{SweepPoint{20.0, tiny_scenario()}};
+  const std::vector<SchedulerKind> scheds{SchedulerKind::kFairSharing,
+                                          SchedulerKind::kTaps};
+  const SweepResult r = run_sweep(points, scheds, 1);
+  std::ostringstream os;
+  print_metric_table(os, "deadline-ms", points, scheds, r,
+                     [](const metrics::RunMetrics& m) { return m.task_completion_ratio; });
+  const std::string out = os.str();
+  EXPECT_NE(out.find("deadline-ms"), std::string::npos);
+  EXPECT_NE(out.find("TAPS"), std::string::npos);
+  EXPECT_NE(out.find("20.0000"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace taps::exp

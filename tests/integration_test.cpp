@@ -1,0 +1,161 @@
+// Cross-module integration and invariant tests: run full experiments across
+// seeds/topologies and check the physics every scheduler must respect, plus
+// the ordering relations the paper's evaluation depends on.
+#include <gtest/gtest.h>
+
+#include "exp/experiment.hpp"
+
+namespace taps {
+namespace {
+
+using exp::SchedulerKind;
+
+workload::Scenario scenario_with_seed(std::uint64_t seed,
+                                      workload::TopoKind topo = workload::TopoKind::kSingleRooted) {
+  workload::Scenario s = topo == workload::TopoKind::kFatTree
+                             ? workload::Scenario::fat_tree(false)
+                             : workload::Scenario::single_rooted(false);
+  s.workload.task_count = 15;
+  s.workload.flows_per_task_mean = 8.0;
+  s.seed = seed;
+  return s;
+}
+
+class AllSchedulersAllSeeds
+    : public ::testing::TestWithParam<std::tuple<SchedulerKind, std::uint64_t>> {};
+
+TEST_P(AllSchedulersAllSeeds, PhysicalInvariantsHold) {
+  const auto [kind, seed] = GetParam();
+  const auto run = exp::run_experiment_full(scenario_with_seed(seed), kind);
+  const net::Network& net = *run.network;
+
+  for (const auto& f : net.flows()) {
+    // Byte conservation.
+    EXPECT_NEAR(f.bytes_sent + f.remaining, f.spec.size, 1e-3)
+        << "flow " << f.id() << " under " << exp::to_string(kind);
+    EXPECT_GE(f.bytes_sent, -1e-9);
+    // Every flow reached a terminal state.
+    EXPECT_TRUE(f.finished());
+    if (f.state == net::FlowState::kCompleted) {
+      EXPECT_LE(f.completion_time, f.spec.deadline + 1e-6);
+      EXPECT_GE(f.completion_time, f.spec.arrival);
+      EXPECT_LE(f.remaining, 1e-3);
+    }
+    if (f.state == net::FlowState::kRejected && kind == SchedulerKind::kVarys) {
+      EXPECT_DOUBLE_EQ(f.bytes_sent, 0.0);  // Varys never starts rejected work
+    }
+  }
+  for (const auto& t : net.tasks()) {
+    EXPECT_TRUE(t.finished());
+    if (t.state == net::TaskState::kCompleted) {
+      EXPECT_EQ(t.completed_flows, t.flow_count());
+      for (const net::FlowId fid : t.spec.flows) {
+        EXPECT_EQ(net.flow(fid).state, net::FlowState::kCompleted);
+      }
+    }
+  }
+  // Metric identities.
+  const auto& m = run.result.metrics;
+  EXPECT_LE(m.task_size_ratio, m.app_throughput + 1e-12);
+  EXPECT_LE(m.wasted_bandwidth_ratio, 1.0);
+  EXPECT_GE(m.useful_bytes, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, AllSchedulersAllSeeds,
+    ::testing::Combine(::testing::Values(SchedulerKind::kFairSharing, SchedulerKind::kD3,
+                                         SchedulerKind::kPdq, SchedulerKind::kBaraat,
+                                         SchedulerKind::kVarys, SchedulerKind::kTaps),
+                       ::testing::Values(1u, 17u, 42u)),
+    [](const auto& info) {
+      return std::string(exp::to_string(std::get<0>(info.param))) + "_seed" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(Integration, TapsNeverWastesAndNeverFailsAdmitted) {
+  for (const std::uint64_t seed : {3u, 9u, 27u, 81u}) {
+    const auto run =
+        exp::run_experiment_full(scenario_with_seed(seed), SchedulerKind::kTaps);
+    EXPECT_DOUBLE_EQ(run.result.metrics.wasted_bandwidth_ratio, 0.0);
+    for (const auto& t : run.network->tasks()) {
+      EXPECT_NE(t.state, net::TaskState::kFailed) << "seed " << seed;
+    }
+  }
+}
+
+TEST(Integration, TapsNeverFailsAcrossDeadlineSweep) {
+  // Regression: a rate-change boundary landing within float noise of the
+  // current event time used to be discarded together with every boundary
+  // behind it, so an admitted flow could sleep through its transmission
+  // window and miss its deadline. Reproduced at fig-6 sweep scale.
+  for (int ms = 20; ms <= 60; ms += 10) {
+    for (const std::uint64_t rep : {0u, 1u, 2u}) {
+      workload::Scenario s = workload::Scenario::single_rooted(false);
+      s.workload.mean_deadline = ms / 1000.0;
+      s.seed = util::hash_combine(42, rep);
+      const auto run = exp::run_experiment_full(s, SchedulerKind::kTaps);
+      for (const auto& t : run.network->tasks()) {
+        EXPECT_NE(t.state, net::TaskState::kFailed)
+            << "deadline " << ms << "ms rep " << rep << " task " << t.id();
+      }
+    }
+  }
+}
+
+TEST(Integration, TapsNeverFailsOnFatTreeMultipath) {
+  // Regression: the greedy multi-path allocator is not monotone, so a
+  // compacting re-plan after a rejection could strand an already-admitted
+  // flow. Plans are now committed transactionally; admitted tasks must
+  // never fail even under heavy fat-tree contention.
+  for (const std::uint64_t rep : {0u, 1u, 2u}) {
+    workload::Scenario s = workload::Scenario::fat_tree(false);
+    s.seed = util::hash_combine(42, rep);
+    const auto run = exp::run_experiment_full(s, SchedulerKind::kTaps);
+    for (const auto& t : run.network->tasks()) {
+      EXPECT_NE(t.state, net::TaskState::kFailed) << "rep " << rep << " task " << t.id();
+    }
+    EXPECT_DOUBLE_EQ(run.result.metrics.wasted_bandwidth_ratio, 0.0);
+  }
+}
+
+TEST(Integration, TapsBeatsFairSharingOnTaskRatio) {
+  // The headline claim, averaged over seeds to be robust.
+  double taps = 0.0, fair = 0.0;
+  for (const std::uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    taps += exp::run_experiment(scenario_with_seed(seed), SchedulerKind::kTaps)
+                .metrics.task_completion_ratio;
+    fair += exp::run_experiment(scenario_with_seed(seed), SchedulerKind::kFairSharing)
+                .metrics.task_completion_ratio;
+  }
+  EXPECT_GT(taps, fair);
+}
+
+TEST(Integration, FatTreeRunsAllSchedulers) {
+  const workload::Scenario s = scenario_with_seed(5, workload::TopoKind::kFatTree);
+  for (const SchedulerKind k : exp::all_schedulers()) {
+    const auto r = exp::run_experiment(s, k);
+    EXPECT_EQ(r.metrics.tasks_total, 15u) << exp::to_string(k);
+  }
+}
+
+TEST(Integration, LooseDeadlinesCompleteEverythingUnderTaps) {
+  workload::Scenario s = scenario_with_seed(8);
+  s.workload.mean_deadline = 10.0;  // 10 s for ~ms of data: trivially feasible
+  s.workload.min_deadline = 5.0;
+  s.workload.arrival_rate = 10.0;
+  const auto r = exp::run_experiment(s, SchedulerKind::kTaps);
+  EXPECT_DOUBLE_EQ(r.metrics.task_completion_ratio, 1.0);
+}
+
+TEST(Integration, ImpossibleDeadlinesCompleteNothing) {
+  workload::Scenario s = scenario_with_seed(8);
+  s.workload.mean_deadline = 1e-7;  // far below a single packet time
+  s.workload.min_deadline = 1e-7;
+  for (const SchedulerKind k : exp::all_schedulers()) {
+    const auto r = exp::run_experiment(s, k);
+    EXPECT_DOUBLE_EQ(r.metrics.task_completion_ratio, 0.0) << exp::to_string(k);
+  }
+}
+
+}  // namespace
+}  // namespace taps

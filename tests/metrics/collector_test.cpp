@@ -1,0 +1,90 @@
+#include "metrics/collector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/fixtures.hpp"
+
+namespace taps::metrics {
+namespace {
+
+using test::add_task;
+using test::flow;
+using test::make_dumbbell;
+
+TEST(Collector, EmptyNetwork) {
+  auto d = make_dumbbell();
+  net::Network net(*d.topology);
+  const RunMetrics m = collect(net);
+  EXPECT_EQ(m.tasks_total, 0u);
+  EXPECT_DOUBLE_EQ(m.task_completion_ratio, 0.0);
+  EXPECT_DOUBLE_EQ(m.wasted_bandwidth_ratio, 0.0);
+}
+
+TEST(Collector, CountsCompletedTasksAndFlows) {
+  auto d = make_dumbbell();
+  net::Network net(*d.topology);
+  add_task(net, 0.0, 4.0,
+           {flow(d.left[0], d.right[0], 2.0), flow(d.left[1], d.right[1], 2.0)});
+  add_task(net, 0.0, 4.0, {flow(d.left[2], d.right[2], 4.0)});
+
+  // Task 0 fully completes; task 1's flow misses after sending 1 byte-unit.
+  net.task(0).state = net::TaskState::kAdmitted;
+  net.flow(0).state = net::FlowState::kActive;
+  net.flow(1).state = net::FlowState::kActive;
+  net.flow(0).bytes_sent = 2.0;
+  net.flow(1).bytes_sent = 2.0;
+  net.on_flow_completed(0, 1.0);
+  net.on_flow_completed(1, 2.0);
+  net.task(1).state = net::TaskState::kAdmitted;
+  net.flow(2).state = net::FlowState::kActive;
+  net.flow(2).bytes_sent = 1.0;
+  net.on_flow_missed(2);
+
+  const RunMetrics m = collect(net);
+  EXPECT_EQ(m.tasks_total, 2u);
+  EXPECT_EQ(m.tasks_completed, 1u);
+  EXPECT_DOUBLE_EQ(m.task_completion_ratio, 0.5);
+  EXPECT_EQ(m.flows_total, 3u);
+  EXPECT_EQ(m.flows_completed, 2u);
+  EXPECT_NEAR(m.flow_completion_ratio, 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(m.total_bytes, 8.0);
+  EXPECT_DOUBLE_EQ(m.useful_bytes, 4.0);
+  EXPECT_DOUBLE_EQ(m.app_throughput, 0.5);
+  EXPECT_DOUBLE_EQ(m.wasted_bytes, 1.0);       // the missed flow's sent bytes
+  EXPECT_DOUBLE_EQ(m.wasted_bandwidth_ratio, 1.0 / 8.0);
+  EXPECT_DOUBLE_EQ(m.task_size_ratio, 0.5);    // bytes in completed tasks
+}
+
+TEST(Collector, RejectedTasksCounted) {
+  auto d = make_dumbbell();
+  net::Network net(*d.topology);
+  add_task(net, 0.0, 4.0, {flow(d.left[0], d.right[0], 2.0)});
+  net.reject_task(0);
+  const RunMetrics m = collect(net);
+  EXPECT_EQ(m.tasks_rejected, 1u);
+  EXPECT_EQ(m.tasks_completed, 0u);
+  EXPECT_DOUBLE_EQ(m.wasted_bytes, 0.0);
+}
+
+TEST(Collector, CompletedFlowInFailedTaskIsNotFlowLevelWaste) {
+  // Fig. 8's definition charges only bytes of flows that themselves failed.
+  auto d = make_dumbbell();
+  net::Network net(*d.topology);
+  add_task(net, 0.0, 4.0,
+           {flow(d.left[0], d.right[0], 2.0), flow(d.left[1], d.right[1], 2.0)});
+  net.task(0).state = net::TaskState::kAdmitted;
+  net.flow(0).state = net::FlowState::kActive;
+  net.flow(1).state = net::FlowState::kActive;
+  net.flow(0).bytes_sent = 2.0;
+  net.on_flow_completed(0, 1.0);
+  net.flow(1).bytes_sent = 1.5;
+  net.on_flow_missed(1);
+
+  const RunMetrics m = collect(net);
+  EXPECT_DOUBLE_EQ(m.wasted_bytes, 1.5);
+  EXPECT_DOUBLE_EQ(m.useful_bytes, 2.0);  // flow-level accounting
+  EXPECT_DOUBLE_EQ(m.task_size_ratio, 0.0);  // but no task completed
+}
+
+}  // namespace
+}  // namespace taps::metrics

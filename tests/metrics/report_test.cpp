@@ -1,0 +1,53 @@
+#include "metrics/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace taps::metrics {
+namespace {
+
+TEST(Table, AlignsColumns) {
+  Table t({"name", "value"});
+  t.row("short", 1);
+  t.row("much-longer-name", 22);
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  // Header, separator, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+  EXPECT_NE(out.find("much-longer-name"), std::string::npos);
+  // The second column starts at the same character offset on every line.
+  std::istringstream lines(out);
+  std::string header, rule, row1, row2;
+  std::getline(lines, header);
+  std::getline(lines, rule);
+  std::getline(lines, row1);
+  std::getline(lines, row2);
+  EXPECT_EQ(header.find("value"), row2.find("22"));
+  EXPECT_EQ(row1.find('1'), row2.find("22"));
+}
+
+TEST(Table, FormatsDoublesWithFourDecimals) {
+  EXPECT_EQ(Table::format(0.5), "0.5000");
+  EXPECT_EQ(Table::format(1.0 / 3.0), "0.3333");
+}
+
+TEST(Table, ShortRowsArePadded) {
+  Table t({"a", "b", "c"});
+  t.add_row({"only-one"});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("only-one"), std::string::npos);
+}
+
+TEST(Table, EmptyTablePrintsHeaderOnly) {
+  Table t({"x"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 2);  // header + rule
+}
+
+}  // namespace
+}  // namespace taps::metrics

@@ -1,0 +1,106 @@
+#include "metrics/timeseries.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/fixtures.hpp"
+
+namespace taps::metrics {
+namespace {
+
+using test::add_task;
+using test::flow;
+using test::make_dumbbell;
+
+struct Env {
+  test::Dumbbell d = make_dumbbell();
+  net::Network net{*d.topology};
+};
+
+TEST(SegmentRecorder, BinsSplitSegmentsProRata) {
+  Env s;
+  add_task(s.net, 0.0, 10.0, {flow(s.d.left[0], s.d.right[0], 3.0)});
+  s.net.task(0).state = net::TaskState::kAdmitted;
+  s.net.flow(0).state = net::FlowState::kActive;
+
+  SegmentRecorder rec;
+  // 3 bytes uniformly over [0.5, 3.5): 1 byte per unit time.
+  rec.on_transmit(s.net.flow(0), 0.5, 3.5, 3.0);
+  s.net.on_flow_completed(0, 3.5);
+
+  const auto bins = rec.bins(s.net, 1.0);
+  ASSERT_EQ(bins.size(), 4u);
+  EXPECT_NEAR(bins[0].useful_bytes, 0.5, 1e-12);
+  EXPECT_NEAR(bins[1].useful_bytes, 1.0, 1e-12);
+  EXPECT_NEAR(bins[2].useful_bytes, 1.0, 1e-12);
+  EXPECT_NEAR(bins[3].useful_bytes, 0.5, 1e-12);
+  for (const auto& b : bins) EXPECT_DOUBLE_EQ(b.wasted_bytes, 0.0);
+}
+
+TEST(SegmentRecorder, ClassifiesByFinalState) {
+  Env s;
+  add_task(s.net, 0.0, 2.0, {flow(s.d.left[0], s.d.right[0], 5.0)});
+  s.net.task(0).state = net::TaskState::kAdmitted;
+  s.net.flow(0).state = net::FlowState::kActive;
+  SegmentRecorder rec;
+  rec.on_transmit(s.net.flow(0), 0.0, 2.0, 2.0);
+  s.net.on_flow_missed(0);  // flow failed: all its bytes are waste
+
+  const auto bins = rec.bins(s.net, 1.0);
+  ASSERT_EQ(bins.size(), 2u);
+  EXPECT_DOUBLE_EQ(bins[0].wasted_bytes, 1.0);
+  EXPECT_DOUBLE_EQ(bins[1].wasted_bytes, 1.0);
+  EXPECT_DOUBLE_EQ(bins[0].useful_bytes, 0.0);
+  EXPECT_DOUBLE_EQ(bins[0].effective_fraction(), 0.0);
+}
+
+TEST(SegmentRecorder, EffectiveFractionMixes) {
+  Env s;
+  add_task(s.net, 0.0, 10.0, {flow(s.d.left[0], s.d.right[0], 1.0)});
+  add_task(s.net, 0.0, 1.0, {flow(s.d.left[1], s.d.right[1], 9.0)});
+  for (net::FlowId id : {0, 1}) {
+    s.net.task(id).state = net::TaskState::kAdmitted;
+    s.net.flow(id).state = net::FlowState::kActive;
+  }
+  SegmentRecorder rec;
+  rec.on_transmit(s.net.flow(0), 0.0, 1.0, 1.0);
+  rec.on_transmit(s.net.flow(1), 0.0, 1.0, 3.0);
+  s.net.on_flow_completed(0, 1.0);
+  s.net.on_flow_missed(1);
+
+  const auto bins = rec.bins(s.net, 1.0);
+  ASSERT_EQ(bins.size(), 1u);
+  EXPECT_NEAR(bins[0].effective_fraction(), 0.25, 1e-12);
+}
+
+TEST(SegmentRecorder, EmptyRecorderYieldsNoBins) {
+  Env s;
+  const SegmentRecorder rec;
+  EXPECT_TRUE(rec.bins(s.net, 1.0).empty());
+  EXPECT_EQ(rec.segment_count(), 0u);
+}
+
+TEST(SegmentRecorder, IgnoresDegenerateSegments) {
+  Env s;
+  add_task(s.net, 0.0, 10.0, {flow(s.d.left[0], s.d.right[0], 1.0)});
+  SegmentRecorder rec;
+  rec.on_transmit(s.net.flow(0), 1.0, 1.0, 0.0);
+  rec.on_transmit(s.net.flow(0), 2.0, 1.0, 1.0);  // inverted
+  EXPECT_EQ(rec.segment_count(), 0u);
+}
+
+TEST(SegmentRecorder, IdleBinHasZeroFraction) {
+  Env s;
+  add_task(s.net, 0.0, 10.0, {flow(s.d.left[0], s.d.right[0], 1.0)});
+  s.net.task(0).state = net::TaskState::kAdmitted;
+  s.net.flow(0).state = net::FlowState::kActive;
+  SegmentRecorder rec;
+  rec.on_transmit(s.net.flow(0), 2.0, 3.0, 1.0);  // nothing in [0,2)
+  s.net.on_flow_completed(0, 3.0);
+  const auto bins = rec.bins(s.net, 1.0);
+  ASSERT_EQ(bins.size(), 3u);
+  EXPECT_DOUBLE_EQ(bins[0].effective_fraction(), 0.0);
+  EXPECT_DOUBLE_EQ(bins[2].effective_fraction(), 1.0);
+}
+
+}  // namespace
+}  // namespace taps::metrics

@@ -1,0 +1,118 @@
+#include "net/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/fixtures.hpp"
+
+namespace taps::net {
+namespace {
+
+using test::add_task;
+using test::flow;
+using test::make_dumbbell;
+
+struct NetworkFixture : public ::testing::Test {
+  test::Dumbbell d = make_dumbbell();
+  Network net{*d.topology};
+};
+
+TEST_F(NetworkFixture, AddTaskAssignsContiguousIds) {
+  const TaskId t0 = add_task(net, 0.0, 1.0,
+                             {flow(d.left[0], d.right[0], 1.0), flow(d.left[1], d.right[1], 2.0)});
+  const TaskId t1 = add_task(net, 0.5, 2.0, {flow(d.left[2], d.right[2], 3.0)});
+  EXPECT_EQ(t0, 0);
+  EXPECT_EQ(t1, 1);
+  EXPECT_EQ(net.flows().size(), 3u);
+  EXPECT_EQ(net.flow(0).task(), t0);
+  EXPECT_EQ(net.flow(2).task(), t1);
+  EXPECT_EQ(net.task(t0).spec.flows, (std::vector<FlowId>{0, 1}));
+}
+
+TEST_F(NetworkFixture, FlowsInheritTaskTiming) {
+  add_task(net, 1.5, 3.0, {flow(d.left[0], d.right[0], 1.0)});
+  EXPECT_DOUBLE_EQ(net.flow(0).spec.arrival, 1.5);
+  EXPECT_DOUBLE_EQ(net.flow(0).spec.deadline, 3.0);
+  EXPECT_DOUBLE_EQ(net.flow(0).remaining, 1.0);
+  EXPECT_EQ(net.flow(0).state, FlowState::kPending);
+}
+
+TEST_F(NetworkFixture, CompletionPromotesTask) {
+  add_task(net, 0.0, 5.0,
+           {flow(d.left[0], d.right[0], 1.0), flow(d.left[1], d.right[1], 1.0)});
+  net.task(0).state = TaskState::kAdmitted;
+  net.flow(0).state = FlowState::kActive;
+  net.flow(1).state = FlowState::kActive;
+
+  net.on_flow_completed(0, 1.0);
+  EXPECT_EQ(net.task(0).state, TaskState::kAdmitted);  // one flow left
+  EXPECT_DOUBLE_EQ(net.task(0).completion_ratio(), 0.5);
+  net.on_flow_completed(1, 2.0);
+  EXPECT_EQ(net.task(0).state, TaskState::kCompleted);
+  EXPECT_DOUBLE_EQ(net.task(0).completion_ratio(), 1.0);
+}
+
+TEST_F(NetworkFixture, MissFailsTask) {
+  add_task(net, 0.0, 5.0,
+           {flow(d.left[0], d.right[0], 1.0), flow(d.left[1], d.right[1], 1.0)});
+  net.task(0).state = TaskState::kAdmitted;
+  net.flow(0).state = FlowState::kActive;
+  net.flow(1).state = FlowState::kActive;
+  net.on_flow_missed(0);
+  EXPECT_EQ(net.task(0).state, TaskState::kFailed);
+  EXPECT_EQ(net.flow(0).state, FlowState::kMissed);
+  // A later completion does not resurrect the task.
+  net.on_flow_completed(1, 2.0);
+  EXPECT_EQ(net.task(0).state, TaskState::kFailed);
+}
+
+TEST_F(NetworkFixture, RejectTaskSparesCompletedFlows) {
+  add_task(net, 0.0, 5.0,
+           {flow(d.left[0], d.right[0], 1.0), flow(d.left[1], d.right[1], 1.0)});
+  net.task(0).state = TaskState::kAdmitted;
+  net.flow(0).state = FlowState::kActive;
+  net.flow(1).state = FlowState::kActive;
+  net.on_flow_completed(0, 1.0);
+  net.reject_task(0);
+  EXPECT_EQ(net.task(0).state, TaskState::kRejected);
+  EXPECT_EQ(net.flow(0).state, FlowState::kCompleted);  // finished stays
+  EXPECT_EQ(net.flow(1).state, FlowState::kRejected);
+  EXPECT_DOUBLE_EQ(net.flow(1).rate, 0.0);
+}
+
+TEST_F(NetworkFixture, UniformCapacityDetection) {
+  EXPECT_TRUE(net.uniform_capacity());
+}
+
+TEST_F(NetworkFixture, ExpectedTimeAndTimeToDeadline) {
+  add_task(net, 0.0, 5.0, {flow(d.left[0], d.right[0], 4.0)});
+  const Flow& f = net.flow(0);
+  EXPECT_DOUBLE_EQ(f.expected_time(2.0), 2.0);
+  EXPECT_DOUBLE_EQ(f.time_to_deadline(1.0), 4.0);
+  EXPECT_DOUBLE_EQ(f.time_to_deadline(6.0), -1.0);
+}
+
+TEST_F(NetworkFixture, StateNamesAreStable) {
+  EXPECT_STREQ(to_string(FlowState::kPending), "pending");
+  EXPECT_STREQ(to_string(FlowState::kMissed), "missed");
+  EXPECT_STREQ(to_string(TaskState::kRejected), "rejected");
+  EXPECT_STREQ(to_string(TaskState::kFailed), "failed");
+}
+
+TEST_F(NetworkFixture, ExtendTaskKeepsCompletionAccounting) {
+  const TaskId t0 = add_task(net, 0.0, 10.0, {flow(d.left[0], d.right[0], 1.0)});
+  net.task(t0).state = TaskState::kAdmitted;
+  net.flow(0).state = FlowState::kActive;
+  net.on_flow_completed(0, 1.0);
+  EXPECT_EQ(net.task(t0).state, TaskState::kCompleted);
+
+  // A later wave reopens the task.
+  net.extend_task(t0, 2.0, std::vector<FlowSpec>{flow(d.left[1], d.right[1], 1.0)});
+  EXPECT_EQ(net.task(t0).state, TaskState::kAdmitted);
+  EXPECT_DOUBLE_EQ(net.task(t0).completion_ratio(), 0.5);
+  net.flow(1).state = FlowState::kActive;
+  net.on_flow_completed(1, 3.0);
+  EXPECT_EQ(net.task(t0).state, TaskState::kCompleted);
+}
+
+}  // namespace
+}  // namespace taps::net

@@ -1,0 +1,159 @@
+#include "pkt/packet_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/fixtures.hpp"
+#include "core/taps_scheduler.hpp"
+#include "sched/fair_sharing.hpp"
+#include "workload/task_generator.hpp"
+
+namespace taps::pkt {
+namespace {
+
+using test::add_task;
+using test::flow;
+using test::make_dumbbell;
+
+// Capacity 1.25e5 B/s so a 1500 B packet takes 12 ms — packetization effects
+// are visible at test scale.
+constexpr double kCap = 1.25e5;
+
+struct PktFixture {
+  test::Dumbbell d = test::make_dumbbell(6, kCap);
+  net::Network net{*d.topology};
+};
+
+TEST(PacketSim, SingleFlowDeliversAllBytes) {
+  PktFixture s;
+  add_task(s.net, 0.0, 10.0, {flow(s.d.left[0], s.d.right[0], 15000.0)});  // 10 packets
+  sched::FairSharing sched;
+  PacketSimulator sim(s.net, sched);
+  const PacketSimStats stats = sim.run();
+
+  EXPECT_EQ(s.net.flows()[0].state, net::FlowState::kCompleted);
+  // 10 packets, 3 hops, paced at full rate: first packet delivered after
+  // 3 serializations, the rest pipeline: total = (10 + 2) * 12 ms.
+  EXPECT_NEAR(s.net.flows()[0].completion_time, 12.0 * 0.012, 1e-6);
+  EXPECT_EQ(stats.packets_delivered, 10u);  // counted at final delivery
+  EXPECT_EQ(stats.completions, 1u);
+}
+
+TEST(PacketSim, PartialLastPacket) {
+  PktFixture s;
+  add_task(s.net, 0.0, 10.0, {flow(s.d.left[0], s.d.right[0], 2000.0)});  // 1500 + 500
+  sched::FairSharing sched;
+  PacketSimulator sim(s.net, sched);
+  (void)sim.run();
+  EXPECT_EQ(s.net.flows()[0].state, net::FlowState::kCompleted);
+  EXPECT_NEAR(s.net.flows()[0].bytes_sent, 2000.0, 1e-9);
+}
+
+TEST(PacketSim, DeadlineMissStopsEmission) {
+  PktFixture s;
+  // 100 packets needed, deadline allows ~8.
+  add_task(s.net, 0.0, 0.1, {flow(s.d.left[0], s.d.right[0], 150000.0)});
+  sched::FairSharing sched;
+  PacketSimulator sim(s.net, sched);
+  const PacketSimStats stats = sim.run();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(s.net.flows()[0].state, net::FlowState::kMissed);
+  EXPECT_LT(s.net.flows()[0].bytes_sent, 150000.0);
+  EXPECT_GT(s.net.flows()[0].bytes_sent, 0.0);
+}
+
+TEST(PacketSim, FairSharingHalvesRatesUnderContention) {
+  PktFixture s;
+  add_task(s.net, 0.0, 100.0, {flow(s.d.left[0], s.d.right[0], 15000.0)});
+  add_task(s.net, 0.0, 100.0, {flow(s.d.left[1], s.d.right[1], 15000.0)});
+  sched::FairSharing sched;
+  PacketSimulator sim(s.net, sched);
+  (void)sim.run();
+  // Both complete; sharing the bottleneck means each takes ~2x the solo time
+  // (10 packets at half rate ~ 0.24 s + pipeline).
+  for (const auto& f : s.net.flows()) {
+    ASSERT_EQ(f.state, net::FlowState::kCompleted);
+    EXPECT_GT(f.completion_time, 0.20);
+    EXPECT_LT(f.completion_time, 0.32);
+  }
+}
+
+TEST(PacketSim, TapsSlicesSerializeFlows) {
+  PktFixture s;
+  add_task(s.net, 0.0, 1.0, {flow(s.d.left[0], s.d.right[0], 15000.0)});
+  add_task(s.net, 0.0, 1.0, {flow(s.d.left[1], s.d.right[1], 15000.0)});
+  core::TapsScheduler sched;
+  PacketSimulator sim(s.net, sched);
+  (void)sim.run();
+  ASSERT_EQ(s.net.tasks()[0].state, net::TaskState::kCompleted);
+  ASSERT_EQ(s.net.tasks()[1].state, net::TaskState::kCompleted);
+  // Exclusive slices: the second flow finishes roughly one slice later.
+  const double t0 = s.net.flows()[0].completion_time;
+  const double t1 = s.net.flows()[1].completion_time;
+  EXPECT_GT(std::abs(t1 - t0), 0.08);  // ~a 0.12 s slice apart
+}
+
+TEST(PacketSim, QueueDepthBoundedWhenPaced) {
+  PktFixture s;
+  add_task(s.net, 0.0, 100.0, {flow(s.d.left[0], s.d.right[0], 75000.0)});
+  add_task(s.net, 0.0, 100.0, {flow(s.d.left[1], s.d.right[1], 75000.0)});
+  sched::FairSharing sched;
+  PacketSimulator sim(s.net, sched);
+  const PacketSimStats stats = sim.run();
+  // Senders are paced at the assigned (feasible) rates, so queues stay at
+  // transient depth, not O(flow size).
+  EXPECT_LE(stats.max_queue_depth, 6u);
+}
+
+// The headline validation: fluid and packet engines agree on who completes.
+class FluidVsPacket : public ::testing::TestWithParam<exp::SchedulerKind> {};
+
+TEST_P(FluidVsPacket, CompletionSetsNearlyAgree) {
+  const auto kind = GetParam();
+  workload::Scenario scenario = workload::Scenario::single_rooted(false);
+  scenario.workload.task_count = 15;
+  scenario.workload.flows_per_task_mean = 6.0;
+  scenario.seed = 99;
+
+  const auto topology = workload::make_topology(scenario);
+
+  auto run_with = [&](bool packet) {
+    net::Network net(*topology);
+    util::Rng rng(scenario.seed);
+    util::Rng wl = rng.fork("workload");
+    (void)workload::generate(net, scenario.workload, wl);
+    const auto sched = exp::make_scheduler(kind, scenario.max_paths);
+    if (packet) {
+      PacketSimulator sim(net, *sched);
+      (void)sim.run();
+    } else {
+      sim::FluidSimulator sim(net, *sched);
+      (void)sim.run();
+    }
+    return metrics::collect(net);
+  };
+
+  const metrics::RunMetrics fluid = run_with(false);
+  const metrics::RunMetrics packet = run_with(true);
+
+  // Packetization (store-and-forward latency, MTU rounding) may flip tasks
+  // whose flows finish within a hair of the deadline; everything else must
+  // agree. Allow 3 tasks of 15 to differ.
+  EXPECT_NEAR(packet.task_completion_ratio, fluid.task_completion_ratio, 3.0 / 15.0)
+      << exp::to_string(kind);
+  EXPECT_NEAR(packet.flow_completion_ratio, fluid.flow_completion_ratio, 0.15)
+      << exp::to_string(kind);
+}
+
+INSTANTIATE_TEST_SUITE_P(Schedulers, FluidVsPacket,
+                         ::testing::Values(exp::SchedulerKind::kFairSharing,
+                                           exp::SchedulerKind::kD3,
+                                           exp::SchedulerKind::kPdq,
+                                           exp::SchedulerKind::kBaraat,
+                                           exp::SchedulerKind::kVarys,
+                                           exp::SchedulerKind::kTaps),
+                         [](const auto& info) {
+                           return std::string(exp::to_string(info.param));
+                         });
+
+}  // namespace
+}  // namespace taps::pkt

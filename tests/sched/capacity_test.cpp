@@ -1,0 +1,147 @@
+// Universal data-plane feasibility: no scheduler may assign rates whose
+// per-link sum exceeds capacity, at any instant of any run. Checked by
+// wrapping each scheduler and auditing every assign_rates result.
+#include <gtest/gtest.h>
+
+#include "common/fixtures.hpp"
+#include "sched/pdq.hpp"
+#include "workload/task_generator.hpp"
+
+namespace taps::sched {
+namespace {
+
+/// Decorator that re-checks link feasibility after every rate assignment.
+class CapacityAudit final : public sim::Scheduler {
+ public:
+  explicit CapacityAudit(std::unique_ptr<sim::Scheduler> inner)
+      : inner_(std::move(inner)) {}
+
+  [[nodiscard]] std::string name() const override { return inner_->name(); }
+  void bind(net::Network& net) override {
+    sim::Scheduler::bind(net);
+    inner_->bind(net);
+    load_.assign(net.graph().link_count(), 0.0);
+  }
+  void on_task_arrival(net::TaskId id, double now) override {
+    inner_->on_task_arrival(id, now);
+  }
+  void on_flow_finished(net::FlowId id, double now) override {
+    inner_->on_flow_finished(id, now);
+  }
+  double assign_rates(double now) override {
+    const double next = inner_->assign_rates(now);
+    audit(now);
+    return next;
+  }
+
+  [[nodiscard]] std::size_t violations() const { return violations_; }
+  [[nodiscard]] std::size_t audits() const { return audits_; }
+
+ private:
+  void audit(double /*now*/) {
+    ++audits_;
+    std::fill(load_.begin(), load_.end(), 0.0);
+    for (const auto& f : net_->flows()) {
+      if (!f.active() || f.rate <= 0.0) continue;
+      for (const topo::LinkId lid : f.path.links) {
+        load_[static_cast<std::size_t>(lid)] += f.rate;
+      }
+    }
+    for (const auto& l : net_->graph().links()) {
+      // Tolerance: water-filling accumulates ~1e-9-relative float error.
+      if (load_[static_cast<std::size_t>(l.id)] > l.capacity * (1.0 + 1e-6)) {
+        ++violations_;
+      }
+    }
+  }
+
+  std::unique_ptr<sim::Scheduler> inner_;
+  std::vector<double> load_;
+  std::size_t violations_ = 0;
+  std::size_t audits_ = 0;
+};
+
+class CapacityFeasibility
+    : public ::testing::TestWithParam<std::tuple<exp::SchedulerKind, std::uint64_t>> {};
+
+TEST_P(CapacityFeasibility, NoLinkEverOversubscribed) {
+  const auto [kind, seed] = GetParam();
+  const auto topology = workload::make_topology(workload::Scenario::single_rooted(false));
+  net::Network net(*topology);
+  workload::WorkloadConfig wc;
+  wc.task_count = 20;
+  wc.flows_per_task_mean = 10.0;
+  util::Rng rng(seed);
+  (void)workload::generate(net, wc, rng);
+
+  CapacityAudit audit(exp::make_scheduler(kind, 16));
+  sim::FluidSimulator simulator(net, audit);
+  (void)simulator.run();
+
+  EXPECT_EQ(audit.violations(), 0u) << exp::to_string(kind) << " seed " << seed;
+  EXPECT_GT(audit.audits(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, CapacityFeasibility,
+    ::testing::Combine(::testing::Values(exp::SchedulerKind::kFairSharing,
+                                         exp::SchedulerKind::kD3, exp::SchedulerKind::kPdq,
+                                         exp::SchedulerKind::kBaraat,
+                                         exp::SchedulerKind::kVarys, exp::SchedulerKind::kTaps),
+                       ::testing::Values(3u, 19u)),
+    [](const auto& info) {
+      return std::string(exp::to_string(std::get<0>(info.param))) + "_seed" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// PDQ-specific priority property: whenever PDQ assigns rates, the most
+// critical unfinished flow (EDF, then SJF) is never paused.
+TEST(PdqPriority, MostCriticalFlowAlwaysRuns) {
+  class PdqAudit final : public sim::Scheduler {
+   public:
+    [[nodiscard]] std::string name() const override { return inner_.name(); }
+    void bind(net::Network& net) override {
+      sim::Scheduler::bind(net);
+      inner_.bind(net);
+    }
+    void on_task_arrival(net::TaskId id, double now) override {
+      inner_.on_task_arrival(id, now);
+    }
+    void on_flow_finished(net::FlowId id, double now) override {
+      inner_.on_flow_finished(id, now);
+    }
+    double assign_rates(double now) override {
+      const double next = inner_.assign_rates(now);
+      const net::Flow* top = nullptr;
+      for (const auto& f : net_->flows()) {
+        if (!f.active() || f.remaining <= sim::kByteEpsilon) continue;
+        if (top == nullptr || f.spec.deadline < top->spec.deadline ||
+            (f.spec.deadline == top->spec.deadline && f.remaining < top->remaining)) {
+          top = &f;
+        }
+      }
+      if (top != nullptr) {
+        EXPECT_GT(top->rate, 0.0) << "most critical flow " << top->id() << " paused at t="
+                                  << now;
+      }
+      return next;
+    }
+
+   private:
+    Pdq inner_;
+  };
+
+  const auto topology = workload::make_topology(workload::Scenario::single_rooted(false));
+  net::Network net(*topology);
+  workload::WorkloadConfig wc;
+  wc.task_count = 15;
+  wc.flows_per_task_mean = 8.0;
+  util::Rng rng(5);
+  (void)workload::generate(net, wc, rng);
+  PdqAudit audit;
+  sim::FluidSimulator simulator(net, audit);
+  (void)simulator.run();
+}
+
+}  // namespace
+}  // namespace taps::sched

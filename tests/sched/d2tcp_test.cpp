@@ -1,0 +1,105 @@
+#include "sched/d2tcp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/fixtures.hpp"
+
+namespace taps::sched {
+namespace {
+
+using test::add_task;
+using test::flow;
+using test::make_dumbbell;
+
+TEST(D2Tcp, SingleFlowGetsFullCapacity) {
+  auto d = make_dumbbell();
+  net::Network net(*d.topology);
+  add_task(net, 0.0, 10.0, {flow(d.left[0], d.right[0], 3.0)});
+  D2Tcp sched;
+  (void)test::run(net, sched);
+  EXPECT_NEAR(net.flows()[0].completion_time, 3.0, 1e-9);
+}
+
+TEST(D2Tcp, UrgentFlowGetsLargerShare) {
+  auto d = make_dumbbell();
+  net::Network net(*d.topology);
+  // Same size, very different deadlines: urgency clamps to 2.0 vs 0.5, so
+  // the urgent flow should get ~4x the relaxed flow's rate.
+  add_task(net, 0.0, 2.5, {flow(d.left[0], d.right[0], 2.0)});   // urgent
+  add_task(net, 0.0, 100.0, {flow(d.left[1], d.right[1], 2.0)});  // relaxed
+  D2Tcp sched;
+  sched.bind(net);
+  sched.on_task_arrival(0, 0.0);
+  sched.on_task_arrival(1, 0.0);
+  (void)sched.assign_rates(0.0);
+  // First pass seeds both at line-rate throughput: urgent d = (2/1)/2.5 = 0.8,
+  // relaxed d = (2/1)/100 = 0.02 -> clamped 0.5. Shares 0.8 : 0.5.
+  EXPECT_GT(net.flows()[0].rate, net.flows()[1].rate);
+  EXPECT_NEAR(net.flows()[0].rate + net.flows()[1].rate, 1.0, 1e-9);  // saturating
+  EXPECT_NEAR(net.flows()[0].rate / net.flows()[1].rate, 0.8 / 0.5, 1e-6);
+}
+
+TEST(D2Tcp, UrgencySavesTightFlowThatFairSharingLoses) {
+  auto build = [](net::Network& net, test::Dumbbell& d) {
+    // Three flows; the tight one needs 0.40 of the link on average but fair
+    // sharing gives it only 1/3. D2TCP's urgency feedback (weight d vs the
+    // relaxed flows' clamped 0.5) settles at a share of ~0.46, enough to
+    // finish. (Much tighter flows exceed the d<=2 equilibrium and miss under
+    // D2TCP too — it has no admission control.)
+    add_task(net, 0.0, 5.0, {flow(d.left[0], d.right[0], 2.0)});
+    add_task(net, 0.0, 100.0, {flow(d.left[1], d.right[1], 2.0)});
+    add_task(net, 0.0, 100.0, {flow(d.left[2], d.right[2], 2.0)});
+  };
+  auto d1 = make_dumbbell();
+  net::Network fair_net(*d1.topology);
+  build(fair_net, d1);
+  const auto fair = exp::make_scheduler(exp::SchedulerKind::kFairSharing, 16);
+  (void)test::run(fair_net, *fair);
+  EXPECT_EQ(fair_net.flows()[0].state, net::FlowState::kMissed);
+
+  auto d2 = make_dumbbell();
+  net::Network d2tcp_net(*d2.topology);
+  build(d2tcp_net, d2);
+  D2Tcp sched;
+  (void)test::run(d2tcp_net, sched);
+  EXPECT_EQ(d2tcp_net.flows()[0].state, net::FlowState::kCompleted);
+}
+
+TEST(D2Tcp, StillWastesBandwidthOnDoomedFlows) {
+  // No admission control: an impossible flow transmits until its deadline.
+  auto d = make_dumbbell();
+  net::Network net(*d.topology);
+  add_task(net, 0.0, 2.0, {flow(d.left[0], d.right[0], 10.0)});
+  D2Tcp sched;
+  (void)test::run(net, sched);
+  EXPECT_EQ(net.flows()[0].state, net::FlowState::kMissed);
+  EXPECT_NEAR(net.flows()[0].bytes_sent, 2.0, 1e-9);
+}
+
+TEST(D2Tcp, RegistryRoundTrip) {
+  EXPECT_EQ(exp::parse_scheduler("d2tcp"), exp::SchedulerKind::kD2Tcp);
+  const auto s = exp::make_scheduler(exp::SchedulerKind::kD2Tcp, 16);
+  EXPECT_EQ(s->name(), "D2TCP");
+  // The paper's evaluated set stays six; the extended set adds D2TCP.
+  EXPECT_EQ(exp::all_schedulers().size(), 6u);
+  EXPECT_EQ(exp::extended_schedulers().size(), 7u);
+}
+
+TEST(D2Tcp, FullWorkloadRunsClean) {
+  const auto topology = workload::make_topology(workload::Scenario::single_rooted(false));
+  net::Network net(*topology);
+  workload::WorkloadConfig wc;
+  wc.task_count = 15;
+  wc.flows_per_task_mean = 8.0;
+  util::Rng rng(3);
+  (void)workload::generate(net, wc, rng);
+  D2Tcp sched;
+  (void)test::run(net, sched);
+  for (const auto& f : net.flows()) {
+    EXPECT_TRUE(f.finished());
+    EXPECT_NEAR(f.bytes_sent + f.remaining, f.spec.size, 1e-3);
+  }
+}
+
+}  // namespace
+}  // namespace taps::sched

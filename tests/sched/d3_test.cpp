@@ -1,0 +1,86 @@
+#include "sched/d3.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/fixtures.hpp"
+
+namespace taps::sched {
+namespace {
+
+using test::add_task;
+using test::flow;
+using test::make_dumbbell;
+
+TEST(D3, Fig1cOneFlowNoTasks) {
+  // Paper Fig. 1(c): FCFS granting lets the earlier large flows occupy the
+  // bottleneck; only f11 completes (exactly at its deadline), no task does.
+  auto d = make_dumbbell();
+  net::Network net(*d.topology);
+  add_task(net, 0.0, 4.0,
+           {flow(d.left[0], d.right[0], 2.0), flow(d.left[1], d.right[1], 4.0)});
+  add_task(net, 0.0, 4.0,
+           {flow(d.left[2], d.right[2], 1.0), flow(d.left[3], d.right[3], 3.0)});
+  D3 sched;
+  (void)test::run(net, sched);
+
+  EXPECT_EQ(test::completed_flows(net), 1u);
+  EXPECT_EQ(net.flows()[0].state, net::FlowState::kCompleted);  // f11
+  EXPECT_NEAR(net.flows()[0].completion_time, 4.0, 1e-9);
+  EXPECT_EQ(test::completed_tasks(net), 0u);
+}
+
+TEST(D3, GrantsDemandWhenUncontended) {
+  auto d = make_dumbbell();
+  net::Network net(*d.topology);
+  add_task(net, 0.0, 4.0, {flow(d.left[0], d.right[0], 2.0)});
+  D3 sched;
+  sched.bind(net);
+  sched.on_task_arrival(0, 0.0);
+  (void)sched.assign_rates(0.0);
+  // Demand r = 2/4 = 0.5, plus all spare capacity as base rate -> full link.
+  EXPECT_NEAR(net.flows()[0].rate, 1.0, 1e-9);
+}
+
+TEST(D3, ArrivalOrderPriorityInversion) {
+  // The flaw TAPS highlights: an earlier-arrived far-deadline flow starves a
+  // later tighter flow.
+  auto d = make_dumbbell();
+  net::Network net(*d.topology);
+  add_task(net, 0.0, 10.0, {flow(d.left[0], d.right[0], 8.0)});  // early, loose
+  add_task(net, 1.0, 3.0, {flow(d.left[1], d.right[1], 1.9)});   // late, tight
+  D3 sched;
+  (void)test::run(net, sched);
+  // At t=1: early flow demands 7/9 ~ 0.78; late flow demands 1.9/2 = 0.95 but
+  // only ~0.22 is left -> it cannot finish by t=3.
+  EXPECT_EQ(net.flows()[1].state, net::FlowState::kMissed);
+  EXPECT_EQ(net.flows()[0].state, net::FlowState::kCompleted);
+}
+
+TEST(D3, BaseRateUsesLeftoverCapacity) {
+  auto d = make_dumbbell();
+  net::Network net(*d.topology);
+  // Two flows with low demands: granted demand + equal share of the spare.
+  add_task(net, 0.0, 10.0,
+           {flow(d.left[0], d.right[0], 1.0), flow(d.left[1], d.right[1], 1.0)});
+  D3 sched;
+  sched.bind(net);
+  sched.on_task_arrival(0, 0.0);
+  (void)sched.assign_rates(0.0);
+  // Demands 0.1 each, spare 0.8 split equally: 0.5 / 0.5.
+  EXPECT_NEAR(net.flows()[0].rate, 0.5, 1e-9);
+  EXPECT_NEAR(net.flows()[1].rate, 0.5, 1e-9);
+}
+
+TEST(D3, StopsFlowsAfterDeadline) {
+  auto d = make_dumbbell();
+  net::Network net(*d.topology);
+  add_task(net, 0.0, 2.0, {flow(d.left[0], d.right[0], 5.0)});
+  D3 sched;
+  (void)test::run(net, sched);
+  const auto& f = net.flows()[0];
+  EXPECT_EQ(f.state, net::FlowState::kMissed);
+  EXPECT_LE(f.bytes_sent, 2.0 + 1e-9);  // nothing after the deadline
+}
+
+}  // namespace
+}  // namespace taps::sched

@@ -1,0 +1,121 @@
+#include "sched/fair_sharing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/fixtures.hpp"
+#include "util/rng.hpp"
+
+namespace taps::sched {
+namespace {
+
+using test::add_task;
+using test::flow;
+using test::make_dumbbell;
+
+// Paper Fig. 1(a): two tasks, four flows, one bottleneck, unit capacity.
+//   t1: f11 (size 2, d 4), f12 (size 4, d 4)
+//   t2: f21 (size 1, d 4), f22 (size 3, d 4)
+struct Fig1 {
+  test::Dumbbell d = make_dumbbell();
+  net::Network net{*d.topology};
+  Fig1() {
+    add_task(net, 0.0, 4.0,
+             {flow(d.left[0], d.right[0], 2.0), flow(d.left[1], d.right[1], 4.0)});
+    add_task(net, 0.0, 4.0,
+             {flow(d.left[2], d.right[2], 1.0), flow(d.left[3], d.right[3], 3.0)});
+  }
+};
+
+TEST(FairSharing, Fig1bOneFlowNoTasks) {
+  Fig1 s;
+  FairSharing sched;
+  (void)test::run(s.net, sched);
+  // Equal quarters of the bottleneck: only the 1-unit flow finishes (exactly
+  // at its deadline); no task completes — the paper's Fig. 1(b).
+  EXPECT_EQ(test::completed_flows(s.net), 1u);
+  EXPECT_EQ(s.net.flows()[2].state, net::FlowState::kCompleted);  // f21
+  EXPECT_EQ(test::completed_tasks(s.net), 0u);
+}
+
+TEST(FairSharing, EqualSharesOnSingleBottleneck) {
+  Fig1 s;
+  FairSharing sched;
+  sim::FluidSimulator simulator(s.net, sched);
+  // Run manually to inspect rates at t=0+: all four flows share equally.
+  (void)simulator.run();
+  // After completion, rates are reset; instead verify the timing outcome:
+  // f21 (1 unit at 1/4) completed exactly at t=4.
+  EXPECT_NEAR(s.net.flows()[2].completion_time, 4.0, 1e-9);
+}
+
+TEST(FairSharing, SingleFlowGetsFullCapacity) {
+  auto d = make_dumbbell();
+  net::Network net(*d.topology);
+  add_task(net, 0.0, 10.0, {flow(d.left[0], d.right[0], 3.0)});
+  FairSharing sched;
+  (void)test::run(net, sched);
+  EXPECT_NEAR(net.flows()[0].completion_time, 3.0, 1e-9);
+}
+
+TEST(FairSharing, ReleasedBandwidthSpeedsUpSurvivors) {
+  auto d = make_dumbbell();
+  net::Network net(*d.topology);
+  add_task(net, 0.0, 100.0, {flow(d.left[0], d.right[0], 1.0)});
+  add_task(net, 0.0, 100.0, {flow(d.left[1], d.right[1], 3.0)});
+  FairSharing sched;
+  (void)test::run(net, sched);
+  // Both at 1/2 until t=2 (flow 1 done), then flow 2 alone at rate 1:
+  // remaining 2 units -> completes at t = 2 + 2 = 4.
+  EXPECT_NEAR(net.flows()[0].completion_time, 2.0, 1e-9);
+  EXPECT_NEAR(net.flows()[1].completion_time, 4.0, 1e-9);
+}
+
+TEST(FairSharing, LocalFlowsDoNotShareBottleneck) {
+  auto d = make_dumbbell();
+  net::Network net(*d.topology);
+  // One cross flow and one rack-local flow (left[1] -> left[2] stays at s1).
+  add_task(net, 0.0, 100.0, {flow(d.left[0], d.right[0], 2.0)});
+  add_task(net, 0.0, 100.0, {flow(d.left[1], d.left[2], 2.0)});
+  FairSharing sched;
+  (void)test::run(net, sched);
+  // Disjoint paths: both complete at full rate.
+  EXPECT_NEAR(net.flows()[0].completion_time, 2.0, 1e-9);
+  EXPECT_NEAR(net.flows()[1].completion_time, 2.0, 1e-9);
+}
+
+// Max-min property on random dumbbell instances: the allocation the
+// scheduler computes must not allow any flow to be sped up without slowing a
+// flow with an equal-or-smaller rate (checked indirectly: bottleneck fully
+// used, equal split among bottlenecked flows).
+class FairShareProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(FairShareProperty, BottleneckSaturatedAndFair) {
+  util::Rng rng(GetParam());
+  auto d = make_dumbbell(6);
+  net::Network net(*d.topology);
+  const int flows = static_cast<int>(rng.uniform_int(2, 5));
+  std::vector<net::FlowSpec> specs;
+  for (int i = 0; i < flows; ++i) {
+    specs.push_back(flow(d.left[static_cast<std::size_t>(i)],
+                         d.right[static_cast<std::size_t>(i)],
+                         rng.uniform_real(1.0, 5.0)));
+  }
+  add_task(net, 0.0, 1000.0, specs);
+
+  FairSharing sched;
+  sched.bind(net);
+  sched.on_task_arrival(0, 0.0);
+  (void)sched.assign_rates(0.0);
+
+  double total = 0.0;
+  for (const auto& f : net.flows()) {
+    EXPECT_NEAR(f.rate, 1.0 / flows, 1e-9);  // equal split
+    total += f.rate;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);  // bottleneck saturated
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FairShareProperty, ::testing::Values(1u, 2u, 3u, 5u, 8u));
+
+}  // namespace
+}  // namespace taps::sched

@@ -1,0 +1,151 @@
+#include "sdn/controller.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/fixtures.hpp"
+#include "topo/partial_fattree.hpp"
+
+namespace taps::sdn {
+namespace {
+
+using test::add_task;
+using test::flow;
+
+struct ControllerFixture : public ::testing::Test {
+  topo::PartialFatTree topology;
+  net::Network net{topology};
+
+  ProbePacket probe_for(net::TaskId tid, double at) {
+    ProbePacket p;
+    p.task = tid;
+    p.sent_at = at;
+    for (const net::FlowId fid : net.task(tid).spec.flows) {
+      const auto& f = net.flow(fid);
+      p.flows.push_back(
+          SchedulingHeader{fid, tid, f.spec.src, f.spec.dst, f.spec.size, f.spec.deadline});
+    }
+    return p;
+  }
+};
+
+TEST_F(ControllerFixture, AcceptedProbeYieldsGrantsAndEntries) {
+  const auto& hosts = topology.hosts();
+  const net::TaskId t0 =
+      add_task(net, 0.0, 1.0, {flow(hosts[0], hosts[4], 1e6)});  // cross-pod
+  Controller controller(net, ControllerConfig{});
+
+  const ScheduleReply reply = controller.on_probe(probe_for(t0, 0.0), 0.0);
+  ASSERT_TRUE(reply.accepted);
+  ASSERT_EQ(reply.grants.size(), 1u);
+  const SliceGrant& g = reply.grants[0];
+  EXPECT_EQ(g.flow, 0);
+  EXPECT_FALSE(g.slices.empty());
+  EXPECT_GT(g.rate, 0.0);
+  EXPECT_TRUE(topo::is_valid_path(net.graph(), g.path, hosts[0], hosts[4]));
+  // Cross-pod path: 6 hops, 5 of them leave a switch -> 5 entries.
+  EXPECT_EQ(controller.entries_installed(), 5u);
+}
+
+TEST_F(ControllerFixture, RejectedProbeInstallsNothing) {
+  const auto& hosts = topology.hosts();
+  // 10 ms deadline but ~100 ms of data on a 1 Gbps path: infeasible.
+  const net::TaskId t0 = add_task(net, 0.0, 0.010, {flow(hosts[0], hosts[4], 12.5e6)});
+  Controller controller(net, ControllerConfig{});
+  const ScheduleReply reply = controller.on_probe(probe_for(t0, 0.0), 0.0);
+  EXPECT_FALSE(reply.accepted);
+  EXPECT_TRUE(reply.grants.empty());
+  EXPECT_EQ(controller.entries_installed(), 0u);
+  EXPECT_EQ(net.task(t0).state, net::TaskState::kRejected);
+}
+
+TEST_F(ControllerFixture, TermWithdrawsEntries) {
+  const auto& hosts = topology.hosts();
+  const net::TaskId t0 = add_task(net, 0.0, 1.0, {flow(hosts[0], hosts[4], 1e6)});
+  Controller controller(net, ControllerConfig{});
+  (void)controller.on_probe(probe_for(t0, 0.0), 0.0);
+  ASSERT_EQ(controller.entries_installed(), 5u);
+
+  // Simulate the sender finishing the flow.
+  net.flows()[0].remaining = 0.0;
+  net.on_flow_completed(0, 0.01);
+  controller.on_term(TermPacket{0, 0.01});
+  EXPECT_EQ(controller.entries_withdrawn(), 5u);
+
+  // Every switch table is empty again.
+  for (const auto& node : topology.graph().nodes()) {
+    if (Switch* sw = controller.switch_at(node.id)) {
+      EXPECT_EQ(sw->table().size(), 0u);
+    }
+  }
+}
+
+TEST_F(ControllerFixture, SecondTaskGetsUpdatesForFirst) {
+  const auto& hosts = topology.hosts();
+  const net::TaskId t0 = add_task(net, 0.0, 1.0, {flow(hosts[0], hosts[4], 1e6)});
+  const net::TaskId t1 = add_task(net, 0.0, 0.5, {flow(hosts[1], hosts[5], 1e6)});
+  Controller controller(net, ControllerConfig{});
+  (void)controller.on_probe(probe_for(t0, 0.0), 0.0);
+  const ScheduleReply r1 = controller.on_probe(probe_for(t1, 0.0), 0.0);
+  ASSERT_TRUE(r1.accepted);
+  // Grants for the new task's flow plus a refreshed grant for task 0's flow.
+  EXPECT_EQ(r1.grants.size(), 2u);
+}
+
+TEST_F(ControllerFixture, GatherWindowBatchesFlowProbes) {
+  const auto& hosts = topology.hosts();
+  const net::TaskId t0 = add_task(net, 0.0, 1.0,
+                                  {flow(hosts[0], hosts[4], 1e6), flow(hosts[1], hosts[5], 1e6)});
+  ControllerConfig cc;
+  cc.gather_window = 0.005;  // 5 ms: Algorithm 1's wait time T
+  Controller controller(net, cc);
+
+  // Flows of the task are probed 1 ms apart; nothing is decided until the
+  // first probe's window expires.
+  const auto& f0 = net.flow(net.task(t0).spec.flows[0]);
+  const auto& f1 = net.flow(net.task(t0).spec.flows[1]);
+  controller.on_flow_probe(
+      SchedulingHeader{f0.id(), t0, f0.spec.src, f0.spec.dst, f0.spec.size, f0.spec.deadline},
+      0.000);
+  EXPECT_DOUBLE_EQ(controller.next_flush_time(), 0.005);
+  controller.on_flow_probe(
+      SchedulingHeader{f1.id(), t0, f1.spec.src, f1.spec.dst, f1.spec.size, f1.spec.deadline},
+      0.001);
+  EXPECT_DOUBLE_EQ(controller.next_flush_time(), 0.005);  // window from 1st probe
+
+  EXPECT_TRUE(controller.flush(0.004).empty());  // too early
+  const auto replies = controller.flush(0.005);
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_TRUE(replies[0].accepted);
+  EXPECT_EQ(replies[0].grants.size(), 2u);  // one batch decision for both flows
+  EXPECT_TRUE(std::isinf(controller.next_flush_time()));
+}
+
+TEST_F(ControllerFixture, GatherWindowZeroFlushesImmediately) {
+  const auto& hosts = topology.hosts();
+  const net::TaskId t0 = add_task(net, 0.0, 1.0, {flow(hosts[0], hosts[4], 1e6)});
+  Controller controller(net, ControllerConfig{});  // window 0
+  const auto& f0 = net.flow(net.task(t0).spec.flows[0]);
+  controller.on_flow_probe(
+      SchedulingHeader{f0.id(), t0, f0.spec.src, f0.spec.dst, f0.spec.size, f0.spec.deadline},
+      0.0);
+  const auto replies = controller.flush(0.0);
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_TRUE(replies[0].accepted);
+}
+
+TEST_F(ControllerFixture, SwitchesExistForAllNonHostNodes) {
+  Controller controller(net, ControllerConfig{});
+  std::size_t switches = 0;
+  for (const auto& node : topology.graph().nodes()) {
+    if (controller.switch_at(node.id) != nullptr) {
+      EXPECT_NE(node.kind, topo::NodeKind::kHost);
+      ++switches;
+    } else {
+      EXPECT_EQ(node.kind, topo::NodeKind::kHost);
+    }
+  }
+  EXPECT_EQ(switches, 10u);  // 2 cores + 4 aggs + 4 edges
+}
+
+}  // namespace
+}  // namespace taps::sdn

@@ -1,0 +1,63 @@
+#include "sdn/flow_table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace taps::sdn {
+namespace {
+
+TEST(FlowTable, InstallAndLookup) {
+  FlowTable t(4);
+  EXPECT_TRUE(t.install(1, 10));
+  EXPECT_TRUE(t.install(2, 20));
+  EXPECT_EQ(t.lookup(1), std::optional<topo::LinkId>(10));
+  EXPECT_EQ(t.lookup(2), std::optional<topo::LinkId>(20));
+  EXPECT_FALSE(t.lookup(3).has_value());
+  EXPECT_EQ(t.size(), 2u);
+}
+
+TEST(FlowTable, ReinstallUpdatesWithoutGrowth) {
+  FlowTable t(2);
+  EXPECT_TRUE(t.install(1, 10));
+  EXPECT_TRUE(t.install(1, 11));
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.lookup(1), std::optional<topo::LinkId>(11));
+}
+
+TEST(FlowTable, CapacityEnforced) {
+  FlowTable t(2);
+  EXPECT_TRUE(t.install(1, 10));
+  EXPECT_TRUE(t.install(2, 20));
+  EXPECT_FALSE(t.install(3, 30));  // full
+  EXPECT_EQ(t.refused_installs(), 1u);
+  EXPECT_EQ(t.size(), 2u);
+  // Updating an existing entry still works at capacity.
+  EXPECT_TRUE(t.install(2, 21));
+}
+
+TEST(FlowTable, RemoveFreesSlot) {
+  FlowTable t(1);
+  EXPECT_TRUE(t.install(1, 10));
+  EXPECT_FALSE(t.install(2, 20));
+  EXPECT_TRUE(t.remove(1));
+  EXPECT_FALSE(t.remove(1));  // already gone
+  EXPECT_TRUE(t.install(2, 20));
+}
+
+TEST(FlowTable, PeakTracksHighWaterMark) {
+  FlowTable t(8);
+  t.install(1, 1);
+  t.install(2, 2);
+  t.install(3, 3);
+  t.remove(1);
+  t.remove(2);
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.peak_size(), 3u);
+}
+
+TEST(FlowTable, DefaultCapacityIsPaperLimit) {
+  const FlowTable t;
+  EXPECT_EQ(t.capacity(), 1000u);  // "only the first 1k entries are installed"
+}
+
+}  // namespace
+}  // namespace taps::sdn

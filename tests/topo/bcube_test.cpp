@@ -1,0 +1,89 @@
+#include "topo/bcube.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/rng.hpp"
+
+namespace taps::topo {
+namespace {
+
+TEST(BCube, DimensionsN4K1) {
+  const BCube b(BCubeConfig{4, 1, 1.0});
+  EXPECT_EQ(b.host_count(), 16u);  // n^(k+1)
+  // 2 levels x 4 switches + 16 servers.
+  EXPECT_EQ(b.graph().node_count(), 16u + 8u);
+  // Each server has k+1 = 2 duplex links.
+  EXPECT_EQ(b.graph().link_count(), 2u * 2u * 16u);
+}
+
+TEST(BCube, RejectsBadConfig) {
+  EXPECT_THROW(BCube(BCubeConfig{1, 1, 1.0}), std::invalid_argument);
+  EXPECT_THROW(BCube(BCubeConfig{4, -1, 1.0}), std::invalid_argument);
+  EXPECT_THROW(BCube(BCubeConfig{2, 4, 1.0}), std::invalid_argument);
+}
+
+TEST(BCube, SameSwitchPairHasOnePath) {
+  const BCube b(BCubeConfig{4, 1, 1.0});
+  // Servers 0 and 1 differ only in digit 0: one 2-hop path via level-0
+  // switch (rotations of a single correction coincide).
+  const auto paths = b.paths(b.server(0), b.server(1), 8);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0].hops(), 2u);
+}
+
+TEST(BCube, FullyDifferentPairHasKPlus1Paths) {
+  const BCube b(BCubeConfig{4, 1, 1.0});
+  // Servers 0 (digits 0,0) and 5 (digits 1,1) differ in both digits:
+  // k+1 = 2 parallel paths of 4 hops.
+  const auto paths = b.paths(b.server(0), b.server(5), 8);
+  ASSERT_EQ(paths.size(), 2u);
+  for (const auto& p : paths) {
+    EXPECT_EQ(p.hops(), 4u);
+    EXPECT_TRUE(is_valid_path(b.graph(), p, b.server(0), b.server(5)));
+  }
+  // Paths are link-disjoint (the BCube parallel-paths property).
+  std::set<LinkId> first(paths[0].links.begin(), paths[0].links.end());
+  for (const LinkId lid : paths[1].links) EXPECT_EQ(first.count(lid), 0u);
+}
+
+TEST(BCube, ServerCentricPathsRelayThroughServers) {
+  const BCube b(BCubeConfig{4, 1, 1.0});
+  const auto paths = b.paths(b.server(0), b.server(5), 8);
+  ASSERT_FALSE(paths.empty());
+  // A 4-hop path visits one intermediate *server* (BCube's signature).
+  const auto& p = paths[0];
+  const NodeId mid = b.graph().link(p.links[1]).dst;
+  EXPECT_EQ(b.graph().node(mid).kind, NodeKind::kHost);
+}
+
+TEST(BCube, RandomPairsValidOnLargerInstance) {
+  const BCube b(BCubeConfig{3, 2, 1.0});  // 27 servers, 3 levels
+  util::Rng rng(17);
+  const auto& hosts = b.hosts();
+  for (int i = 0; i < 100; ++i) {
+    const auto x = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(hosts.size()) - 1));
+    auto y = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(hosts.size()) - 2));
+    if (y >= x) ++y;
+    const auto paths = b.paths(hosts[x], hosts[y], 8);
+    ASSERT_FALSE(paths.empty());
+    std::set<std::vector<LinkId>> unique;
+    for (const auto& p : paths) {
+      EXPECT_TRUE(is_valid_path(b.graph(), p, hosts[x], hosts[y]));
+      unique.insert(p.links);
+    }
+    EXPECT_EQ(unique.size(), paths.size());
+  }
+}
+
+TEST(BCube, MaxPathsCap) {
+  const BCube b(BCubeConfig{4, 2, 1.0});  // up to 3 parallel paths
+  const auto paths = b.paths(b.server(0), b.server(63), 2);
+  EXPECT_EQ(paths.size(), 2u);
+}
+
+}  // namespace
+}  // namespace taps::topo

@@ -1,0 +1,87 @@
+#include "topo/graph.hpp"
+
+#include <gtest/gtest.h>
+
+namespace taps::topo {
+namespace {
+
+TEST(Graph, AddNodesAndLinks) {
+  Graph g;
+  const NodeId a = g.add_node(NodeKind::kHost, "a");
+  const NodeId b = g.add_node(NodeKind::kTor, "b");
+  EXPECT_EQ(g.node_count(), 2u);
+  EXPECT_EQ(g.node(a).kind, NodeKind::kHost);
+  EXPECT_EQ(g.node(b).name, "b");
+
+  const LinkId l = g.add_link(a, b, 100.0);
+  EXPECT_EQ(g.link_count(), 1u);
+  EXPECT_EQ(g.link(l).src, a);
+  EXPECT_EQ(g.link(l).dst, b);
+  EXPECT_DOUBLE_EQ(g.link(l).capacity, 100.0);
+}
+
+TEST(Graph, DuplexAddsBothDirections) {
+  Graph g;
+  const NodeId a = g.add_node(NodeKind::kHost, "a");
+  const NodeId b = g.add_node(NodeKind::kHost, "b");
+  const LinkId fwd = g.add_duplex_link(a, b, 5.0);
+  EXPECT_EQ(g.link_count(), 2u);
+  EXPECT_EQ(g.link(fwd).src, a);
+  EXPECT_EQ(g.link_between(a, b), fwd);
+  const LinkId rev = g.link_between(b, a);
+  ASSERT_NE(rev, kInvalidLink);
+  EXPECT_EQ(g.link(rev).src, b);
+  EXPECT_NE(fwd, rev);
+}
+
+TEST(Graph, LinkBetweenMissing) {
+  Graph g;
+  const NodeId a = g.add_node(NodeKind::kHost, "a");
+  const NodeId b = g.add_node(NodeKind::kHost, "b");
+  EXPECT_EQ(g.link_between(a, b), kInvalidLink);
+}
+
+TEST(Graph, OutLinks) {
+  Graph g;
+  const NodeId a = g.add_node(NodeKind::kHost, "a");
+  const NodeId b = g.add_node(NodeKind::kHost, "b");
+  const NodeId c = g.add_node(NodeKind::kHost, "c");
+  g.add_link(a, b, 1.0);
+  g.add_link(a, c, 1.0);
+  g.add_link(b, c, 1.0);
+  EXPECT_EQ(g.out_links(a).size(), 2u);
+  EXPECT_EQ(g.out_links(b).size(), 1u);
+  EXPECT_TRUE(g.out_links(c).empty());
+}
+
+TEST(Graph, NodeKindNames) {
+  EXPECT_STREQ(to_string(NodeKind::kHost), "host");
+  EXPECT_STREQ(to_string(NodeKind::kTor), "tor");
+  EXPECT_STREQ(to_string(NodeKind::kAggregation), "agg");
+  EXPECT_STREQ(to_string(NodeKind::kCore), "core");
+}
+
+TEST(Path, Validation) {
+  Graph g;
+  const NodeId a = g.add_node(NodeKind::kHost, "a");
+  const NodeId s = g.add_node(NodeKind::kTor, "s");
+  const NodeId b = g.add_node(NodeKind::kHost, "b");
+  const LinkId l1 = g.add_link(a, s, 1.0);
+  const LinkId l2 = g.add_link(s, b, 1.0);
+
+  Path p;
+  p.links = {l1, l2};
+  EXPECT_TRUE(is_valid_path(g, p, a, b));
+  EXPECT_FALSE(is_valid_path(g, p, b, a));   // wrong direction
+  EXPECT_FALSE(is_valid_path(g, p, a, s));   // wrong endpoint
+
+  Path broken;
+  broken.links = {l2, l1};  // not a chain from a
+  EXPECT_FALSE(is_valid_path(g, broken, a, b));
+
+  Path empty;
+  EXPECT_FALSE(is_valid_path(g, empty, a, b));
+}
+
+}  // namespace
+}  // namespace taps::topo

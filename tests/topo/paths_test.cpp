@@ -1,0 +1,127 @@
+#include "topo/paths.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "topo/partial_fattree.hpp"
+
+namespace taps::topo {
+namespace {
+
+// Diamond: a -> {x, y} -> b, both 2-hop.
+struct Diamond {
+  Graph g;
+  NodeId a, b, x, y;
+};
+
+Diamond make_diamond() {
+  Diamond d;
+  d.a = d.g.add_node(NodeKind::kHost, "a");
+  d.b = d.g.add_node(NodeKind::kHost, "b");
+  d.x = d.g.add_node(NodeKind::kTor, "x");
+  d.y = d.g.add_node(NodeKind::kTor, "y");
+  d.g.add_duplex_link(d.a, d.x, 1.0);
+  d.g.add_duplex_link(d.a, d.y, 1.0);
+  d.g.add_duplex_link(d.x, d.b, 1.0);
+  d.g.add_duplex_link(d.y, d.b, 1.0);
+  return d;
+}
+
+TEST(AllShortestPaths, FindsBothDiamondArms) {
+  Diamond d = make_diamond();
+  const auto paths = all_shortest_paths(d.g, d.a, d.b, 16);
+  ASSERT_EQ(paths.size(), 2u);
+  for (const auto& p : paths) {
+    EXPECT_EQ(p.hops(), 2u);
+    EXPECT_TRUE(is_valid_path(d.g, p, d.a, d.b));
+  }
+}
+
+TEST(AllShortestPaths, IgnoresLongerRoutes) {
+  Diamond d = make_diamond();
+  // Add a longer detour a -> z -> x (3 hops to b via z): must not appear.
+  const NodeId z = d.g.add_node(NodeKind::kTor, "z");
+  d.g.add_duplex_link(d.a, z, 1.0);
+  d.g.add_duplex_link(z, d.x, 1.0);
+  const auto paths = all_shortest_paths(d.g, d.a, d.b, 16);
+  EXPECT_EQ(paths.size(), 2u);
+}
+
+TEST(AllShortestPaths, DisconnectedReturnsEmpty) {
+  Graph g;
+  const NodeId a = g.add_node(NodeKind::kHost, "a");
+  const NodeId b = g.add_node(NodeKind::kHost, "b");
+  EXPECT_TRUE(all_shortest_paths(g, a, b, 4).empty());
+}
+
+TEST(AllShortestPaths, RespectsMaxPaths) {
+  Diamond d = make_diamond();
+  EXPECT_EQ(all_shortest_paths(d.g, d.a, d.b, 1).size(), 1u);
+  EXPECT_TRUE(all_shortest_paths(d.g, d.a, d.b, 0).empty());
+}
+
+TEST(AllShortestPaths, DirectedEdgesOnly) {
+  Graph g;
+  const NodeId a = g.add_node(NodeKind::kHost, "a");
+  const NodeId b = g.add_node(NodeKind::kHost, "b");
+  g.add_link(b, a, 1.0);  // only the reverse direction exists
+  EXPECT_TRUE(all_shortest_paths(g, a, b, 4).empty());
+  EXPECT_EQ(all_shortest_paths(g, b, a, 4).size(), 1u);
+}
+
+TEST(PickEcmp, DeterministicAndInRange) {
+  Diamond d = make_diamond();
+  const auto paths = all_shortest_paths(d.g, d.a, d.b, 16);
+  const Path& p1 = pick_ecmp(paths, 12345);
+  const Path& p2 = pick_ecmp(paths, 12345);
+  EXPECT_EQ(p1, p2);
+  // Different hashes cover both paths eventually.
+  std::set<std::vector<LinkId>> seen;
+  for (std::uint64_t h = 0; h < 16; ++h) seen.insert(pick_ecmp(paths, h).links);
+  EXPECT_EQ(seen.size(), 2u);
+}
+
+TEST(PickEcmp, EmptyThrows) {
+  std::vector<Path> none;
+  EXPECT_THROW((void)pick_ecmp(none, 1), std::logic_error);
+}
+
+TEST(GenericTopology, WrapsGraph) {
+  Diamond d = make_diamond();
+  std::vector<NodeId> hosts{d.a, d.b};
+  const GenericTopology topo(std::move(d.g), hosts, "diamond");
+  EXPECT_EQ(topo.name(), "diamond");
+  EXPECT_EQ(topo.host_count(), 2u);
+  EXPECT_EQ(topo.paths(d.a, d.b, 8).size(), 2u);
+}
+
+TEST(PartialFatTree, TestbedShape) {
+  const PartialFatTree t;
+  EXPECT_EQ(t.host_count(), 8u);  // paper Fig. 13
+  // 2 cores + 2 pods * (2 agg + 2 edge) + 8 hosts
+  EXPECT_EQ(t.graph().node_count(), 2u + 2 * 4 + 8);
+}
+
+TEST(PartialFatTree, IntraPodTwoPaths) {
+  const PartialFatTree t;
+  // hosts 0,1 share an edge switch; hosts 0,2 are different edges, same pod.
+  const auto& hosts = t.hosts();
+  EXPECT_EQ(t.paths(hosts[0], hosts[1], 8).size(), 1u);
+  const auto same_pod = t.paths(hosts[0], hosts[2], 8);
+  EXPECT_EQ(same_pod.size(), 2u);  // via either aggregation switch
+}
+
+TEST(PartialFatTree, InterPodTwoPaths) {
+  const PartialFatTree t;
+  const auto& hosts = t.hosts();
+  const auto cross = t.paths(hosts[0], hosts[4], 8);
+  EXPECT_EQ(cross.size(), 2u);  // agg0-core0 or agg1-core1
+  for (const auto& p : cross) {
+    EXPECT_EQ(p.hops(), 6u);
+    EXPECT_TRUE(is_valid_path(t.graph(), p, hosts[0], hosts[4]));
+  }
+}
+
+}  // namespace
+}  // namespace taps::topo

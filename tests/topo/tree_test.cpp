@@ -1,0 +1,93 @@
+#include "topo/tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace taps::topo {
+namespace {
+
+TEST(SingleRootedTree, ScaledDimensions) {
+  const SingleRootedTree tree(SingleRootedConfig::scaled());
+  const auto& cfg = tree.config();
+  EXPECT_EQ(tree.host_count(),
+            static_cast<std::size_t>(cfg.hosts_per_rack * cfg.racks_per_pod * cfg.pods));
+  // nodes: hosts + tors + aggs + core
+  const std::size_t tors = static_cast<std::size_t>(cfg.racks_per_pod) * cfg.pods;
+  EXPECT_EQ(tree.graph().node_count(),
+            tree.host_count() + tors + static_cast<std::size_t>(cfg.pods) + 1);
+  // duplex links: one per child-parent pair
+  EXPECT_EQ(tree.graph().link_count(),
+            2 * (tree.host_count() + tors + static_cast<std::size_t>(cfg.pods)));
+}
+
+TEST(SingleRootedTree, PaperScaleCounts) {
+  // Construction only — 36 000 hosts (paper Sec. V-A).
+  const SingleRootedTree tree(SingleRootedConfig::paper());
+  EXPECT_EQ(tree.host_count(), 36'000u);
+}
+
+TEST(SingleRootedTree, SameRackPathIsTwoHops) {
+  const SingleRootedTree tree(SingleRootedConfig::scaled());
+  const auto& hosts = tree.hosts();
+  const auto paths = tree.paths(hosts[0], hosts[1], 4);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0].hops(), 2u);  // host -> tor -> host
+  EXPECT_TRUE(is_valid_path(tree.graph(), paths[0], hosts[0], hosts[1]));
+}
+
+TEST(SingleRootedTree, SamePodPathIsFourHops) {
+  const SingleRootedConfig cfg = SingleRootedConfig::scaled();
+  const SingleRootedTree tree(cfg);
+  const auto& hosts = tree.hosts();
+  // hosts are laid out rack-major: host 0 and host `hosts_per_rack` are in
+  // different racks of the same pod.
+  const auto paths =
+      tree.paths(hosts[0], hosts[static_cast<std::size_t>(cfg.hosts_per_rack)], 4);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0].hops(), 4u);  // host-tor-agg-tor-host
+}
+
+TEST(SingleRootedTree, CrossPodPathIsSixHops) {
+  const SingleRootedConfig cfg = SingleRootedConfig::scaled();
+  const SingleRootedTree tree(cfg);
+  const auto& hosts = tree.hosts();
+  const std::size_t per_pod =
+      static_cast<std::size_t>(cfg.hosts_per_rack) * cfg.racks_per_pod;
+  const auto paths = tree.paths(hosts[0], hosts[per_pod], 4);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0].hops(), 6u);  // up to the root and down
+}
+
+TEST(SingleRootedTree, RandomPairsHaveOneValidPath) {
+  const SingleRootedTree tree(SingleRootedConfig::scaled());
+  const auto& hosts = tree.hosts();
+  util::Rng rng(99);
+  for (int i = 0; i < 200; ++i) {
+    const auto a = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(hosts.size()) - 1));
+    auto b = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(hosts.size()) - 2));
+    if (b >= a) ++b;
+    const auto paths = tree.paths(hosts[a], hosts[b], 8);
+    ASSERT_EQ(paths.size(), 1u);
+    EXPECT_TRUE(is_valid_path(tree.graph(), paths[0], hosts[a], hosts[b]));
+    EXPECT_LE(paths[0].hops(), 6u);
+    EXPECT_GE(paths[0].hops(), 2u);
+  }
+}
+
+TEST(SingleRootedTree, MaxPathsZeroReturnsNothing) {
+  const SingleRootedTree tree(SingleRootedConfig::scaled());
+  const auto& hosts = tree.hosts();
+  EXPECT_TRUE(tree.paths(hosts[0], hosts[1], 0).empty());
+}
+
+TEST(SingleRootedTree, RejectsBadConfig) {
+  SingleRootedConfig cfg = SingleRootedConfig::scaled();
+  cfg.pods = 0;
+  EXPECT_THROW(SingleRootedTree{cfg}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace taps::topo

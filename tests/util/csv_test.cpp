@@ -1,0 +1,84 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+namespace taps::util {
+namespace {
+
+TEST(CsvWriter, PlainRow) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.row("a", 1, 2.5);
+  EXPECT_EQ(os.str(), "a,1,2.5\n");
+}
+
+TEST(CsvWriter, QuotesSpecialCharacters) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.write_row({"with,comma", "with\"quote", "plain"});
+  EXPECT_EQ(os.str(), "\"with,comma\",\"with\"\"quote\",plain\n");
+}
+
+TEST(CsvWriter, NumberFormatting) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.row(0.25, static_cast<std::size_t>(7), -3);
+  EXPECT_EQ(os.str(), "0.25,7,-3\n");
+}
+
+TEST(ParseCsvLine, Simple) {
+  const auto fields = parse_csv_line("a,b,c");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[2], "c");
+}
+
+TEST(ParseCsvLine, QuotedFields) {
+  const auto fields = parse_csv_line("\"with,comma\",\"esc\"\"aped\",x");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "with,comma");
+  EXPECT_EQ(fields[1], "esc\"aped");
+  EXPECT_EQ(fields[2], "x");
+}
+
+TEST(ParseCsvLine, EmptyFields) {
+  const auto fields = parse_csv_line(",a,");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "");
+  EXPECT_EQ(fields[2], "");
+}
+
+TEST(ParseCsvLine, StripsCarriageReturn) {
+  const auto fields = parse_csv_line("a,b\r");
+  ASSERT_EQ(fields.size(), 2u);
+  EXPECT_EQ(fields[1], "b");
+}
+
+TEST(ReadCsv, RoundTripThroughFile) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "taps_csv_test.csv").string();
+  {
+    std::ofstream out(path);
+    CsvWriter w(out);
+    w.row("h1", "h2");
+    w.row(1, 2);
+    w.row("x,y", 3);
+  }
+  const auto rows = read_csv(path);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0][0], "h1");
+  EXPECT_EQ(rows[1][1], "2");
+  EXPECT_EQ(rows[2][0], "x,y");
+  std::remove(path.c_str());
+}
+
+TEST(ReadCsv, MissingFileThrows) {
+  EXPECT_THROW((void)read_csv("/nonexistent/taps.csv"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace taps::util

@@ -1,0 +1,308 @@
+#include "util/interval_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace taps::util {
+namespace {
+
+TEST(Interval, BasicProperties) {
+  const Interval iv{1.0, 3.0};
+  EXPECT_DOUBLE_EQ(iv.length(), 2.0);
+  EXPECT_FALSE(iv.empty());
+  EXPECT_TRUE(iv.contains(1.0));
+  EXPECT_TRUE(iv.contains(2.9));
+  EXPECT_FALSE(iv.contains(3.0));  // half-open
+  EXPECT_FALSE(iv.contains(0.999));
+}
+
+TEST(Interval, EmptyWhenDegenerate) {
+  EXPECT_TRUE((Interval{2.0, 2.0}).empty());
+  EXPECT_TRUE((Interval{3.0, 1.0}).empty());
+  EXPECT_DOUBLE_EQ((Interval{3.0, 1.0}).length(), 0.0);
+}
+
+TEST(Interval, Overlap) {
+  const Interval a{0.0, 2.0};
+  EXPECT_TRUE(a.overlaps(Interval{1.0, 3.0}));
+  EXPECT_FALSE(a.overlaps(Interval{2.0, 3.0}));  // touching is not overlap
+  EXPECT_TRUE(a.overlaps(Interval{-1.0, 0.5}));
+  EXPECT_FALSE(a.overlaps(Interval{5.0, 6.0}));
+}
+
+TEST(IntervalSet, InsertDisjoint) {
+  IntervalSet s;
+  s.insert(0.0, 1.0);
+  s.insert(2.0, 3.0);
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_DOUBLE_EQ(s.measure(), 2.0);
+  EXPECT_TRUE(s.check_invariants());
+}
+
+TEST(IntervalSet, InsertMergesOverlap) {
+  IntervalSet s;
+  s.insert(0.0, 2.0);
+  s.insert(1.0, 3.0);
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(s.intervals()[0], (Interval{0.0, 3.0}));
+}
+
+TEST(IntervalSet, InsertMergesAdjacent) {
+  IntervalSet s;
+  s.insert(0.0, 1.0);
+  s.insert(1.0, 2.0);
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(s.intervals()[0], (Interval{0.0, 2.0}));
+}
+
+TEST(IntervalSet, InsertBridgesManyIntervals) {
+  IntervalSet s;
+  s.insert(0.0, 1.0);
+  s.insert(2.0, 3.0);
+  s.insert(4.0, 5.0);
+  s.insert(0.5, 4.5);
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(s.intervals()[0], (Interval{0.0, 5.0}));
+}
+
+TEST(IntervalSet, InsertEmptyIsNoop) {
+  IntervalSet s;
+  s.insert(1.0, 1.0);
+  s.insert(2.0, 1.0);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(IntervalSet, EraseSplits) {
+  IntervalSet s;
+  s.insert(0.0, 10.0);
+  s.erase(3.0, 4.0);
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.intervals()[0], (Interval{0.0, 3.0}));
+  EXPECT_EQ(s.intervals()[1], (Interval{4.0, 10.0}));
+}
+
+TEST(IntervalSet, EraseTrimsEdges) {
+  IntervalSet s{{1.0, 2.0}, {3.0, 4.0}};
+  s.erase(1.5, 3.5);
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.intervals()[0], (Interval{1.0, 1.5}));
+  EXPECT_EQ(s.intervals()[1], (Interval{3.5, 4.0}));
+}
+
+TEST(IntervalSet, TrimBefore) {
+  IntervalSet s{{0.0, 2.0}, {3.0, 5.0}};
+  s.trim_before(1.0);
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.intervals()[0], (Interval{1.0, 2.0}));
+  EXPECT_DOUBLE_EQ(s.measure(), 3.0);
+}
+
+TEST(IntervalSet, Contains) {
+  IntervalSet s{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_TRUE(s.contains(1.0));
+  EXPECT_FALSE(s.contains(2.0));
+  EXPECT_TRUE(s.contains(3.5));
+  EXPECT_FALSE(s.contains(2.5));
+  EXPECT_FALSE(s.contains(0.0));
+  EXPECT_FALSE(s.contains(4.0));
+}
+
+TEST(IntervalSet, Intersects) {
+  IntervalSet s{{1.0, 2.0}};
+  EXPECT_TRUE(s.intersects(0.0, 1.5));
+  EXPECT_TRUE(s.intersects(1.5, 5.0));
+  EXPECT_FALSE(s.intersects(2.0, 3.0));  // touching at boundary
+  EXPECT_FALSE(s.intersects(0.0, 1.0));
+  EXPECT_FALSE(s.intersects(3.0, 2.0));  // inverted query
+}
+
+TEST(IntervalSet, OverlapMeasure) {
+  IntervalSet s{{0.0, 2.0}, {4.0, 6.0}};
+  EXPECT_DOUBLE_EQ(s.overlap_measure(1.0, 5.0), 2.0);
+  EXPECT_DOUBLE_EQ(s.overlap_measure(2.0, 4.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.overlap_measure(-1.0, 7.0), 4.0);
+}
+
+TEST(IntervalSet, Unite) {
+  const IntervalSet a{{0.0, 2.0}, {5.0, 6.0}};
+  const IntervalSet b{{1.0, 3.0}, {6.0, 7.0}};
+  const IntervalSet u = a.unite(b);
+  ASSERT_EQ(u.size(), 2u);
+  EXPECT_EQ(u.intervals()[0], (Interval{0.0, 3.0}));
+  EXPECT_EQ(u.intervals()[1], (Interval{5.0, 7.0}));
+  EXPECT_TRUE(u.check_invariants());
+}
+
+TEST(IntervalSet, UniteWithEmpty) {
+  const IntervalSet a{{0.0, 1.0}};
+  EXPECT_EQ(a.unite(IntervalSet{}), a);
+  EXPECT_EQ(IntervalSet{}.unite(a), a);
+}
+
+TEST(IntervalSet, Intersect) {
+  const IntervalSet a{{0.0, 3.0}, {5.0, 8.0}};
+  const IntervalSet b{{2.0, 6.0}};
+  const IntervalSet i = a.intersect(b);
+  ASSERT_EQ(i.size(), 2u);
+  EXPECT_EQ(i.intervals()[0], (Interval{2.0, 3.0}));
+  EXPECT_EQ(i.intervals()[1], (Interval{5.0, 6.0}));
+}
+
+TEST(IntervalSet, Subtract) {
+  const IntervalSet a{{0.0, 10.0}};
+  const IntervalSet b{{2.0, 3.0}, {5.0, 6.0}};
+  const IntervalSet d = a.subtract(b);
+  ASSERT_EQ(d.size(), 3u);
+  EXPECT_DOUBLE_EQ(d.measure(), 8.0);
+}
+
+TEST(IntervalSet, Complement) {
+  const IntervalSet s{{1.0, 2.0}, {3.0, 4.0}};
+  const IntervalSet c = s.complement(0.0, 5.0);
+  ASSERT_EQ(c.size(), 3u);
+  EXPECT_EQ(c.intervals()[0], (Interval{0.0, 1.0}));
+  EXPECT_EQ(c.intervals()[1], (Interval{2.0, 3.0}));
+  EXPECT_EQ(c.intervals()[2], (Interval{4.0, 5.0}));
+}
+
+TEST(IntervalSet, ComplementOfEmptyIsWindow) {
+  const IntervalSet c = IntervalSet{}.complement(2.0, 5.0);
+  ASSERT_EQ(c.size(), 1u);
+  EXPECT_EQ(c.intervals()[0], (Interval{2.0, 5.0}));
+}
+
+TEST(IntervalSet, AllocateEarliestOnIdleLine) {
+  const IntervalSet occ;
+  const IntervalSet a = occ.allocate_earliest(1.0, 2.5);
+  ASSERT_EQ(a.size(), 1u);
+  EXPECT_EQ(a.intervals()[0], (Interval{1.0, 3.5}));
+}
+
+TEST(IntervalSet, AllocateEarliestSkipsBusyTime) {
+  // Busy [1,2) and [3,4): 2 units starting at 0 land on [0,1) and [2,3).
+  const IntervalSet occ{{1.0, 2.0}, {3.0, 4.0}};
+  const IntervalSet a = occ.allocate_earliest(0.0, 2.0);
+  ASSERT_EQ(a.size(), 2u);
+  EXPECT_EQ(a.intervals()[0], (Interval{0.0, 1.0}));
+  EXPECT_EQ(a.intervals()[1], (Interval{2.0, 3.0}));
+}
+
+TEST(IntervalSet, AllocateEarliestPartialFirstGap) {
+  const IntervalSet occ{{2.0, 3.0}};
+  const IntervalSet a = occ.allocate_earliest(0.0, 1.5);
+  ASSERT_EQ(a.size(), 1u);
+  EXPECT_EQ(a.intervals()[0], (Interval{0.0, 1.5}));
+}
+
+TEST(IntervalSet, AllocateEarliestStartsMidBusy) {
+  // `from` inside a busy interval: allocation starts when it ends.
+  const IntervalSet occ{{0.0, 2.0}};
+  const IntervalSet a = occ.allocate_earliest(1.0, 1.0);
+  ASSERT_EQ(a.size(), 1u);
+  EXPECT_EQ(a.intervals()[0], (Interval{2.0, 3.0}));
+}
+
+TEST(IntervalSet, AllocateEarliestRespectsHorizon) {
+  const IntervalSet occ{{0.0, 3.0}};
+  // Only [3,4) idle before the horizon 4: one unit fits, two do not.
+  EXPECT_FALSE(occ.allocate_earliest(0.0, 1.0, 4.0).empty());
+  EXPECT_TRUE(occ.allocate_earliest(0.0, 1.0001, 4.0).empty());
+}
+
+TEST(IntervalSet, AllocateEarliestInfeasibleReturnsEmpty) {
+  const IntervalSet occ{{0.0, 10.0}};
+  EXPECT_TRUE(occ.allocate_earliest(0.0, 1.0, 10.0).empty());
+}
+
+TEST(IntervalSet, NextBoundary) {
+  const IntervalSet s{{1.0, 2.0}, {4.0, 5.0}};
+  EXPECT_DOUBLE_EQ(s.next_boundary(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.next_boundary(1.0), 2.0);
+  EXPECT_DOUBLE_EQ(s.next_boundary(1.5), 2.0);
+  EXPECT_DOUBLE_EQ(s.next_boundary(2.0), 4.0);
+  EXPECT_DOUBLE_EQ(s.next_boundary(4.5), 5.0);
+  EXPECT_TRUE(std::isinf(s.next_boundary(5.0)));
+}
+
+// ---------------------------------------------------------------------------
+// Property tests: random operation sequences keep the canonical invariants,
+// and the algebra is consistent (measure additivity, complement identities,
+// allocation lands only on idle time).
+// ---------------------------------------------------------------------------
+
+class IntervalSetPropertyTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(IntervalSetPropertyTest, RandomInsertEraseKeepsInvariants) {
+  std::mt19937 gen(GetParam());
+  std::uniform_real_distribution<double> point(0.0, 100.0);
+  IntervalSet s;
+  for (int step = 0; step < 300; ++step) {
+    const double a = point(gen);
+    const double b = point(gen);
+    if (step % 3 == 0) {
+      s.erase(std::min(a, b), std::max(a, b));
+    } else {
+      s.insert(std::min(a, b), std::max(a, b));
+    }
+    ASSERT_TRUE(s.check_invariants()) << "step " << step;
+  }
+}
+
+TEST_P(IntervalSetPropertyTest, UnionMeasureMatchesInclusionExclusion) {
+  std::mt19937 gen(GetParam() + 1000);
+  std::uniform_real_distribution<double> point(0.0, 50.0);
+  IntervalSet a, b;
+  for (int i = 0; i < 20; ++i) {
+    double x = point(gen), y = point(gen);
+    a.insert(std::min(x, y), std::max(x, y) + 0.1);
+    x = point(gen);
+    y = point(gen);
+    b.insert(std::min(x, y), std::max(x, y) + 0.1);
+  }
+  const double lhs = a.unite(b).measure();
+  const double rhs = a.measure() + b.measure() - a.intersect(b).measure();
+  EXPECT_NEAR(lhs, rhs, 1e-9);
+}
+
+TEST_P(IntervalSetPropertyTest, ComplementRoundTrip) {
+  std::mt19937 gen(GetParam() + 2000);
+  std::uniform_real_distribution<double> point(0.0, 20.0);
+  IntervalSet s;
+  for (int i = 0; i < 10; ++i) {
+    const double x = point(gen), y = point(gen);
+    s.insert(std::min(x, y), std::max(x, y) + 0.05);
+  }
+  const IntervalSet c = s.complement(0.0, 25.0);
+  // s and its complement partition the window.
+  EXPECT_NEAR(s.overlap_measure(0.0, 25.0) + c.measure(), 25.0, 1e-9);
+  EXPECT_TRUE(s.intersect(c).empty());
+}
+
+TEST_P(IntervalSetPropertyTest, AllocationIsIdleAndExact) {
+  std::mt19937 gen(GetParam() + 3000);
+  std::uniform_real_distribution<double> point(0.0, 30.0);
+  std::uniform_real_distribution<double> dur(0.1, 8.0);
+  IntervalSet occ;
+  for (int i = 0; i < 8; ++i) {
+    const double x = point(gen), y = point(gen);
+    occ.insert(std::min(x, y), std::max(x, y) + 0.1);
+  }
+  const double need = dur(gen);
+  const double from = point(gen);
+  const IntervalSet got = occ.allocate_earliest(from, need);
+  ASSERT_FALSE(got.empty());  // horizon is infinite
+  EXPECT_NEAR(got.measure(), need, 1e-9);
+  EXPECT_TRUE(got.intersect(occ).empty());  // never allocates busy time
+  EXPECT_GE(got.front_start(), from - 1e-12);
+  // Earliest-fit: every idle instant before the allocation start is used.
+  const IntervalSet idle_before =
+      occ.complement(from, got.back_end()).subtract(got);
+  EXPECT_LT(idle_before.measure(), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntervalSetPropertyTest,
+                         ::testing::Values(1u, 2u, 3u, 7u, 11u, 23u, 42u, 97u));
+
+}  // namespace
+}  // namespace taps::util

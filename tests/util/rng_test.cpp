@@ -1,0 +1,110 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+namespace taps::util {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.uniform_int(0, 1'000'000), b.uniform_int(0, 1'000'000));
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform_int(0, 1'000'000) == b.uniform_int(0, 1'000'000)) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, ForkIsDeterministicAndIndependent) {
+  Rng root(42);
+  Rng a1 = root.fork("workload");
+  Rng a2 = Rng(42).fork("workload");
+  EXPECT_EQ(a1.uniform_int(0, 1 << 30), a2.uniform_int(0, 1 << 30));
+
+  // Different tags produce different streams.
+  Rng b = root.fork("other");
+  Rng a3 = root.fork("workload");
+  EXPECT_NE(a3.uniform_int(0, 1 << 30), b.uniform_int(0, 1 << 30));
+}
+
+TEST(Rng, UniformIntBounds) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = r.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+  }
+}
+
+TEST(Rng, UniformRealBounds) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = r.uniform_real(2.0, 5.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng r(11);
+  double sum = 0.0;
+  const int n = 50'000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(0.040);
+  EXPECT_NEAR(sum / n, 0.040, 0.002);
+}
+
+TEST(Rng, NormalTruncatedRespectsFloor) {
+  Rng r(13);
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_GE(r.normal_truncated(10.0, 20.0, 1.0), 1.0);
+  }
+}
+
+TEST(Rng, NormalTruncatedMean) {
+  Rng r(17);
+  double sum = 0.0;
+  const int n = 50'000;
+  for (int i = 0; i < n; ++i) sum += r.normal_truncated(200.0, 20.0, 0.0);
+  EXPECT_NEAR(sum / n, 200.0, 1.0);
+}
+
+TEST(Rng, PoissonMean) {
+  Rng r(19);
+  double sum = 0.0;
+  const int n = 20'000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(r.poisson(24.0));
+  EXPECT_NEAR(sum / n, 24.0, 0.3);
+}
+
+TEST(Rng, PoissonZeroMean) {
+  Rng r(23);
+  EXPECT_EQ(r.poisson(0.0), 0);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng r(29);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.bernoulli(0.0));
+    EXPECT_TRUE(r.bernoulli(1.0));
+  }
+}
+
+TEST(Hashing, Fnv1aStable) {
+  EXPECT_EQ(fnv1a("workload"), fnv1a("workload"));
+  EXPECT_NE(fnv1a("workload"), fnv1a("workloae"));
+  EXPECT_NE(fnv1a(""), fnv1a("a"));
+}
+
+TEST(Hashing, CombineOrderMatters) {
+  EXPECT_NE(hash_combine(1, 2), hash_combine(2, 1));
+  EXPECT_EQ(hash_combine(1, 2), hash_combine(1, 2));
+}
+
+}  // namespace
+}  // namespace taps::util

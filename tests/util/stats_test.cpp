@@ -1,0 +1,91 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+namespace taps::util {
+namespace {
+
+TEST(Summary, Empty) {
+  Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(Summary, SingleValue) {
+  Summary s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(Summary, KnownMoments) {
+  Summary s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(Summary, MergeMatchesSequential) {
+  std::mt19937 gen(5);
+  std::normal_distribution<double> dist(3.0, 2.0);
+  Summary all, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = dist(gen);
+    all.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(Summary, MergeWithEmpty) {
+  Summary a;
+  a.add(1.0);
+  Summary b;
+  a.merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.0);
+}
+
+TEST(Percentile, Basics) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 25.0), 2.0);
+}
+
+TEST(Percentile, Interpolates) {
+  const std::vector<double> xs{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 75.0), 7.5);
+}
+
+TEST(Percentile, EmptyAndUnsorted) {
+  EXPECT_DOUBLE_EQ(percentile({}, 50.0), 0.0);
+  EXPECT_DOUBLE_EQ(percentile({5.0, 1.0, 3.0}, 100.0), 5.0);
+}
+
+TEST(MeanOf, Basics) {
+  EXPECT_DOUBLE_EQ(mean_of({}), 0.0);
+  EXPECT_DOUBLE_EQ(mean_of({2.0, 4.0}), 3.0);
+}
+
+}  // namespace
+}  // namespace taps::util

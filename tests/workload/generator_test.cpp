@@ -1,0 +1,196 @@
+#include "workload/task_generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "topo/tree.hpp"
+
+namespace taps::workload {
+namespace {
+
+WorkloadConfig small_config() {
+  WorkloadConfig c;
+  c.task_count = 50;
+  c.flows_per_task_mean = 10.0;
+  c.arrival_rate = 100.0;
+  return c;
+}
+
+TEST(TaskGenerator, ProducesRequestedTaskCount) {
+  const topo::SingleRootedTree tree(topo::SingleRootedConfig::scaled());
+  net::Network net(tree);
+  util::Rng rng(1);
+  const auto ids = generate(net, small_config(), rng);
+  EXPECT_EQ(ids.size(), 50u);
+  EXPECT_EQ(net.tasks().size(), 50u);
+}
+
+TEST(TaskGenerator, DeterministicForSameSeed) {
+  const topo::SingleRootedTree tree(topo::SingleRootedConfig::scaled());
+  net::Network a(tree), b(tree);
+  util::Rng ra(7), rb(7);
+  (void)generate(a, small_config(), ra);
+  (void)generate(b, small_config(), rb);
+  ASSERT_EQ(a.flows().size(), b.flows().size());
+  for (std::size_t i = 0; i < a.flows().size(); ++i) {
+    EXPECT_EQ(a.flows()[i].spec.src, b.flows()[i].spec.src);
+    EXPECT_EQ(a.flows()[i].spec.dst, b.flows()[i].spec.dst);
+    EXPECT_DOUBLE_EQ(a.flows()[i].spec.size, b.flows()[i].spec.size);
+  }
+}
+
+TEST(TaskGenerator, DifferentSeedsDiffer) {
+  const topo::SingleRootedTree tree(topo::SingleRootedConfig::scaled());
+  net::Network a(tree), b(tree);
+  util::Rng ra(7), rb(8);
+  (void)generate(a, small_config(), ra);
+  (void)generate(b, small_config(), rb);
+  bool any_diff = a.flows().size() != b.flows().size();
+  for (std::size_t i = 0; !any_diff && i < a.flows().size(); ++i) {
+    any_diff = a.flows()[i].spec.src != b.flows()[i].spec.src ||
+               a.flows()[i].spec.size != b.flows()[i].spec.size;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(TaskGenerator, FlowsShareTaskArrivalAndDeadline) {
+  const topo::SingleRootedTree tree(topo::SingleRootedConfig::scaled());
+  net::Network net(tree);
+  util::Rng rng(3);
+  (void)generate(net, small_config(), rng);
+  for (const auto& t : net.tasks()) {
+    for (const net::FlowId fid : t.spec.flows) {
+      const auto& f = net.flow(fid);
+      EXPECT_DOUBLE_EQ(f.spec.arrival, t.spec.arrival);
+      EXPECT_DOUBLE_EQ(f.spec.deadline, t.spec.deadline);
+    }
+    EXPECT_GT(t.spec.deadline, t.spec.arrival);
+  }
+}
+
+TEST(TaskGenerator, EndpointsAreDistinctHosts) {
+  const topo::SingleRootedTree tree(topo::SingleRootedConfig::scaled());
+  net::Network net(tree);
+  util::Rng rng(5);
+  (void)generate(net, small_config(), rng);
+  for (const auto& f : net.flows()) {
+    EXPECT_NE(f.spec.src, f.spec.dst);
+    EXPECT_EQ(tree.graph().node(f.spec.src).kind, topo::NodeKind::kHost);
+    EXPECT_EQ(tree.graph().node(f.spec.dst).kind, topo::NodeKind::kHost);
+  }
+}
+
+TEST(TaskGenerator, ArrivalsAreMonotone) {
+  const topo::SingleRootedTree tree(topo::SingleRootedConfig::scaled());
+  net::Network net(tree);
+  util::Rng rng(9);
+  (void)generate(net, small_config(), rng);
+  double prev = -1.0;
+  for (const auto& t : net.tasks()) {
+    EXPECT_GE(t.spec.arrival, prev);
+    prev = t.spec.arrival;
+  }
+  EXPECT_DOUBLE_EQ(net.tasks().front().spec.arrival, 0.0);
+}
+
+TEST(TaskGenerator, MeansApproximatelyMatchConfig) {
+  const topo::SingleRootedTree tree(topo::SingleRootedConfig::scaled());
+  net::Network net(tree);
+  WorkloadConfig c = small_config();
+  c.task_count = 400;
+  util::Rng rng(11);
+  (void)generate(net, c, rng);
+
+  double flow_sum = 0.0;
+  for (const auto& f : net.flows()) flow_sum += f.spec.size;
+  EXPECT_NEAR(flow_sum / static_cast<double>(net.flows().size()), c.mean_flow_size,
+              c.mean_flow_size * 0.05);
+
+  double deadline_sum = 0.0;
+  for (const auto& t : net.tasks()) deadline_sum += t.spec.deadline - t.spec.arrival;
+  EXPECT_NEAR(deadline_sum / 400.0, c.mean_deadline, c.mean_deadline * 0.25);
+
+  EXPECT_NEAR(static_cast<double>(net.flows().size()) / 400.0, c.flows_per_task_mean,
+              c.flows_per_task_mean * 0.15);
+}
+
+TEST(TaskGenerator, SingleFlowTasksMode) {
+  const topo::SingleRootedTree tree(topo::SingleRootedConfig::scaled());
+  net::Network net(tree);
+  WorkloadConfig c = small_config();
+  c.single_flow_tasks = true;
+  util::Rng rng(13);
+  (void)generate(net, c, rng);
+  for (const auto& t : net.tasks()) EXPECT_EQ(t.flow_count(), 1u);
+}
+
+TEST(TaskGenerator, SizesRespectFloor) {
+  const topo::SingleRootedTree tree(topo::SingleRootedConfig::scaled());
+  net::Network net(tree);
+  WorkloadConfig c = small_config();
+  c.mean_flow_size = 10e3;
+  c.flow_size_stddev = 50e3;  // wild spread: truncation must kick in
+  c.min_flow_size = 5e3;
+  util::Rng rng(17);
+  (void)generate(net, c, rng);
+  for (const auto& f : net.flows()) EXPECT_GE(f.spec.size, c.min_flow_size);
+}
+
+class SizeDistributionTest : public ::testing::TestWithParam<SizeDistribution> {};
+
+TEST_P(SizeDistributionTest, MeanMatchesConfig) {
+  const topo::SingleRootedTree tree(topo::SingleRootedConfig::scaled());
+  net::Network net(tree);
+  WorkloadConfig c = small_config();
+  c.task_count = 600;
+  c.size_distribution = GetParam();
+  util::Rng rng(23);
+  (void)generate(net, c, rng);
+
+  double sum = 0.0;
+  for (const auto& f : net.flows()) {
+    sum += f.spec.size;
+    EXPECT_GE(f.spec.size, c.min_flow_size);
+  }
+  const double mean = sum / static_cast<double>(net.flows().size());
+  // Pareto (shape 1.5) has huge sampling variance; allow a wider band.
+  const double tol = GetParam() == SizeDistribution::kPareto ? 0.25 : 0.05;
+  EXPECT_NEAR(mean, c.mean_flow_size, c.mean_flow_size * tol)
+      << to_string(GetParam());
+}
+
+TEST_P(SizeDistributionTest, HeavyTailsAreHeavier) {
+  const topo::SingleRootedTree tree(topo::SingleRootedConfig::scaled());
+  net::Network net(tree);
+  WorkloadConfig c = small_config();
+  c.task_count = 400;
+  c.size_distribution = GetParam();
+  util::Rng rng(29);
+  (void)generate(net, c, rng);
+
+  double max_size = 0.0;
+  for (const auto& f : net.flows()) max_size = std::max(max_size, f.spec.size);
+  if (GetParam() == SizeDistribution::kPareto) {
+    EXPECT_GT(max_size, 5.0 * c.mean_flow_size);  // elephants exist
+  } else if (GetParam() == SizeDistribution::kNormal) {
+    EXPECT_LT(max_size, 3.0 * c.mean_flow_size);  // thin tail
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, SizeDistributionTest,
+                         ::testing::Values(SizeDistribution::kNormal,
+                                           SizeDistribution::kLognormal,
+                                           SizeDistribution::kPareto),
+                         [](const auto& info) { return to_string(info.param); });
+
+TEST(TaskGenerator, RejectsNonEmptyNetwork) {
+  const topo::SingleRootedTree tree(topo::SingleRootedConfig::scaled());
+  net::Network net(tree);
+  util::Rng rng(19);
+  (void)generate(net, small_config(), rng);
+  EXPECT_THROW((void)generate(net, small_config(), rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace taps::workload

@@ -1,0 +1,54 @@
+#include "workload/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+namespace taps::workload {
+namespace {
+
+TEST(Scenario, SingleRootedPresets) {
+  const Scenario scaled = Scenario::single_rooted(false);
+  EXPECT_EQ(scaled.topo, TopoKind::kSingleRooted);
+  EXPECT_FALSE(scaled.full_scale);
+  EXPECT_EQ(scaled.workload.task_count, 30);  // paper Sec. V-A
+
+  const Scenario full = Scenario::single_rooted(true);
+  EXPECT_TRUE(full.full_scale);
+  EXPECT_DOUBLE_EQ(full.workload.flows_per_task_mean, 1200.0);  // paper value
+}
+
+TEST(Scenario, FatTreePresets) {
+  const Scenario full = Scenario::fat_tree(true);
+  EXPECT_DOUBLE_EQ(full.workload.flows_per_task_mean, 1024.0);
+  const Scenario scaled = Scenario::fat_tree(false);
+  EXPECT_GT(scaled.workload.flows_per_task_mean, 0.0);
+}
+
+TEST(Scenario, TestbedPreset) {
+  const Scenario t = Scenario::testbed();
+  EXPECT_EQ(t.topo, TopoKind::kTestbed);
+  EXPECT_EQ(t.workload.task_count, 100);      // 100 iperf flows
+  EXPECT_TRUE(t.workload.single_flow_tasks);
+  EXPECT_DOUBLE_EQ(t.workload.mean_flow_size, 100e3);
+  EXPECT_DOUBLE_EQ(t.workload.mean_deadline, 0.040);
+}
+
+TEST(Scenario, TopologyFactoryMatchesKind) {
+  EXPECT_EQ(make_topology(Scenario::single_rooted(false))->name(), "single-rooted-tree");
+  EXPECT_EQ(make_topology(Scenario::fat_tree(false))->name(), "fat-tree");
+  EXPECT_EQ(make_topology(Scenario::testbed())->name(), "partial-fat-tree-testbed");
+}
+
+TEST(Scenario, ScaledTopologiesAreSmall) {
+  EXPECT_LE(make_topology(Scenario::single_rooted(false))->host_count(), 1000u);
+  EXPECT_LE(make_topology(Scenario::fat_tree(false))->host_count(), 1000u);
+  EXPECT_EQ(make_topology(Scenario::testbed())->host_count(), 8u);
+}
+
+TEST(Scenario, TopoKindNames) {
+  EXPECT_STREQ(to_string(TopoKind::kSingleRooted), "single-rooted");
+  EXPECT_STREQ(to_string(TopoKind::kFatTree), "fat-tree");
+  EXPECT_STREQ(to_string(TopoKind::kTestbed), "testbed");
+}
+
+}  // namespace
+}  // namespace taps::workload

@@ -1,0 +1,79 @@
+#include "workload/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "topo/tree.hpp"
+#include "workload/task_generator.hpp"
+
+namespace taps::workload {
+namespace {
+
+std::string temp_path(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(Trace, RoundTripPreservesWorkload) {
+  const topo::SingleRootedTree tree(topo::SingleRootedConfig::scaled());
+  net::Network original(tree);
+  WorkloadConfig c;
+  c.task_count = 20;
+  c.flows_per_task_mean = 5.0;
+  util::Rng rng(31);
+  (void)generate(original, c, rng);
+
+  const std::string path = temp_path("taps_trace_roundtrip.csv");
+  save_trace(original, path);
+
+  net::Network loaded(tree);
+  const std::size_t tasks = load_trace(loaded, path);
+  EXPECT_EQ(tasks, original.tasks().size());
+  ASSERT_EQ(loaded.flows().size(), original.flows().size());
+  for (std::size_t i = 0; i < original.flows().size(); ++i) {
+    const auto& a = original.flows()[i].spec;
+    const auto& b = loaded.flows()[i].spec;
+    EXPECT_EQ(a.src, b.src);
+    EXPECT_EQ(a.dst, b.dst);
+    EXPECT_DOUBLE_EQ(a.size, b.size);
+    EXPECT_DOUBLE_EQ(a.deadline, b.deadline);
+    EXPECT_DOUBLE_EQ(a.arrival, b.arrival);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Trace, LoadRejectsNonEmptyNetwork) {
+  const topo::SingleRootedTree tree(topo::SingleRootedConfig::scaled());
+  net::Network net(tree);
+  WorkloadConfig c;
+  c.task_count = 2;
+  util::Rng rng(1);
+  (void)generate(net, c, rng);
+  const std::string path = temp_path("taps_trace_nonempty.csv");
+  save_trace(net, path);
+  EXPECT_THROW((void)load_trace(net, path), std::invalid_argument);
+  std::remove(path.c_str());
+}
+
+TEST(Trace, LoadMissingFileThrows) {
+  const topo::SingleRootedTree tree(topo::SingleRootedConfig::scaled());
+  net::Network net(tree);
+  EXPECT_THROW((void)load_trace(net, "/nonexistent/trace.csv"), std::runtime_error);
+}
+
+TEST(Trace, MalformedRowThrows) {
+  const std::string path = temp_path("taps_trace_bad.csv");
+  {
+    std::ofstream out(path);
+    out << "task,arrival,deadline,flow,src,dst,size\n1,0.0,1.0\n";
+  }
+  const topo::SingleRootedTree tree(topo::SingleRootedConfig::scaled());
+  net::Network net(tree);
+  EXPECT_THROW((void)load_trace(net, path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace taps::workload
