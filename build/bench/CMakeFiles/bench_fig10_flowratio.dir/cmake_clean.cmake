@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_flowratio.dir/bench_fig10_flowratio.cpp.o"
+  "CMakeFiles/bench_fig10_flowratio.dir/bench_fig10_flowratio.cpp.o.d"
+  "bench_fig10_flowratio"
+  "bench_fig10_flowratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_flowratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_flows_per_task.dir/bench_fig11_flows_per_task.cpp.o"
+  "CMakeFiles/bench_fig11_flows_per_task.dir/bench_fig11_flows_per_task.cpp.o.d"
+  "bench_fig11_flows_per_task"
+  "bench_fig11_flows_per_task.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_flows_per_task.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

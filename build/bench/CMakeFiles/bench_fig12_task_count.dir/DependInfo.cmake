@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig12_task_count.cpp" "bench/CMakeFiles/bench_fig12_task_count.dir/bench_fig12_task_count.cpp.o" "gcc" "bench/CMakeFiles/bench_fig12_task_count.dir/bench_fig12_task_count.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/taps_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/taps_sdn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/taps_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/taps_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/taps_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/taps_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/taps_pkt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/taps_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/taps_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/taps_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/taps_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_preemption.dir/bench_fig2_preemption.cpp.o"
+  "CMakeFiles/bench_fig2_preemption.dir/bench_fig2_preemption.cpp.o.d"
+  "bench_fig2_preemption"
+  "bench_fig2_preemption.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_preemption.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

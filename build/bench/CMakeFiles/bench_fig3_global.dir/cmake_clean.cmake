@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_global.dir/bench_fig3_global.cpp.o"
+  "CMakeFiles/bench_fig3_global.dir/bench_fig3_global.cpp.o.d"
+  "bench_fig3_global"
+  "bench_fig3_global.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_global.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_wasted.dir/bench_fig8_wasted.cpp.o"
+  "CMakeFiles/bench_fig8_wasted.dir/bench_fig8_wasted.cpp.o.d"
+  "bench_fig8_wasted"
+  "bench_fig8_wasted.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_wasted.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

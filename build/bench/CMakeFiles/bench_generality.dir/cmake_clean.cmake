@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_generality.dir/bench_generality.cpp.o"
+  "CMakeFiles/bench_generality.dir/bench_generality.cpp.o.d"
+  "bench_generality"
+  "bench_generality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_generality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/bench
+# Build directory: /root/repo/build/bench
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(bench_smoke_fig1 "/root/repo/build/bench/bench_fig1_motivation")
+set_tests_properties(bench_smoke_fig1 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;27;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_fig2 "/root/repo/build/bench/bench_fig2_preemption")
+set_tests_properties(bench_smoke_fig2 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;28;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_fig3 "/root/repo/build/bench/bench_fig3_global")
+set_tests_properties(bench_smoke_fig3 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;29;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_fig12 "/root/repo/build/bench/bench_fig12_task_count" "--repeats" "1")
+set_tests_properties(bench_smoke_fig12 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;30;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_fig14 "/root/repo/build/bench/bench_fig14_testbed" "--flows" "30")
+set_tests_properties(bench_smoke_fig14 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;31;add_test;/root/repo/bench/CMakeLists.txt;0;")

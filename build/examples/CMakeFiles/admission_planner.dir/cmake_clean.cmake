@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/admission_planner.dir/admission_planner.cpp.o"
+  "CMakeFiles/admission_planner.dir/admission_planner.cpp.o.d"
+  "admission_planner"
+  "admission_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/admission_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datacenter_shuffle.dir/datacenter_shuffle.cpp.o"
+  "CMakeFiles/datacenter_shuffle.dir/datacenter_shuffle.cpp.o.d"
+  "datacenter_shuffle"
+  "datacenter_shuffle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datacenter_shuffle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdn_controller_walkthrough.dir/sdn_controller_walkthrough.cpp.o"
+  "CMakeFiles/sdn_controller_walkthrough.dir/sdn_controller_walkthrough.cpp.o.d"
+  "sdn_controller_walkthrough"
+  "sdn_controller_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdn_controller_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/occupancy.cpp" "src/CMakeFiles/taps_core.dir/core/occupancy.cpp.o" "gcc" "src/CMakeFiles/taps_core.dir/core/occupancy.cpp.o.d"
+  "/root/repo/src/core/optimal.cpp" "src/CMakeFiles/taps_core.dir/core/optimal.cpp.o" "gcc" "src/CMakeFiles/taps_core.dir/core/optimal.cpp.o.d"
+  "/root/repo/src/core/path_allocation.cpp" "src/CMakeFiles/taps_core.dir/core/path_allocation.cpp.o" "gcc" "src/CMakeFiles/taps_core.dir/core/path_allocation.cpp.o.d"
+  "/root/repo/src/core/reject_rule.cpp" "src/CMakeFiles/taps_core.dir/core/reject_rule.cpp.o" "gcc" "src/CMakeFiles/taps_core.dir/core/reject_rule.cpp.o.d"
+  "/root/repo/src/core/taps_scheduler.cpp" "src/CMakeFiles/taps_core.dir/core/taps_scheduler.cpp.o" "gcc" "src/CMakeFiles/taps_core.dir/core/taps_scheduler.cpp.o.d"
+  "/root/repo/src/core/time_allocation.cpp" "src/CMakeFiles/taps_core.dir/core/time_allocation.cpp.o" "gcc" "src/CMakeFiles/taps_core.dir/core/time_allocation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/taps_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/taps_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/taps_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/taps_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/taps_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

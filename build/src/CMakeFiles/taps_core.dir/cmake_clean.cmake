@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taps_core.dir/core/occupancy.cpp.o"
+  "CMakeFiles/taps_core.dir/core/occupancy.cpp.o.d"
+  "CMakeFiles/taps_core.dir/core/optimal.cpp.o"
+  "CMakeFiles/taps_core.dir/core/optimal.cpp.o.d"
+  "CMakeFiles/taps_core.dir/core/path_allocation.cpp.o"
+  "CMakeFiles/taps_core.dir/core/path_allocation.cpp.o.d"
+  "CMakeFiles/taps_core.dir/core/reject_rule.cpp.o"
+  "CMakeFiles/taps_core.dir/core/reject_rule.cpp.o.d"
+  "CMakeFiles/taps_core.dir/core/taps_scheduler.cpp.o"
+  "CMakeFiles/taps_core.dir/core/taps_scheduler.cpp.o.d"
+  "CMakeFiles/taps_core.dir/core/time_allocation.cpp.o"
+  "CMakeFiles/taps_core.dir/core/time_allocation.cpp.o.d"
+  "libtaps_core.a"
+  "libtaps_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taps_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taps_exp.dir/exp/experiment.cpp.o"
+  "CMakeFiles/taps_exp.dir/exp/experiment.cpp.o.d"
+  "CMakeFiles/taps_exp.dir/exp/sweep.cpp.o"
+  "CMakeFiles/taps_exp.dir/exp/sweep.cpp.o.d"
+  "libtaps_exp.a"
+  "libtaps_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taps_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

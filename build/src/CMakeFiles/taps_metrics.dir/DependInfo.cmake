@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/collector.cpp" "src/CMakeFiles/taps_metrics.dir/metrics/collector.cpp.o" "gcc" "src/CMakeFiles/taps_metrics.dir/metrics/collector.cpp.o.d"
+  "/root/repo/src/metrics/report.cpp" "src/CMakeFiles/taps_metrics.dir/metrics/report.cpp.o" "gcc" "src/CMakeFiles/taps_metrics.dir/metrics/report.cpp.o.d"
+  "/root/repo/src/metrics/timeseries.cpp" "src/CMakeFiles/taps_metrics.dir/metrics/timeseries.cpp.o" "gcc" "src/CMakeFiles/taps_metrics.dir/metrics/timeseries.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/taps_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/taps_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/taps_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/taps_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taps_metrics.dir/metrics/collector.cpp.o"
+  "CMakeFiles/taps_metrics.dir/metrics/collector.cpp.o.d"
+  "CMakeFiles/taps_metrics.dir/metrics/report.cpp.o"
+  "CMakeFiles/taps_metrics.dir/metrics/report.cpp.o.d"
+  "CMakeFiles/taps_metrics.dir/metrics/timeseries.cpp.o"
+  "CMakeFiles/taps_metrics.dir/metrics/timeseries.cpp.o.d"
+  "libtaps_metrics.a"
+  "libtaps_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taps_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

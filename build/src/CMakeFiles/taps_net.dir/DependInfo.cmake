@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/flow.cpp" "src/CMakeFiles/taps_net.dir/net/flow.cpp.o" "gcc" "src/CMakeFiles/taps_net.dir/net/flow.cpp.o.d"
+  "/root/repo/src/net/network.cpp" "src/CMakeFiles/taps_net.dir/net/network.cpp.o" "gcc" "src/CMakeFiles/taps_net.dir/net/network.cpp.o.d"
+  "/root/repo/src/net/task.cpp" "src/CMakeFiles/taps_net.dir/net/task.cpp.o" "gcc" "src/CMakeFiles/taps_net.dir/net/task.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/taps_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/taps_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taps_net.dir/net/flow.cpp.o"
+  "CMakeFiles/taps_net.dir/net/flow.cpp.o.d"
+  "CMakeFiles/taps_net.dir/net/network.cpp.o"
+  "CMakeFiles/taps_net.dir/net/network.cpp.o.d"
+  "CMakeFiles/taps_net.dir/net/task.cpp.o"
+  "CMakeFiles/taps_net.dir/net/task.cpp.o.d"
+  "libtaps_net.a"
+  "libtaps_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taps_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taps_pkt.dir/pkt/packet_sim.cpp.o"
+  "CMakeFiles/taps_pkt.dir/pkt/packet_sim.cpp.o.d"
+  "libtaps_pkt.a"
+  "libtaps_pkt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taps_pkt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

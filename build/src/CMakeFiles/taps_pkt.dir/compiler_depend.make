@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for taps_pkt.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/baraat.cpp" "src/CMakeFiles/taps_sched.dir/sched/baraat.cpp.o" "gcc" "src/CMakeFiles/taps_sched.dir/sched/baraat.cpp.o.d"
+  "/root/repo/src/sched/d2tcp.cpp" "src/CMakeFiles/taps_sched.dir/sched/d2tcp.cpp.o" "gcc" "src/CMakeFiles/taps_sched.dir/sched/d2tcp.cpp.o.d"
+  "/root/repo/src/sched/d3.cpp" "src/CMakeFiles/taps_sched.dir/sched/d3.cpp.o" "gcc" "src/CMakeFiles/taps_sched.dir/sched/d3.cpp.o.d"
+  "/root/repo/src/sched/fair_sharing.cpp" "src/CMakeFiles/taps_sched.dir/sched/fair_sharing.cpp.o" "gcc" "src/CMakeFiles/taps_sched.dir/sched/fair_sharing.cpp.o.d"
+  "/root/repo/src/sched/pdq.cpp" "src/CMakeFiles/taps_sched.dir/sched/pdq.cpp.o" "gcc" "src/CMakeFiles/taps_sched.dir/sched/pdq.cpp.o.d"
+  "/root/repo/src/sched/scheduler.cpp" "src/CMakeFiles/taps_sched.dir/sched/scheduler.cpp.o" "gcc" "src/CMakeFiles/taps_sched.dir/sched/scheduler.cpp.o.d"
+  "/root/repo/src/sched/varys.cpp" "src/CMakeFiles/taps_sched.dir/sched/varys.cpp.o" "gcc" "src/CMakeFiles/taps_sched.dir/sched/varys.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/taps_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/taps_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/taps_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/taps_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taps_sched.dir/sched/baraat.cpp.o"
+  "CMakeFiles/taps_sched.dir/sched/baraat.cpp.o.d"
+  "CMakeFiles/taps_sched.dir/sched/d2tcp.cpp.o"
+  "CMakeFiles/taps_sched.dir/sched/d2tcp.cpp.o.d"
+  "CMakeFiles/taps_sched.dir/sched/d3.cpp.o"
+  "CMakeFiles/taps_sched.dir/sched/d3.cpp.o.d"
+  "CMakeFiles/taps_sched.dir/sched/fair_sharing.cpp.o"
+  "CMakeFiles/taps_sched.dir/sched/fair_sharing.cpp.o.d"
+  "CMakeFiles/taps_sched.dir/sched/pdq.cpp.o"
+  "CMakeFiles/taps_sched.dir/sched/pdq.cpp.o.d"
+  "CMakeFiles/taps_sched.dir/sched/scheduler.cpp.o"
+  "CMakeFiles/taps_sched.dir/sched/scheduler.cpp.o.d"
+  "CMakeFiles/taps_sched.dir/sched/varys.cpp.o"
+  "CMakeFiles/taps_sched.dir/sched/varys.cpp.o.d"
+  "libtaps_sched.a"
+  "libtaps_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taps_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtaps_sched.a"
+)

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sdn/controller.cpp" "src/CMakeFiles/taps_sdn.dir/sdn/controller.cpp.o" "gcc" "src/CMakeFiles/taps_sdn.dir/sdn/controller.cpp.o.d"
+  "/root/repo/src/sdn/flow_table.cpp" "src/CMakeFiles/taps_sdn.dir/sdn/flow_table.cpp.o" "gcc" "src/CMakeFiles/taps_sdn.dir/sdn/flow_table.cpp.o.d"
+  "/root/repo/src/sdn/messages.cpp" "src/CMakeFiles/taps_sdn.dir/sdn/messages.cpp.o" "gcc" "src/CMakeFiles/taps_sdn.dir/sdn/messages.cpp.o.d"
+  "/root/repo/src/sdn/server_agent.cpp" "src/CMakeFiles/taps_sdn.dir/sdn/server_agent.cpp.o" "gcc" "src/CMakeFiles/taps_sdn.dir/sdn/server_agent.cpp.o.d"
+  "/root/repo/src/sdn/switch.cpp" "src/CMakeFiles/taps_sdn.dir/sdn/switch.cpp.o" "gcc" "src/CMakeFiles/taps_sdn.dir/sdn/switch.cpp.o.d"
+  "/root/repo/src/sdn/testbed.cpp" "src/CMakeFiles/taps_sdn.dir/sdn/testbed.cpp.o" "gcc" "src/CMakeFiles/taps_sdn.dir/sdn/testbed.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/taps_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/taps_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/taps_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/taps_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/taps_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/taps_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

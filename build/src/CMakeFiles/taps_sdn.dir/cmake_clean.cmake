@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taps_sdn.dir/sdn/controller.cpp.o"
+  "CMakeFiles/taps_sdn.dir/sdn/controller.cpp.o.d"
+  "CMakeFiles/taps_sdn.dir/sdn/flow_table.cpp.o"
+  "CMakeFiles/taps_sdn.dir/sdn/flow_table.cpp.o.d"
+  "CMakeFiles/taps_sdn.dir/sdn/messages.cpp.o"
+  "CMakeFiles/taps_sdn.dir/sdn/messages.cpp.o.d"
+  "CMakeFiles/taps_sdn.dir/sdn/server_agent.cpp.o"
+  "CMakeFiles/taps_sdn.dir/sdn/server_agent.cpp.o.d"
+  "CMakeFiles/taps_sdn.dir/sdn/switch.cpp.o"
+  "CMakeFiles/taps_sdn.dir/sdn/switch.cpp.o.d"
+  "CMakeFiles/taps_sdn.dir/sdn/testbed.cpp.o"
+  "CMakeFiles/taps_sdn.dir/sdn/testbed.cpp.o.d"
+  "libtaps_sdn.a"
+  "libtaps_sdn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taps_sdn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for taps_sdn.
+# This may be replaced when dependencies are built.

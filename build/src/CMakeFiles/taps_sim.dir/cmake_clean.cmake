@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taps_sim.dir/sim/event_queue.cpp.o"
+  "CMakeFiles/taps_sim.dir/sim/event_queue.cpp.o.d"
+  "CMakeFiles/taps_sim.dir/sim/simulator.cpp.o"
+  "CMakeFiles/taps_sim.dir/sim/simulator.cpp.o.d"
+  "libtaps_sim.a"
+  "libtaps_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taps_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topo/bcube.cpp" "src/CMakeFiles/taps_topo.dir/topo/bcube.cpp.o" "gcc" "src/CMakeFiles/taps_topo.dir/topo/bcube.cpp.o.d"
+  "/root/repo/src/topo/fattree.cpp" "src/CMakeFiles/taps_topo.dir/topo/fattree.cpp.o" "gcc" "src/CMakeFiles/taps_topo.dir/topo/fattree.cpp.o.d"
+  "/root/repo/src/topo/graph.cpp" "src/CMakeFiles/taps_topo.dir/topo/graph.cpp.o" "gcc" "src/CMakeFiles/taps_topo.dir/topo/graph.cpp.o.d"
+  "/root/repo/src/topo/partial_fattree.cpp" "src/CMakeFiles/taps_topo.dir/topo/partial_fattree.cpp.o" "gcc" "src/CMakeFiles/taps_topo.dir/topo/partial_fattree.cpp.o.d"
+  "/root/repo/src/topo/paths.cpp" "src/CMakeFiles/taps_topo.dir/topo/paths.cpp.o" "gcc" "src/CMakeFiles/taps_topo.dir/topo/paths.cpp.o.d"
+  "/root/repo/src/topo/tree.cpp" "src/CMakeFiles/taps_topo.dir/topo/tree.cpp.o" "gcc" "src/CMakeFiles/taps_topo.dir/topo/tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/taps_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

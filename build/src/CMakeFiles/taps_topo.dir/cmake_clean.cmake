@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taps_topo.dir/topo/bcube.cpp.o"
+  "CMakeFiles/taps_topo.dir/topo/bcube.cpp.o.d"
+  "CMakeFiles/taps_topo.dir/topo/fattree.cpp.o"
+  "CMakeFiles/taps_topo.dir/topo/fattree.cpp.o.d"
+  "CMakeFiles/taps_topo.dir/topo/graph.cpp.o"
+  "CMakeFiles/taps_topo.dir/topo/graph.cpp.o.d"
+  "CMakeFiles/taps_topo.dir/topo/partial_fattree.cpp.o"
+  "CMakeFiles/taps_topo.dir/topo/partial_fattree.cpp.o.d"
+  "CMakeFiles/taps_topo.dir/topo/paths.cpp.o"
+  "CMakeFiles/taps_topo.dir/topo/paths.cpp.o.d"
+  "CMakeFiles/taps_topo.dir/topo/tree.cpp.o"
+  "CMakeFiles/taps_topo.dir/topo/tree.cpp.o.d"
+  "libtaps_topo.a"
+  "libtaps_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taps_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taps_util.dir/util/cli.cpp.o"
+  "CMakeFiles/taps_util.dir/util/cli.cpp.o.d"
+  "CMakeFiles/taps_util.dir/util/csv.cpp.o"
+  "CMakeFiles/taps_util.dir/util/csv.cpp.o.d"
+  "CMakeFiles/taps_util.dir/util/interval_set.cpp.o"
+  "CMakeFiles/taps_util.dir/util/interval_set.cpp.o.d"
+  "CMakeFiles/taps_util.dir/util/logging.cpp.o"
+  "CMakeFiles/taps_util.dir/util/logging.cpp.o.d"
+  "CMakeFiles/taps_util.dir/util/rng.cpp.o"
+  "CMakeFiles/taps_util.dir/util/rng.cpp.o.d"
+  "CMakeFiles/taps_util.dir/util/stats.cpp.o"
+  "CMakeFiles/taps_util.dir/util/stats.cpp.o.d"
+  "CMakeFiles/taps_util.dir/util/thread_pool.cpp.o"
+  "CMakeFiles/taps_util.dir/util/thread_pool.cpp.o.d"
+  "libtaps_util.a"
+  "libtaps_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taps_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taps_workload.dir/workload/scenario.cpp.o"
+  "CMakeFiles/taps_workload.dir/workload/scenario.cpp.o.d"
+  "CMakeFiles/taps_workload.dir/workload/task_generator.cpp.o"
+  "CMakeFiles/taps_workload.dir/workload/task_generator.cpp.o.d"
+  "CMakeFiles/taps_workload.dir/workload/trace.cpp.o"
+  "CMakeFiles/taps_workload.dir/workload/trace.cpp.o.d"
+  "libtaps_workload.a"
+  "libtaps_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taps_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/exclusive_use_test.cpp" "tests/CMakeFiles/core_tests.dir/core/exclusive_use_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/exclusive_use_test.cpp.o.d"
+  "/root/repo/tests/core/makeup_test.cpp" "tests/CMakeFiles/core_tests.dir/core/makeup_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/makeup_test.cpp.o.d"
+  "/root/repo/tests/core/occupancy_test.cpp" "tests/CMakeFiles/core_tests.dir/core/occupancy_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/occupancy_test.cpp.o.d"
+  "/root/repo/tests/core/optimal_test.cpp" "tests/CMakeFiles/core_tests.dir/core/optimal_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/optimal_test.cpp.o.d"
+  "/root/repo/tests/core/path_allocation_test.cpp" "tests/CMakeFiles/core_tests.dir/core/path_allocation_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/path_allocation_test.cpp.o.d"
+  "/root/repo/tests/core/reject_rule_test.cpp" "tests/CMakeFiles/core_tests.dir/core/reject_rule_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/reject_rule_test.cpp.o.d"
+  "/root/repo/tests/core/taps_scheduler_test.cpp" "tests/CMakeFiles/core_tests.dir/core/taps_scheduler_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/taps_scheduler_test.cpp.o.d"
+  "/root/repo/tests/core/time_allocation_test.cpp" "tests/CMakeFiles/core_tests.dir/core/time_allocation_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/time_allocation_test.cpp.o.d"
+  "/root/repo/tests/core/waves_test.cpp" "tests/CMakeFiles/core_tests.dir/core/waves_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/waves_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/taps_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/taps_sdn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/taps_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/taps_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/taps_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/taps_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/taps_pkt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/taps_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/taps_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/taps_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/taps_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

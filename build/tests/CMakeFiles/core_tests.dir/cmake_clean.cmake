@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/core/exclusive_use_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/exclusive_use_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/makeup_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/makeup_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/occupancy_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/occupancy_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/optimal_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/optimal_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/path_allocation_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/path_allocation_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/reject_rule_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/reject_rule_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/taps_scheduler_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/taps_scheduler_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/time_allocation_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/time_allocation_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/waves_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/waves_test.cpp.o.d"
+  "core_tests"
+  "core_tests.pdb"
+  "core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pkt_tests.dir/pkt/packet_sim_test.cpp.o"
+  "CMakeFiles/pkt_tests.dir/pkt/packet_sim_test.cpp.o.d"
+  "pkt_tests"
+  "pkt_tests.pdb"
+  "pkt_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pkt_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

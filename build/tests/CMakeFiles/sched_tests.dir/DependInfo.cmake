@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sched/baraat_test.cpp" "tests/CMakeFiles/sched_tests.dir/sched/baraat_test.cpp.o" "gcc" "tests/CMakeFiles/sched_tests.dir/sched/baraat_test.cpp.o.d"
+  "/root/repo/tests/sched/capacity_test.cpp" "tests/CMakeFiles/sched_tests.dir/sched/capacity_test.cpp.o" "gcc" "tests/CMakeFiles/sched_tests.dir/sched/capacity_test.cpp.o.d"
+  "/root/repo/tests/sched/d2tcp_test.cpp" "tests/CMakeFiles/sched_tests.dir/sched/d2tcp_test.cpp.o" "gcc" "tests/CMakeFiles/sched_tests.dir/sched/d2tcp_test.cpp.o.d"
+  "/root/repo/tests/sched/d3_test.cpp" "tests/CMakeFiles/sched_tests.dir/sched/d3_test.cpp.o" "gcc" "tests/CMakeFiles/sched_tests.dir/sched/d3_test.cpp.o.d"
+  "/root/repo/tests/sched/fair_sharing_test.cpp" "tests/CMakeFiles/sched_tests.dir/sched/fair_sharing_test.cpp.o" "gcc" "tests/CMakeFiles/sched_tests.dir/sched/fair_sharing_test.cpp.o.d"
+  "/root/repo/tests/sched/pdq_test.cpp" "tests/CMakeFiles/sched_tests.dir/sched/pdq_test.cpp.o" "gcc" "tests/CMakeFiles/sched_tests.dir/sched/pdq_test.cpp.o.d"
+  "/root/repo/tests/sched/varys_test.cpp" "tests/CMakeFiles/sched_tests.dir/sched/varys_test.cpp.o" "gcc" "tests/CMakeFiles/sched_tests.dir/sched/varys_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/taps_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/taps_sdn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/taps_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/taps_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/taps_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/taps_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/taps_pkt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/taps_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/taps_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/taps_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/taps_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_tests.dir/sched/baraat_test.cpp.o"
+  "CMakeFiles/sched_tests.dir/sched/baraat_test.cpp.o.d"
+  "CMakeFiles/sched_tests.dir/sched/capacity_test.cpp.o"
+  "CMakeFiles/sched_tests.dir/sched/capacity_test.cpp.o.d"
+  "CMakeFiles/sched_tests.dir/sched/d2tcp_test.cpp.o"
+  "CMakeFiles/sched_tests.dir/sched/d2tcp_test.cpp.o.d"
+  "CMakeFiles/sched_tests.dir/sched/d3_test.cpp.o"
+  "CMakeFiles/sched_tests.dir/sched/d3_test.cpp.o.d"
+  "CMakeFiles/sched_tests.dir/sched/fair_sharing_test.cpp.o"
+  "CMakeFiles/sched_tests.dir/sched/fair_sharing_test.cpp.o.d"
+  "CMakeFiles/sched_tests.dir/sched/pdq_test.cpp.o"
+  "CMakeFiles/sched_tests.dir/sched/pdq_test.cpp.o.d"
+  "CMakeFiles/sched_tests.dir/sched/varys_test.cpp.o"
+  "CMakeFiles/sched_tests.dir/sched/varys_test.cpp.o.d"
+  "sched_tests"
+  "sched_tests.pdb"
+  "sched_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

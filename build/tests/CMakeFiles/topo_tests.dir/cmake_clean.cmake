@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topo_tests.dir/topo/bcube_test.cpp.o"
+  "CMakeFiles/topo_tests.dir/topo/bcube_test.cpp.o.d"
+  "CMakeFiles/topo_tests.dir/topo/fattree_test.cpp.o"
+  "CMakeFiles/topo_tests.dir/topo/fattree_test.cpp.o.d"
+  "CMakeFiles/topo_tests.dir/topo/graph_test.cpp.o"
+  "CMakeFiles/topo_tests.dir/topo/graph_test.cpp.o.d"
+  "CMakeFiles/topo_tests.dir/topo/paths_test.cpp.o"
+  "CMakeFiles/topo_tests.dir/topo/paths_test.cpp.o.d"
+  "CMakeFiles/topo_tests.dir/topo/tree_test.cpp.o"
+  "CMakeFiles/topo_tests.dir/topo/tree_test.cpp.o.d"
+  "topo_tests"
+  "topo_tests.pdb"
+  "topo_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topo_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
