@@ -52,7 +52,9 @@ std::vector<FlowPlan> plan_flows(const net::Network& net, OccupancyMap& occupanc
   plans.reserve(order.size());
   for (const FlowId fid : order) {
     FlowPlan plan = plan_one_flow(net, occupancy, fid, now, config);
-    if (plan.feasible) occupancy.occupy(plan.path, plan.slices);
+    if (plan.feasible && fid != config.fault_skip_occupy) {
+      occupancy.occupy(plan.path, plan.slices);
+    }
     plans.push_back(std::move(plan));
   }
   return plans;

@@ -27,6 +27,10 @@ struct PlanConfig {
   /// one store-and-forward pipeline after its slice ends, so exact-fit
   /// plans miss by microseconds unless the controller budgets for it.
   double guard_band = 0.0;
+  /// Fault injection for the invariant oracle's negative tests: planning
+  /// skips OccupancyMap::occupy for this flow, so later flows can be granted
+  /// overlapping slices. Never set outside tests.
+  net::FlowId fault_skip_occupy = net::kInvalidFlow;
 };
 
 struct FlowPlan {

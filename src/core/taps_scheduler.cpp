@@ -36,7 +36,8 @@ TapsScheduler::PlanAttempt TapsScheduler::try_plan(std::vector<FlowId> order,
   PlanAttempt attempt{.plans = {},
                       .occ = OccupancyMap(net_->graph().link_count()),
                       .fully_feasible = true};
-  const PlanConfig plan_config{config_.max_paths, config_.ecmp_routing, config_.guard_band};
+  const PlanConfig plan_config{config_.max_paths, config_.ecmp_routing, config_.guard_band,
+                               config_.fault_skip_occupy};
   attempt.plans = plan_flows(*net_, attempt.occ, order, now, plan_config);
   for (const auto& p : attempt.plans) {
     if (!p.feasible) {

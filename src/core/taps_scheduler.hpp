@@ -30,6 +30,10 @@ struct TapsConfig {
   /// PlanConfig::guard_band). Keep 0 for the paper's fluid evaluation; set
   /// to ~a few packet times x path length on packet networks.
   double guard_band = 0.0;
+  /// Test-only seeded mutation (see PlanConfig::fault_skip_occupy): the
+  /// invariant oracle's negative test proves it catches the resulting
+  /// exclusivity breach. Never set outside tests.
+  net::FlowId fault_skip_occupy = net::kInvalidFlow;
 };
 
 struct TapsCounters {

@@ -1,0 +1,225 @@
+#include "sim/invariant_checker.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace taps::sim {
+
+using net::Flow;
+using net::FlowState;
+using net::Task;
+using net::TaskState;
+
+namespace {
+
+std::string describe_flow(const Flow& f) {
+  std::ostringstream os;
+  os << "flow " << f.id() << " (task " << f.task() << ", " << net::to_string(f.state)
+     << ", size=" << f.spec.size << ", deadline=" << f.spec.deadline << ")";
+  return os.str();
+}
+
+}  // namespace
+
+InvariantChecker::InvariantChecker(const net::Network& net, InvariantConfig config)
+    : net_(&net),
+      config_(config),
+      transmitted_(net.graph().link_count()),
+      window_rate_(net.graph().link_count(), 0.0),
+      observed_bytes_(net.flows().size(), 0.0) {}
+
+void InvariantChecker::fail(const std::string& what) const {
+  std::ostringstream os;
+  os << "invariant violation: " << what << "\n--- last " << trace_.size()
+     << " events (oldest first) ---";
+  for (const std::string& line : trace_) os << '\n' << "  " << line;
+  throw InvariantViolation(os.str());
+}
+
+void InvariantChecker::record(std::string line) {
+  if (trace_.size() >= config_.trace_limit) trace_.pop_front();
+  trace_.push_back(std::move(line));
+}
+
+void InvariantChecker::flush_window() {
+  if (!window_open_) return;
+  for (const topo::LinkId lid : window_touched_) {
+    const auto i = static_cast<std::size_t>(lid);
+    const double capacity = net_->link_capacity(lid);
+    if (window_rate_[i] > capacity * (1.0 + config_.capacity_tolerance)) {
+      std::ostringstream os;
+      os << "link " << lid << " oversubscribed during [" << window_lo_ << ", " << window_hi_
+         << "): aggregate rate " << window_rate_[i] << " > capacity " << capacity;
+      fail(os.str());
+    }
+    window_rate_[i] = 0.0;
+  }
+  window_touched_.clear();
+  window_open_ = false;
+}
+
+void InvariantChecker::on_transmit(const Flow& f, double t0, double t1, double bytes) {
+  if (bytes <= 0.0) return;
+  ++segments_;
+  {
+    std::ostringstream os;
+    os << "xmit  " << describe_flow(f) << " [" << t0 << ", " << t1 << ") bytes=" << bytes;
+    record(os.str());
+  }
+
+  // Invariant 4: segments never travel backwards in time.
+  if (t1 < t0) fail("transmit segment ends before it starts: " + describe_flow(f));
+  if (window_open_ && (t0 != window_lo_ || t1 != window_hi_)) flush_window();
+  if (!window_open_) {
+    if (t0 < window_hi_ - config_.time_tolerance) {
+      std::ostringstream os;
+      os << "transmit window [" << t0 << ", " << t1 << ") starts before the previous "
+         << "window ended (" << window_hi_ << "): " << describe_flow(f);
+      fail(os.str());
+    }
+    window_lo_ = t0;
+    window_hi_ = t1;
+    window_open_ = true;
+  }
+
+  // Invariant 5: no transmission past the flow's (absolute) deadline.
+  if (t1 > f.spec.deadline + config_.time_tolerance) {
+    std::ostringstream os;
+    os << describe_flow(f) << " transmitted until " << t1 << ", past its deadline";
+    fail(os.str());
+  }
+
+  // Invariant 3: accumulate the flow's observed bytes.
+  const auto fid = static_cast<std::size_t>(f.id());
+  if (fid >= observed_bytes_.size()) observed_bytes_.resize(net_->flows().size(), 0.0);
+  observed_bytes_[fid] += bytes;
+
+  // Invariant 2: per-link rate sums, checked when the window closes.
+  const double dt = t1 - t0;
+  if (dt <= 0.0) {
+    if (bytes > config_.byte_tolerance) {
+      fail("bytes transmitted over an empty interval: " + describe_flow(f));
+    }
+    return;
+  }
+  const double rate = bytes / dt;
+  for (const topo::LinkId lid : f.path.links) {
+    const auto i = static_cast<std::size_t>(lid);
+    if (window_rate_[i] == 0.0) window_touched_.push_back(lid);
+    window_rate_[i] += rate;
+  }
+
+  // Invariant 1 (TAPS): exclusive occupancy of every link on the path,
+  // verified with the planner's own collision primitive on actual segments.
+  if (config_.exclusive_links) {
+    const double lo = t0 + config_.exclusivity_slack;
+    const double hi = t1 - config_.exclusivity_slack;
+    if (hi > lo) {
+      util::IntervalSet segment;
+      segment.insert(lo, hi);
+      if (transmitted_.collides(f.path, segment)) {
+        std::ostringstream os;
+        os << "exclusive-use violated: " << describe_flow(f) << " transmitted on [" << t0
+           << ", " << t1 << ") while another flow occupied a link of its path";
+        fail(os.str());
+      }
+      transmitted_.occupy(f.path, segment);
+    }
+  }
+}
+
+void InvariantChecker::on_event(double now) {
+  ++events_;
+  {
+    std::ostringstream os;
+    os << "event t=" << now;
+    record(os.str());
+  }
+  flush_window();
+
+  // Invariant 4: the event clock is monotone.
+  if (now < last_event_time_ - config_.time_tolerance) {
+    std::ostringstream os;
+    os << "event time went backwards: " << now << " after " << last_event_time_;
+    fail(os.str());
+  }
+  last_event_time_ = std::max(last_event_time_, now);
+
+  // Invariant 5: an accepted task never has a flow still active past its
+  // deadline (the simulator must have settled it at the deadline event).
+  for (const Flow& f : net_->flows()) {
+    if (f.active() && now > f.spec.deadline + config_.time_tolerance) {
+      fail(describe_flow(f) + " still active past its deadline at t=" +
+           std::to_string(now));
+    }
+  }
+}
+
+void InvariantChecker::on_flow_finished(const Flow& f, double now) {
+  ++finished_;
+  {
+    std::ostringstream os;
+    os << "done  " << describe_flow(f) << " t=" << now;
+    record(os.str());
+  }
+  const auto fid = static_cast<std::size_t>(f.id());
+  const double observed = fid < observed_bytes_.size() ? observed_bytes_[fid] : 0.0;
+
+  // Invariant 3: the simulator's accounting matches the observed segments.
+  if (std::abs(observed - f.bytes_sent) > config_.byte_tolerance) {
+    std::ostringstream os;
+    os << describe_flow(f) << " bytes_sent=" << f.bytes_sent << " but observed segments sum to "
+       << observed;
+    fail(os.str());
+  }
+  if (f.state == FlowState::kCompleted) {
+    if (std::abs(observed - f.spec.size) > config_.byte_tolerance) {
+      std::ostringstream os;
+      os << describe_flow(f) << " completed but transmitted " << observed << " of "
+         << f.spec.size << " bytes";
+      fail(os.str());
+    }
+    if (f.completion_time > f.spec.deadline + config_.time_tolerance) {
+      std::ostringstream os;
+      os << describe_flow(f) << " completed at " << f.completion_time
+         << ", past its deadline";
+      fail(os.str());
+    }
+  }
+}
+
+void InvariantChecker::on_run_complete(const net::Network& net, double end_time) {
+  flush_window();
+  for (const Flow& f : net.flows()) {
+    // Every registered flow must have reached a terminal state at quiescence.
+    if (!f.finished()) {
+      fail(describe_flow(f) + " not terminal at quiescence (t=" +
+           std::to_string(end_time) + ")");
+    }
+  }
+  for (const Task& t : net.tasks()) {
+    if (t.spec.flows.empty()) continue;
+    if (t.state == TaskState::kAdmitted || t.state == TaskState::kPending) {
+      fail("task " + std::to_string(t.id()) + " still open at quiescence");
+    }
+    if (t.state != TaskState::kCompleted) continue;
+    // Invariant 5, task level: a completed (accepted) task finished every
+    // flow before the shared deadline.
+    if (t.completed_flows != t.flow_count()) {
+      fail("task " + std::to_string(t.id()) + " marked completed with " +
+           std::to_string(t.completed_flows) + "/" + std::to_string(t.flow_count()) +
+           " flows done");
+    }
+    for (const net::FlowId fid : t.spec.flows) {
+      const Flow& f = net.flow(fid);
+      if (f.state != FlowState::kCompleted ||
+          f.completion_time > f.spec.deadline + config_.time_tolerance) {
+        fail("completed task " + std::to_string(t.id()) + " has unfinished or late " +
+             describe_flow(f));
+      }
+    }
+  }
+}
+
+}  // namespace taps::sim

@@ -1,0 +1,102 @@
+// Runtime invariant oracle: audits a FluidSimulator run event by event and
+// throws InvariantViolation (with a trace of the most recent events) the
+// moment the simulation contradicts a property the paper asserts:
+//
+//   1. Exclusive link occupancy (TAPS only, paper Sec. IV): at most one flow
+//      transmits on any link at any instant — tracked with the same
+//      core::OccupancyMap::collides the planner uses, but fed with *actual*
+//      transmission segments rather than planned slices.
+//   2. Link capacity: the summed transmit rate on each link never exceeds its
+//      capacity (any scheduler; the fluid analogue of "no queue growth").
+//   3. Byte conservation: the sum of a flow's transmitted segments equals its
+//      size when it completes, and always equals its bytes_sent accounting.
+//   4. Monotone event time: the event loop never travels backwards.
+//   5. Deadline discipline: no flow of an accepted task transmits or remains
+//      active past its (absolute) deadline, and every flow is in a terminal
+//      state at quiescence.
+//
+// Attach with FluidSimulator::set_observer. Every scheduler test suite runs
+// under this oracle (see tests/sched/scheduler_oracle_test.cpp), so a
+// regression in the scheduler core fails mechanically rather than by eyeball.
+#pragma once
+
+#include <deque>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/occupancy.hpp"
+#include "sim/simulator.hpp"
+
+namespace taps::sim {
+
+/// Thrown on the first violated invariant; what() carries the violation
+/// description followed by the recent-event trace.
+class InvariantViolation : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+struct InvariantConfig {
+  /// Check invariant 1 (exclusive occupancy). Only TAPS promises it; the
+  /// other schedulers legitimately multiplex links.
+  bool exclusive_links = false;
+  /// Relative tolerance on the per-link capacity sum (water-filling
+  /// accumulates ~1e-9-relative float error; see tests/sched/capacity_test).
+  double capacity_tolerance = 1e-6;
+  /// Absolute tolerance on byte totals (the simulator finishes flows with up
+  /// to kByteEpsilon bytes outstanding).
+  double byte_tolerance = 1e-3;
+  /// Absolute tolerance on time comparisons (seconds).
+  double time_tolerance = 1e-6;
+  /// Interior slack when testing segment overlap: adjacent slices of
+  /// consecutive flows legitimately touch at endpoints.
+  double exclusivity_slack = 1e-9;
+  /// Number of recent events kept for the failure trace.
+  std::size_t trace_limit = 40;
+};
+
+class InvariantChecker final : public TransmitObserver {
+ public:
+  /// `net` must be the network the simulation runs on and must outlive the
+  /// checker. The topology's link count and capacities are read at
+  /// construction.
+  explicit InvariantChecker(const net::Network& net, InvariantConfig config = {});
+
+  void on_transmit(const net::Flow& f, double t0, double t1, double bytes) override;
+  void on_event(double now) override;
+  void on_flow_finished(const net::Flow& f, double now) override;
+  void on_run_complete(const net::Network& net, double end_time) override;
+
+  /// Counters so tests can assert the oracle actually observed work.
+  [[nodiscard]] std::size_t events() const { return events_; }
+  [[nodiscard]] std::size_t segments() const { return segments_; }
+  [[nodiscard]] std::size_t finished_flows() const { return finished_; }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const;
+  void record(std::string line);
+  /// Close the current capacity window [window_lo_, window_hi_): verify the
+  /// per-link rate sums, then reset the touched links.
+  void flush_window();
+
+  const net::Network* net_;
+  InvariantConfig config_;
+
+  core::OccupancyMap transmitted_;   // invariant 1: actual per-link segments
+  std::vector<double> window_rate_;  // invariant 2: per-link rate in window
+  std::vector<topo::LinkId> window_touched_;
+  double window_lo_ = 0.0;
+  double window_hi_ = 0.0;
+  bool window_open_ = false;
+
+  std::vector<double> observed_bytes_;  // invariant 3, indexed by FlowId
+  double last_event_time_ = 0.0;        // invariant 4
+
+  std::deque<std::string> trace_;
+  std::size_t events_ = 0;
+  std::size_t segments_ = 0;
+  std::size_t finished_ = 0;
+};
+
+}  // namespace taps::sim

@@ -72,6 +72,7 @@ SimStats FluidSimulator::run() {
     if (t_next == kInfinity) break;
     t_next = std::max(t_next, now_);
 
+    if (observer_ != nullptr) observer_->on_event(t_next);
     advance_to(t_next);
     settle(t_next);
 
@@ -97,6 +98,7 @@ SimStats FluidSimulator::run() {
     if (f.state == FlowState::kCompleted) ++stats_.completions;
     if (f.state == FlowState::kMissed) ++stats_.misses;
   }
+  if (observer_ != nullptr) observer_->on_run_complete(*net_, now_);
   return stats_;
 }
 
@@ -125,6 +127,7 @@ void FluidSimulator::settle(double now) {
     if (f.remaining <= kByteEpsilon) {
       net_->on_flow_completed(fid, now);
       scheduler_->on_flow_finished(fid, now);
+      if (observer_ != nullptr) observer_->on_flow_finished(f, now);
     }
   }
   for (const FlowId fid : active_) {
@@ -133,6 +136,7 @@ void FluidSimulator::settle(double now) {
     if (now >= f.spec.deadline - kTimeEpsilon) {
       net_->on_flow_missed(fid);
       scheduler_->on_flow_finished(fid, now);
+      if (observer_ != nullptr) observer_->on_flow_finished(f, now);
     }
   }
 }

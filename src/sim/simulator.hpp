@@ -52,12 +52,23 @@ class Scheduler {
 };
 
 /// Observes actual transmission segments (used for throughput-vs-time
-/// series, e.g. the testbed experiment).
+/// series, e.g. the testbed experiment) plus the simulator's scheduler
+/// boundaries. Only on_transmit is mandatory; the boundary hooks default to
+/// no-ops so existing observers are unaffected. InvariantChecker implements
+/// all of them to audit every run end-to-end.
 class TransmitObserver {
  public:
   virtual ~TransmitObserver() = default;
   /// Flow `f` transmitted `bytes` uniformly over [t0, t1).
   virtual void on_transmit(const net::Flow& f, double t0, double t1, double bytes) = 0;
+  /// The event loop is about to process the event at time `now` (called once
+  /// per iteration, with non-decreasing `now`).
+  virtual void on_event(double /*now*/) {}
+  /// Flow `f` just left the active set (its final state — kCompleted or
+  /// kMissed — is already recorded and the scheduler has been notified).
+  virtual void on_flow_finished(const net::Flow& /*f*/, double /*now*/) {}
+  /// The run reached quiescence at `end_time`; `net` holds the final state.
+  virtual void on_run_complete(const net::Network& /*net*/, double /*end_time*/) {}
 };
 
 struct SimStats {

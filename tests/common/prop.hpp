@@ -1,0 +1,202 @@
+// Minimal seeded property-testing kit for the repo's test suites.
+//
+// Design goals, in order: deterministic reproduction (every failure prints a
+// seed that replays the exact case), bounded greedy shrinking (vector-valued
+// counterexamples are minimized by chunk removal, delta-debugging style), and
+// zero dependencies beyond GoogleTest and util::Rng.
+//
+// Usage:
+//
+//   TAPS_PROP(IntervalSetProp, MatchesReference, 1000) {
+//     prop.for_all(
+//         [](util::Rng& rng) { return generate_ops(rng); },           // Gen
+//         [](const std::vector<Op>& ops) -> std::optional<std::string> {
+//           return run_against_model(ops);  // nullopt = pass
+//         });
+//   }
+//
+// The generator draws everything from the per-case util::Rng; the property
+// returns std::nullopt on success or a failure description (thrown
+// exceptions are treated as failures too, so oracle-throwing properties work
+// unchanged). On failure the kit shrinks, then reports the seed and the
+// shrunk counterexample via ADD_FAILURE; re-running the binary with
+// TAPS_PROP_SEED=<seed> replays the failing case first (case 0), so a
+// printed seed reproduces deterministically. See docs/TESTING.md.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace taps::test::prop {
+
+struct Config {
+  std::size_t cases = 200;
+  /// Base seed; TAPS_PROP_SEED in the environment overrides it.
+  std::uint64_t seed = 0x7461707370726f70ULL;  // "tapsprop"
+  /// Cap on property evaluations spent shrinking one counterexample.
+  std::size_t max_shrink_evals = 2000;
+};
+
+inline std::uint64_t base_seed(const Config& cfg) {
+  if (const char* env = std::getenv("TAPS_PROP_SEED")) {
+    return std::strtoull(env, nullptr, 0);
+  }
+  return cfg.seed;
+}
+
+/// Case 0 uses the base seed itself, so TAPS_PROP_SEED=<printed seed>
+/// replays a reported failure as the first case.
+inline std::uint64_t case_seed(std::uint64_t base, std::size_t index) {
+  return index == 0 ? base : util::hash_combine(base, index);
+}
+
+// ---- printing ----------------------------------------------------------
+
+template <typename T>
+std::string show(const T& value) {
+  std::ostringstream os;
+  os << value;
+  return os.str();
+}
+
+template <typename T>
+std::string show(const std::vector<T>& values) {
+  std::ostringstream os;
+  os << "[" << values.size() << " elements]";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    os << "\n    #" << i << ": " << show(values[i]);
+  }
+  return os.str();
+}
+
+// ---- shrinking ---------------------------------------------------------
+
+/// Customization point: candidates for a smaller value, tried in order.
+/// The default offers nothing (scalar values are reported as-is).
+template <typename Value>
+struct Shrinker {
+  static std::vector<Value> candidates(const Value&) { return {}; }
+};
+
+/// Vectors shrink by removing contiguous chunks — first halves, then
+/// quarters, ... down to single elements. Greedy re-application converges to
+/// a locally minimal failing subsequence.
+template <typename T>
+struct Shrinker<std::vector<T>> {
+  static std::vector<std::vector<T>> candidates(const std::vector<T>& v) {
+    std::vector<std::vector<T>> out;
+    if (v.empty()) return out;
+    for (std::size_t chunk = v.size(); chunk >= 1; chunk /= 2) {
+      for (std::size_t start = 0; start < v.size(); start += chunk) {
+        std::vector<T> smaller;
+        smaller.reserve(v.size() - std::min(chunk, v.size() - start));
+        smaller.insert(smaller.end(), v.begin(),
+                       v.begin() + static_cast<std::ptrdiff_t>(start));
+        smaller.insert(smaller.end(),
+                       v.begin() + static_cast<std::ptrdiff_t>(
+                                       std::min(start + chunk, v.size())),
+                       v.end());
+        out.push_back(std::move(smaller));
+      }
+      if (chunk == 1) break;
+    }
+    return out;
+  }
+};
+
+// ---- runner ------------------------------------------------------------
+
+class Runner {
+ public:
+  explicit Runner(std::size_t cases) { cfg_.cases = cases; }
+
+  [[nodiscard]] Config& config() { return cfg_; }
+
+  /// Run `prop` over `cfg_.cases` generated values. Stops at the first
+  /// failure (after shrinking it); later cases of a failing property are
+  /// rarely informative and always slower.
+  template <typename Gen, typename Prop>
+  void for_all(Gen&& gen, Prop&& prop) {
+    const std::uint64_t base = base_seed(cfg_);
+    for (std::size_t i = 0; i < cfg_.cases; ++i) {
+      const std::uint64_t seed = case_seed(base, i);
+      util::Rng rng(seed);
+      auto value = gen(rng);
+      std::optional<std::string> failure = run_one(prop, value);
+      if (!failure) continue;
+
+      const std::size_t original_size = size_of(value);
+      std::size_t evals = 0;
+      shrink(prop, value, failure, evals);
+      ADD_FAILURE() << "property failed on case " << i << "/" << cfg_.cases << " (seed "
+                    << seed << ")\n"
+                    << "  reproduce: TAPS_PROP_SEED=" << seed
+                    << " <binary> --gtest_filter=<this test>\n"
+                    << "  failure: " << *failure << "\n"
+                    << "  counterexample (shrunk from size " << original_size << " to "
+                    << size_of(value) << ", " << evals << " evals):\n  " << show(value);
+      return;
+    }
+  }
+
+ private:
+  template <typename Prop, typename Value>
+  static std::optional<std::string> run_one(Prop& prop, const Value& value) {
+    try {
+      return prop(value);
+    } catch (const std::exception& e) {
+      return std::string("exception: ") + e.what();
+    }
+  }
+
+  /// Greedy bounded shrink: repeatedly adopt the first failing candidate.
+  template <typename Prop, typename Value>
+  void shrink(Prop& prop, Value& value, std::optional<std::string>& failure,
+              std::size_t& evals) {
+    bool improved = true;
+    while (improved && evals < cfg_.max_shrink_evals) {
+      improved = false;
+      for (auto& candidate : Shrinker<Value>::candidates(value)) {
+        if (++evals > cfg_.max_shrink_evals) break;
+        if (auto f = run_one(prop, candidate)) {
+          value = std::move(candidate);
+          failure = std::move(f);
+          improved = true;
+          break;
+        }
+      }
+    }
+  }
+
+  template <typename T>
+  static std::size_t size_of(const std::vector<T>& v) {
+    return v.size();
+  }
+  template <typename T>
+  static std::size_t size_of(const T&) {
+    return 1;
+  }
+
+  Config cfg_;
+};
+
+}  // namespace taps::test::prop
+
+/// Declares a GoogleTest case whose body receives `prop`, a
+/// taps::test::prop::Runner configured for `cases` generated inputs.
+#define TAPS_PROP(suite, name, cases)                                          \
+  static void TapsPropBody_##suite##_##name(::taps::test::prop::Runner& prop); \
+  TEST(suite, name) {                                                          \
+    ::taps::test::prop::Runner runner(cases);                                  \
+    TapsPropBody_##suite##_##name(runner);                                     \
+  }                                                                            \
+  static void TapsPropBody_##suite##_##name(::taps::test::prop::Runner& prop)

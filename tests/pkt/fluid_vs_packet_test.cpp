@@ -1,0 +1,188 @@
+// Cross-validation of the two simulation substrates: the fluid engine
+// (sim::FluidSimulator) and the packet engine (pkt::PacketSimulator) run the
+// SAME seeded scenario with the SAME scheduler object type and must agree
+// task by task — not just on aggregate ratios (that is covered by
+// packet_sim_test) but on every task's accept/complete outcome, and on
+// completion times up to packetization effects.
+//
+// Time-skew budget, derived from the store-and-forward model:
+//   * every delivered flow pays one pipeline fill: (hops) serializations of
+//     the final packet, hops = 3 on the dumbbell, mtu/kCap = 12 ms each;
+//   * transient FIFO queueing when slices/shares hand over: a couple of
+//     in-flight packets, <= 2 serializations;
+//   * rate refreshes trigger on *delivery* (not fluid completion), so every
+//     earlier completion can delay later flows by up to one more pipeline.
+// Hence flow #r (in fluid completion order) may lag by
+//   kPipeline + 2*kSer + r*kPipeline
+// and the first completing flow must agree within a single store-and-forward
+// pipeline — the "one packet serialization time" bound of the plan.
+#include "pkt/packet_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/fixtures.hpp"
+#include "core/taps_scheduler.hpp"
+#include "sched/fair_sharing.hpp"
+#include "util/rng.hpp"
+
+namespace taps::pkt {
+namespace {
+
+constexpr double kCap = 1.25e5;       // bytes/s: 1500 B packet = 12 ms
+constexpr double kMtu = 1500.0;
+constexpr double kSer = kMtu / kCap;  // one link serialization
+constexpr int kHops = 3;              // host - s1 - s2 - host
+constexpr double kPipeline = kHops * kSer;
+
+struct TaskSpec {
+  double arrival = 0.0;
+  double deadline = 0.0;
+  std::vector<std::pair<int, double>> flows;  // (host-pair index, bytes)
+};
+
+/// Seeded scenario: staggered tasks with whole-packet sizes and loose
+/// deadlines (so admission never hinges on a 36 ms skew), plus one grossly
+/// infeasible task that FairSharing must fail and TAPS must reject — in BOTH
+/// engines.
+std::vector<TaskSpec> build_scenario(std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<TaskSpec> specs;
+  int next_pair = 0;
+  for (int i = 0; i < 6; ++i) {
+    TaskSpec t;
+    t.arrival = 0.12 * i + rng.uniform_real(0.0, 0.03);
+    // Deadlines loose AND increasing in arrival order: EDF order equals
+    // arrival order, so TAPS replans never reorder already-planned slices.
+    // (A reorder makes completion times legitimately diverge between the
+    // engines, because replan instants differ by in-flight pipeline lag —
+    // the per-task *outcomes* still agree, but time comparison would be
+    // meaningless.)
+    t.deadline = t.arrival + 2.0 + 0.3 * i + rng.uniform_real(0.0, 0.1);
+    const int flows = static_cast<int>(rng.uniform_int(1, 2));
+    for (int f = 0; f < flows; ++f) {
+      const double bytes = 1500.0 * static_cast<double>(rng.uniform_int(4, 16));
+      t.flows.emplace_back(next_pair++, bytes);
+    }
+    specs.push_back(std::move(t));
+  }
+  // 100 packets needed in 0.1 s: ~8 fit. Hopeless for any scheduler.
+  TaskSpec doomed;
+  doomed.arrival = 0.05;
+  doomed.deadline = doomed.arrival + 0.1;
+  doomed.flows.emplace_back(next_pair++, 150000.0);
+  specs.push_back(std::move(doomed));
+  return specs;
+}
+
+struct Outcome {
+  std::vector<net::TaskState> task_states;
+  std::vector<net::FlowState> flow_states;
+  std::vector<double> flow_completion;  // kInfinity when not completed
+};
+
+template <typename SchedulerT>
+Outcome run_engine(const std::vector<TaskSpec>& specs, bool packet) {
+  test::Dumbbell d = test::make_dumbbell(16, kCap);
+  net::Network net(*d.topology);
+  for (const TaskSpec& t : specs) {
+    std::vector<net::FlowSpec> flows;
+    for (const auto& [pair, bytes] : t.flows) {
+      flows.push_back(test::flow(d.left[pair], d.right[pair], bytes));
+    }
+    test::add_task(net, t.arrival, t.deadline, std::move(flows));
+  }
+
+  SchedulerT scheduler;
+  if (packet) {
+    PacketSimulator sim(net, scheduler);
+    (void)sim.run();
+  } else {
+    sim::FluidSimulator sim(net, scheduler);
+    (void)sim.run();
+  }
+
+  Outcome out;
+  for (const auto& t : net.tasks()) out.task_states.push_back(t.state);
+  for (const auto& f : net.flows()) {
+    out.flow_states.push_back(f.state);
+    out.flow_completion.push_back(f.state == net::FlowState::kCompleted
+                                      ? f.completion_time
+                                      : sim::kInfinity);
+  }
+  return out;
+}
+
+template <typename SchedulerT>
+void cross_validate(const char* label, std::uint64_t seed) {
+  const std::vector<TaskSpec> specs = build_scenario(seed);
+  const Outcome fluid = run_engine<SchedulerT>(specs, /*packet=*/false);
+  const Outcome packet = run_engine<SchedulerT>(specs, /*packet=*/true);
+
+  ASSERT_EQ(fluid.task_states.size(), packet.task_states.size());
+  ASSERT_EQ(fluid.flow_states.size(), packet.flow_states.size());
+
+  // Per-task accept/complete outcomes agree exactly.
+  for (std::size_t i = 0; i < fluid.task_states.size(); ++i) {
+    EXPECT_EQ(fluid.task_states[i], packet.task_states[i])
+        << label << ": task " << i << " fluid=" << net::to_string(fluid.task_states[i])
+        << " packet=" << net::to_string(packet.task_states[i]);
+  }
+  for (std::size_t i = 0; i < fluid.flow_states.size(); ++i) {
+    EXPECT_EQ(fluid.flow_states[i], packet.flow_states[i])
+        << label << ": flow " << i << " fluid=" << net::to_string(fluid.flow_states[i])
+        << " packet=" << net::to_string(packet.flow_states[i]);
+  }
+
+  // The doomed task is the whole point of including it: verify the expected
+  // terminal state showed up at all (rejected by TAPS, failed by deadline
+  // schedulers without admission control — either way, NOT completed).
+  const std::size_t doomed = fluid.task_states.size() - 1;
+  EXPECT_NE(fluid.task_states[doomed], net::TaskState::kCompleted) << label;
+
+  // Completion-time skew, budgeted per fluid completion rank (see header).
+  std::vector<std::size_t> completed;
+  for (std::size_t i = 0; i < fluid.flow_states.size(); ++i) {
+    if (fluid.flow_states[i] == net::FlowState::kCompleted &&
+        packet.flow_states[i] == net::FlowState::kCompleted) {
+      completed.push_back(i);
+    }
+  }
+  ASSERT_GT(completed.size(), 4u) << label << ": scenario too easy to be informative";
+  std::sort(completed.begin(), completed.end(), [&](std::size_t a, std::size_t b) {
+    return fluid.flow_completion[a] < fluid.flow_completion[b];
+  });
+  for (std::size_t rank = 0; rank < completed.size(); ++rank) {
+    const std::size_t i = completed[rank];
+    const double skew =
+        std::abs(packet.flow_completion[i] - fluid.flow_completion[i]);
+    const double budget =
+        kPipeline + 2.0 * kSer + static_cast<double>(rank) * kPipeline + 1e-3;
+    EXPECT_LE(skew, budget)
+        << label << ": flow " << i << " (rank " << rank << ") fluid="
+        << fluid.flow_completion[i] << " packet=" << packet.flow_completion[i];
+  }
+}
+
+TEST(FluidVsPacketCrossValidation, FairSharingAgreesPerTask) {
+  cross_validate<sched::FairSharing>("FairSharing", 0xf1u);
+}
+
+TEST(FluidVsPacketCrossValidation, TapsAgreesPerTask) {
+  cross_validate<core::TapsScheduler>("TAPS", 0xf1u);
+}
+
+// A second seed guards against the first one being accidentally benign.
+TEST(FluidVsPacketCrossValidation, FairSharingAgreesPerTaskSeed2) {
+  cross_validate<sched::FairSharing>("FairSharing", 0xf2u);
+}
+
+TEST(FluidVsPacketCrossValidation, TapsAgreesPerTaskSeed2) {
+  cross_validate<core::TapsScheduler>("TAPS", 0xf2u);
+}
+
+}  // namespace
+}  // namespace taps::pkt

@@ -1,0 +1,342 @@
+// Property-based differential test: random IntervalSet operation sequences
+// checked, op by op, against a naive boolean-grid reference model.
+//
+// All endpoints live on a dyadic grid (multiples of 0.25), so every value
+// the IntervalSet can produce — endpoints, measures, allocation cuts — is
+// exactly representable and the comparison is exact, not tolerance-based.
+// Failures shrink to a minimal failing op sequence and print the seed
+// (see tests/common/prop.hpp and docs/TESTING.md).
+#include <gtest/gtest.h>
+
+#include <array>
+#include <limits>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/prop.hpp"
+#include "util/interval_set.hpp"
+
+namespace taps::util {
+namespace {
+
+constexpr double kCell = 0.25;
+constexpr int kCells = 64;
+constexpr double kHorizon = kCells * kCell;  // 16.0
+
+/// Reference model: one bool per grid cell [c*kCell, (c+1)*kCell).
+using Ref = std::array<bool, kCells>;
+
+struct Op {
+  enum class Kind { kInsertA, kEraseA, kInsertB, kEraseB, kTrimA };
+  Kind kind = Kind::kInsertA;
+  int lo = 0;  // grid index
+  int hi = 0;  // grid index, >= lo (ignored by kTrimA)
+};
+
+std::ostream& operator<<(std::ostream& os, const Op& op) {
+  switch (op.kind) {
+    case Op::Kind::kInsertA: os << "A.insert"; break;
+    case Op::Kind::kEraseA: os << "A.erase"; break;
+    case Op::Kind::kInsertB: os << "B.insert"; break;
+    case Op::Kind::kEraseB: os << "B.erase"; break;
+    case Op::Kind::kTrimA: return os << "A.trim_before(" << op.lo * kCell << ")";
+  }
+  return os << "(" << op.lo * kCell << ", " << op.hi * kCell << ")";
+}
+
+void apply(const Op& op, IntervalSet& a, IntervalSet& b, Ref& ra, Ref& rb) {
+  const double lo = op.lo * kCell;
+  const double hi = op.hi * kCell;
+  switch (op.kind) {
+    case Op::Kind::kInsertA:
+      a.insert(lo, hi);
+      for (int c = op.lo; c < op.hi; ++c) ra[static_cast<std::size_t>(c)] = true;
+      break;
+    case Op::Kind::kEraseA:
+      a.erase(lo, hi);
+      for (int c = op.lo; c < op.hi; ++c) ra[static_cast<std::size_t>(c)] = false;
+      break;
+    case Op::Kind::kInsertB:
+      b.insert(lo, hi);
+      for (int c = op.lo; c < op.hi; ++c) rb[static_cast<std::size_t>(c)] = true;
+      break;
+    case Op::Kind::kEraseB:
+      b.erase(lo, hi);
+      for (int c = op.lo; c < op.hi; ++c) rb[static_cast<std::size_t>(c)] = false;
+      break;
+    case Op::Kind::kTrimA:
+      a.trim_before(lo);
+      for (int c = 0; c < op.lo; ++c) ra[static_cast<std::size_t>(c)] = false;
+      break;
+  }
+}
+
+/// Canonical intervals of the reference model (maximal runs of true cells).
+std::vector<Interval> runs(const Ref& ref) {
+  std::vector<Interval> out;
+  for (int c = 0; c < kCells; ++c) {
+    if (!ref[static_cast<std::size_t>(c)]) continue;
+    const int start = c;
+    while (c < kCells && ref[static_cast<std::size_t>(c)]) ++c;
+    out.push_back(Interval{start * kCell, c * kCell});
+  }
+  return out;
+}
+
+double ref_measure(const Ref& ref, int lo = 0, int hi = kCells) {
+  double m = 0.0;
+  for (int c = lo; c < hi; ++c) {
+    if (ref[static_cast<std::size_t>(c)]) m += kCell;
+  }
+  return m;
+}
+
+/// Reference for allocate_earliest on the grid model. Cells beyond the grid
+/// (>= kHorizon) are idle, matching an IntervalSet whose content is bounded
+/// by the grid.
+IntervalSet ref_allocate(const Ref& occ, double from, double duration, double horizon) {
+  std::vector<Interval> taken;
+  double need = duration;
+  auto take = [&](double lo, double hi) {
+    const double amount = std::min(need, hi - lo);
+    if (amount <= 0.0) return;
+    if (!taken.empty() && taken.back().hi == lo) {
+      taken.back().hi = lo + amount;
+    } else {
+      taken.push_back(Interval{lo, lo + amount});
+    }
+    need -= amount;
+  };
+  for (int c = 0; c < kCells && need > 0.0; ++c) {
+    if (occ[static_cast<std::size_t>(c)]) continue;
+    double lo = c * kCell;
+    double hi = lo + kCell;
+    if (hi <= from) continue;
+    lo = std::max(lo, from);
+    if (lo >= horizon) break;
+    hi = std::min(hi, horizon);
+    take(lo, hi);
+  }
+  if (need > 0.0) {
+    const double lo = std::max(from, kHorizon);
+    if (horizon > lo) take(lo, std::min(horizon, lo + need));
+  }
+  if (need > 0.0) return {};  // insufficient idle time: empty result
+  IntervalSet out;
+  for (const Interval& iv : taken) out.insert(iv);
+  return out;
+}
+
+std::string dump(const IntervalSet& s) {
+  std::ostringstream os;
+  os << s;
+  return os.str();
+}
+
+std::string dump(const std::vector<Interval>& ivs) {
+  std::ostringstream os;
+  os << "{";
+  for (const Interval& iv : ivs) os << iv << " ";
+  os << "}";
+  return os.str();
+}
+
+/// Replay the op sequence against set + model; return a description of the
+/// first divergence (std::nullopt when everything agrees).
+std::optional<std::string> check_ops(const std::vector<Op>& ops) {
+  IntervalSet a;
+  IntervalSet b;
+  Ref ra{};
+  Ref rb{};
+  auto mismatch = [](std::size_t i, const Op& op, const std::string& what) {
+    std::ostringstream os;
+    os << "after op #" << i << " (" << op << "): " << what;
+    return os.str();
+  };
+
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    apply(ops[i], a, b, ra, rb);
+    for (const auto* pair : {&a, &b}) {
+      if (!pair->check_invariants()) {
+        return mismatch(i, ops[i], "canonical-form invariants broken: " + dump(*pair));
+      }
+    }
+    if (a.intervals() != runs(ra)) {
+      return mismatch(i, ops[i],
+                      "A=" + dump(a) + " expected " + dump(runs(ra)));
+    }
+    if (b.intervals() != runs(rb)) {
+      return mismatch(i, ops[i],
+                      "B=" + dump(b) + " expected " + dump(runs(rb)));
+    }
+    if (a.measure() != ref_measure(ra)) {
+      return mismatch(i, ops[i], "A.measure() diverged");
+    }
+  }
+
+  // Derived queries on the final state, all exactly comparable.
+  if (a.unite(b).intervals() != [&] {
+        Ref u{};
+        for (int c = 0; c < kCells; ++c) {
+          u[static_cast<std::size_t>(c)] = ra[static_cast<std::size_t>(c)] ||
+                                           rb[static_cast<std::size_t>(c)];
+        }
+        return runs(u);
+      }()) {
+    return "A.unite(B) diverged: " + dump(a.unite(b));
+  }
+  if (a.intersect(b).intervals() != [&] {
+        Ref u{};
+        for (int c = 0; c < kCells; ++c) {
+          u[static_cast<std::size_t>(c)] = ra[static_cast<std::size_t>(c)] &&
+                                           rb[static_cast<std::size_t>(c)];
+        }
+        return runs(u);
+      }()) {
+    return "A.intersect(B) diverged: " + dump(a.intersect(b));
+  }
+  if (a.subtract(b).intervals() != [&] {
+        Ref u{};
+        for (int c = 0; c < kCells; ++c) {
+          u[static_cast<std::size_t>(c)] = ra[static_cast<std::size_t>(c)] &&
+                                           !rb[static_cast<std::size_t>(c)];
+        }
+        return runs(u);
+      }()) {
+    return "A.subtract(B) diverged: " + dump(a.subtract(b));
+  }
+  if (a.complement(0.0, kHorizon).intervals() != [&] {
+        Ref u{};
+        for (int c = 0; c < kCells; ++c) {
+          u[static_cast<std::size_t>(c)] = !ra[static_cast<std::size_t>(c)];
+        }
+        return runs(u);
+      }()) {
+    return "A.complement(0, 16) diverged: " + dump(a.complement(0.0, kHorizon));
+  }
+
+  for (int c = 0; c < kCells; ++c) {
+    const double mid = c * kCell + kCell / 2;
+    if (a.contains(mid) != ra[static_cast<std::size_t>(c)]) {
+      return "A.contains(" + std::to_string(mid) + ") diverged";
+    }
+  }
+  for (int lo = 0; lo <= kCells; lo += 8) {
+    for (int hi = lo + 8; hi <= kCells; hi += 8) {
+      if (a.overlap_measure(lo * kCell, hi * kCell) != ref_measure(ra, lo, hi)) {
+        return "A.overlap_measure diverged on [" + std::to_string(lo * kCell) + ", " +
+               std::to_string(hi * kCell) + ")";
+      }
+      if (a.intersects(lo * kCell, hi * kCell) != (ref_measure(ra, lo, hi) > 0.0)) {
+        return "A.intersects diverged on [" + std::to_string(lo * kCell) + ", " +
+               std::to_string(hi * kCell) + ")";
+      }
+    }
+  }
+
+  // next_boundary: smallest endpoint strictly greater than t.
+  const std::vector<Interval> expected_runs = runs(ra);
+  for (int g = -1; g <= kCells + 1; ++g) {
+    const double t = g * kCell;
+    double expected = std::numeric_limits<double>::infinity();
+    for (const Interval& iv : expected_runs) {
+      if (iv.lo > t) expected = std::min(expected, iv.lo);
+      if (iv.hi > t) expected = std::min(expected, iv.hi);
+    }
+    if (a.next_boundary(t) != expected) {
+      return "A.next_boundary(" + std::to_string(t) + ") diverged";
+    }
+  }
+
+  // allocate_earliest (Algorithm 3's primitive) vs a greedy grid walk.
+  for (const double from : {0.0, 1.75, 8.0, 15.0}) {
+    for (const double duration : {0.5, 2.25, 7.75}) {
+      for (const double horizon : {kHorizon, std::numeric_limits<double>::infinity()}) {
+        const IntervalSet got = a.allocate_earliest(from, duration, horizon);
+        const IntervalSet expected = ref_allocate(ra, from, duration, horizon);
+        if (got != expected) {
+          std::ostringstream os;
+          os << "A.allocate_earliest(" << from << ", " << duration << ", " << horizon
+             << ") = " << got << " expected " << expected << " given A=" << dump(a);
+          return os.str();
+        }
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<Op> generate_ops(util::Rng& rng) {
+  const std::size_t count = static_cast<std::size_t>(rng.uniform_int(1, 14));
+  std::vector<Op> ops;
+  ops.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Op op;
+    op.kind = static_cast<Op::Kind>(rng.uniform_int(0, 4));
+    op.lo = static_cast<int>(rng.uniform_int(0, kCells));
+    op.hi = static_cast<int>(rng.uniform_int(op.lo, kCells));
+    ops.push_back(op);
+  }
+  return ops;
+}
+
+TAPS_PROP(IntervalSetProp, OpSequencesMatchReferenceModel, 1000) {
+  prop.for_all(generate_ops, check_ops);
+}
+
+// The kit itself must shrink to a minimal sequence and reproduce from the
+// printed seed: feed it a property that rejects any sequence containing an
+// insert-into-A, and verify the shrunk counterexample is a single op.
+TEST(PropKit, ShrinksToMinimalFailingSequence) {
+  test::prop::Runner runner(50);
+  std::vector<Op> final_counterexample;
+  bool failed = false;
+  // Run the property manually (not via GoogleTest assertions) to inspect the
+  // shrink result.
+  const std::uint64_t base = test::prop::base_seed(runner.config());
+  for (std::size_t i = 0; i < runner.config().cases && !failed; ++i) {
+    util::Rng rng(test::prop::case_seed(base, i));
+    auto ops = generate_ops(rng);
+    auto offending = [](const std::vector<Op>& v) {
+      for (const Op& op : v) {
+        if (op.kind == Op::Kind::kInsertA && op.hi > op.lo) return true;
+      }
+      return false;
+    };
+    if (!offending(ops)) continue;
+    failed = true;
+    // Greedy shrink via the kit's Shrinker.
+    bool improved = true;
+    while (improved) {
+      improved = false;
+      for (auto& candidate : test::prop::Shrinker<std::vector<Op>>::candidates(ops)) {
+        if (offending(candidate)) {
+          ops = std::move(candidate);
+          improved = true;
+          break;
+        }
+      }
+    }
+    final_counterexample = ops;
+  }
+  ASSERT_TRUE(failed) << "generator never produced an insert op in 50 cases?";
+  EXPECT_EQ(final_counterexample.size(), 1u);
+  EXPECT_EQ(final_counterexample[0].kind, Op::Kind::kInsertA);
+}
+
+// Determinism: the same seed regenerates the same op sequence.
+TEST(PropKit, SeedReproducesCase) {
+  util::Rng r1(12345);
+  util::Rng r2(12345);
+  const auto a = generate_ops(r1);
+  const auto b = generate_ops(r2);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(a[i].kind == b[i].kind && a[i].lo == b[i].lo && a[i].hi == b[i].hi);
+  }
+}
+
+}  // namespace
+}  // namespace taps::util
