@@ -17,7 +17,7 @@ namespace {
 
 using namespace taps;
 
-void ablate_max_paths(const bench::CommonOptions& o) {
+void ablate_max_paths(const bench::CommonOptions& o, bench::BenchRunner& runner) {
   std::cout << "(a) TAPS candidate-path budget on the fat-tree\n";
   metrics::Table table({"max-paths", "task-ratio", "replans", "wall-s"});
   for (const std::size_t mp : {1u, 2u, 4u, 8u, 16u, 32u}) {
@@ -26,23 +26,31 @@ void ablate_max_paths(const bench::CommonOptions& o) {
     s.max_paths = mp;
     double ratio = 0.0, wall = 0.0;
     std::size_t replans = 0;
+    std::vector<double> walls;
+    walls.reserve(o.repeats);
     for (std::size_t r = 0; r < o.repeats; ++r) {
       workload::Scenario sr = s;
       sr.seed = util::hash_combine(s.seed, r);
       const auto run = exp::run_experiment_full(sr, exp::SchedulerKind::kTaps);
       ratio += run.result.metrics.task_completion_ratio;
       wall += run.result.wall_seconds;
+      walls.push_back(run.result.wall_seconds);
       const auto* taps = dynamic_cast<const core::TapsScheduler*>(run.scheduler.get());
       if (taps != nullptr) replans += taps->counters().replans;
     }
     table.row(static_cast<long long>(mp), ratio / static_cast<double>(o.repeats),
               static_cast<long long>(replans), wall);
+    runner.add_samples("sim_wall/max_paths=" + std::to_string(mp), std::move(walls));
+    runner.add_metric("max_paths=" + std::to_string(mp) + "/task_ratio",
+                      ratio / static_cast<double>(o.repeats));
+    runner.add_metric("max_paths=" + std::to_string(mp) + "/replans",
+                      static_cast<double>(replans));
   }
   table.print(std::cout);
   std::cout << "\n";
 }
 
-void ablate_vs_optimal(const bench::CommonOptions& o) {
+void ablate_vs_optimal(const bench::CommonOptions& o, bench::BenchRunner& runner) {
   std::cout << "(b) TAPS admission vs exact optimum (single bottleneck link)\n";
   util::Rng rng(o.seed);
   metrics::Table table({"instances", "taps-tasks", "optimal-tasks", "ratio"});
@@ -92,9 +100,13 @@ void ablate_vs_optimal(const bench::CommonOptions& o) {
             opt_total > 0 ? static_cast<double>(taps_total) / opt_total : 1.0);
   table.print(std::cout);
   std::cout << "\n";
+  runner.add_metric("vs_optimal/taps_tasks", taps_total);
+  runner.add_metric("vs_optimal/optimal_tasks", opt_total);
+  runner.add_metric("vs_optimal/ratio",
+                    opt_total > 0 ? static_cast<double>(taps_total) / opt_total : 1.0);
 }
 
-void ablate_flow_list(const bench::CommonOptions& o) {
+void ablate_flow_list(const bench::CommonOptions& o, bench::BenchRunner& runner) {
   std::cout << "(c) PDQ switch flow-list limit (distributed-scheduling artifact)\n";
   metrics::Table table({"flow-list-limit", "task-ratio", "flow-ratio"});
   for (const std::size_t limit : {1u, 2u, 4u, 8u, 0u}) {  // 0 = unlimited
@@ -117,13 +129,19 @@ void ablate_flow_list(const bench::CommonOptions& o) {
       tr += m.task_completion_ratio;
       fr += m.flow_completion_ratio;
     }
-    table.row(limit == 0 ? std::string("unlimited") : std::to_string(limit),
-              tr / static_cast<double>(o.repeats), fr / static_cast<double>(o.repeats));
+    const std::string key =
+        limit == 0 ? std::string("unlimited") : std::to_string(limit);
+    table.row(key, tr / static_cast<double>(o.repeats),
+              fr / static_cast<double>(o.repeats));
+    runner.add_metric("flow_list=" + key + "/task_ratio",
+                      tr / static_cast<double>(o.repeats));
+    runner.add_metric("flow_list=" + key + "/flow_ratio",
+                      fr / static_cast<double>(o.repeats));
   }
   table.print(std::cout);
 }
 
-void ablate_preempt_policy(const bench::CommonOptions& o) {
+void ablate_preempt_policy(const bench::CommonOptions& o, bench::BenchRunner& runner) {
   std::cout << "(d) Reject-rule preemption policy, with single- and multi-wave tasks\n";
   metrics::Table table(
       {"waves/task", "policy", "task-ratio", "preemptions", "wasted-bw"});
@@ -151,12 +169,19 @@ void ablate_preempt_policy(const bench::CommonOptions& o) {
         waste += m.wasted_bandwidth_ratio;
         preemptions += sched.counters().tasks_preempted;
       }
+      const std::string policy_key =
+          policy == core::PreemptPolicy::kProgress ? "progress" : "schedulable";
       table.row(waves,
                 policy == core::PreemptPolicy::kProgress ? "progress (paper)"
                                                          : "schedulable",
                 ratio / static_cast<double>(o.repeats),
                 static_cast<long long>(preemptions),
                 waste / static_cast<double>(o.repeats));
+      const std::string prefix =
+          "waves=" + std::to_string(waves) + "/" + policy_key + "/";
+      runner.add_metric(prefix + "task_ratio", ratio / static_cast<double>(o.repeats));
+      runner.add_metric(prefix + "preemptions", static_cast<double>(preemptions));
+      runner.add_metric(prefix + "wasted_bw", waste / static_cast<double>(o.repeats));
     }
   }
   table.print(std::cout);
@@ -167,7 +192,7 @@ void ablate_preempt_policy(const bench::CommonOptions& o) {
                "policy.\n";
 }
 
-void ablate_routing(const bench::CommonOptions& o) {
+void ablate_routing(const bench::CommonOptions& o, bench::BenchRunner& runner) {
   std::cout << "(e) Routing contribution: TAPS scheduling with centralized vs ECMP paths\n";
   metrics::Table table({"routing", "task-ratio", "flow-ratio"});
   for (const bool ecmp : {false, true}) {
@@ -192,13 +217,16 @@ void ablate_routing(const bench::CommonOptions& o) {
     }
     table.row(ecmp ? "ECMP hash (ablated)" : "centralized (Algorithm 2)",
               tr / static_cast<double>(o.repeats), fr / static_cast<double>(o.repeats));
+    const std::string prefix = ecmp ? "routing=ecmp/" : "routing=centralized/";
+    runner.add_metric(prefix + "task_ratio", tr / static_cast<double>(o.repeats));
+    runner.add_metric(prefix + "flow_ratio", fr / static_cast<double>(o.repeats));
   }
   table.print(std::cout);
   std::cout << "\nBoth rows keep TAPS's slice scheduling and reject rule; only path\n"
                "selection differs — the gap is the routing scheme's own contribution.\n\n";
 }
 
-void ablate_size_distribution(const bench::CommonOptions& o) {
+void ablate_size_distribution(const bench::CommonOptions& o, bench::BenchRunner& runner) {
   std::cout << "(f) Flow-size distribution robustness (paper assumes normal sizes)\n";
   std::vector<std::string> headers{"distribution"};
   for (const exp::SchedulerKind k : exp::all_schedulers()) headers.emplace_back(exp::to_string(k));
@@ -216,6 +244,9 @@ void ablate_size_distribution(const bench::CommonOptions& o) {
         ratio += exp::run_experiment(s, kind).metrics.task_completion_ratio;
       }
       row.push_back(metrics::Table::format(ratio / static_cast<double>(o.repeats)));
+      runner.add_metric(std::string("size_dist=") + workload::to_string(dist) + "/" +
+                            exp::to_string(kind) + "/task_ratio",
+                        ratio / static_cast<double>(o.repeats));
     }
     table.add_row(std::move(row));
   }
@@ -234,11 +265,15 @@ int main(int argc, char** argv) {
   bench::banner("Ablations",
                 "path budget / optimality gap / PDQ flow lists / preemption policy", o);
 
-  ablate_max_paths(o);
-  ablate_vs_optimal(o);
-  ablate_flow_list(o);
-  ablate_preempt_policy(o);
-  ablate_routing(o);
-  ablate_size_distribution(o);
+  bench::BenchRunner runner;
+  runner.options().verbose = false;
+  ablate_max_paths(o, runner);
+  ablate_vs_optimal(o, runner);
+  ablate_flow_list(o, runner);
+  ablate_preempt_policy(o, runner);
+  ablate_routing(o, runner);
+  ablate_size_distribution(o, runner);
+  bench::maybe_write_metrics_csv(o, runner);
+  bench::maybe_write_json(o, "ablation", runner);
   return 0;
 }

@@ -1,12 +1,20 @@
-// Shared scaffolding for the per-figure bench binaries: standard CLI options
-// (--full / --seed / --repeats / --threads), sweep construction helpers, and
-// the banner every bench prints so output is self-describing.
+// Shared scaffolding for the per-figure bench binaries: the uniform CLI
+// option set (--full / --seed / --repeats / --threads / --csv / --json),
+// sweep construction helpers, the banner every bench prints, and the glue
+// that turns sweep results and metric tables into the machine-readable
+// BENCH_<name>.json documents the perf-regression gate consumes
+// (scripts/bench_compare.py; see docs/BENCHMARKING.md).
 #pragma once
 
+#include <algorithm>
+#include <fstream>
 #include <iostream>
+#include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "bench/bench_runner.hpp"
 #include "exp/sweep.hpp"
 #include "metrics/report.hpp"
 #include "util/cli.hpp"
@@ -18,14 +26,58 @@ struct CommonOptions {
   std::uint64_t seed = 42;
   std::size_t repeats = 3;
   std::size_t threads = 0;  // 0 = all cores
+  bool json = false;
+  std::string json_out;  // "" = BENCH_<name>.json in the current directory
+  std::string csv;       // "" = no CSV output
 };
 
+/// Every bench binary takes the same option set so automation can drive them
+/// uniformly. Binaries with no parallel sweep accept --threads as a no-op;
+/// fixed paper examples (Figs. 1-3) accept --full/--seed/--repeats the same
+/// way rather than rejecting them.
 inline void add_common_options(util::Cli& cli) {
   cli.add_flag("full", "paper-scale topology/workload (much slower)");
   cli.add_option("seed", "base RNG seed", "42");
   cli.add_option("repeats", "seeds averaged per sweep point", "3");
   cli.add_option("threads", "sweep worker threads (0 = all cores)", "0");
-  cli.add_option("csv", "also write the sweep to this CSV file", "");
+  cli.add_option("csv", "also write the results to this CSV file", "");
+  cli.add_flag("json", "write machine-readable BENCH_<name>.json (regression gate input)");
+  cli.add_option("json-out", "override the --json output path", "");
+}
+
+inline CommonOptions read_common_options(const util::Cli& cli) {
+  CommonOptions o;
+  o.full_scale = cli.flag("full");
+  o.seed = static_cast<std::uint64_t>(cli.integer("seed"));
+  o.repeats = static_cast<std::size_t>(cli.integer("repeats"));
+  o.threads = static_cast<std::size_t>(cli.integer("threads"));
+  o.json = cli.flag("json") || !cli.str("json-out").empty();
+  o.json_out = cli.str("json-out");
+  o.csv = cli.str("csv");
+  return o;
+}
+
+inline void banner(const std::string& figure, const std::string& what,
+                   const CommonOptions& o) {
+  std::cout << "=== " << figure << ": " << what << " ===\n"
+            << "scale: " << (o.full_scale ? "paper (full)" : "scaled") << ", seed: " << o.seed
+            << ", repeats/point: " << o.repeats << "\n\n";
+}
+
+/// Config capture recorded in every BENCH_<name>.json document.
+inline std::vector<std::pair<std::string, std::string>> config_pairs(const CommonOptions& o) {
+  return {{"full", o.full_scale ? "true" : "false"},
+          {"seed", std::to_string(o.seed)},
+          {"repeats", std::to_string(o.repeats)},
+          {"threads", std::to_string(o.threads)}};
+}
+
+/// Write the runner's document to --json(-out) if requested.
+inline void maybe_write_json(const CommonOptions& o, const std::string& bench_name,
+                             const BenchRunner& runner) {
+  if (!o.json) return;
+  const std::string path = runner.write_json(bench_name, o.json_out, config_pairs(o));
+  std::cout << "\n(bench JSON written to " << path << ")\n";
 }
 
 /// Write the sweep to --csv if the option was given.
@@ -39,20 +91,70 @@ inline void maybe_write_csv(const util::Cli& cli, const std::string& x_label,
   std::cout << "\n(sweep written to " << path << ")\n";
 }
 
-inline CommonOptions read_common_options(const util::Cli& cli) {
-  CommonOptions o;
-  o.full_scale = cli.flag("full");
-  o.seed = static_cast<std::uint64_t>(cli.integer("seed"));
-  o.repeats = static_cast<std::size_t>(cli.integer("repeats"));
-  o.threads = static_cast<std::size_t>(cli.integer("threads"));
-  return o;
+/// Write a metric table to --csv if the option was given (table-shaped
+/// benches that have no sweep).
+inline void maybe_write_table_csv(const CommonOptions& o, const metrics::Table& table) {
+  if (o.csv.empty()) return;
+  std::ofstream out(o.csv);
+  if (!out) throw std::runtime_error("cannot open CSV output: " + o.csv);
+  table.write_csv(out);
+  std::cout << "\n(table written to " << o.csv << ")\n";
 }
 
-inline void banner(const std::string& figure, const std::string& what,
-                   const CommonOptions& o) {
-  std::cout << "=== " << figure << ": " << what << " ===\n"
-            << "scale: " << (o.full_scale ? "paper (full)" : "scaled") << ", seed: " << o.seed
-            << ", repeats/point: " << o.repeats << "\n\n";
+/// Write the runner's metrics as a two-column (metric,value) CSV to --csv
+/// (benches whose natural output is many small tables rather than one sweep).
+inline void maybe_write_metrics_csv(const CommonOptions& o, const BenchRunner& runner) {
+  if (o.csv.empty()) return;
+  metrics::Table table({"metric", "value"});
+  for (const auto& [name, value] : runner.metrics()) table.row(name, value);
+  std::ofstream out(o.csv);
+  if (!out) throw std::runtime_error("cannot open CSV output: " + o.csv);
+  table.write_csv(out);
+  std::cout << "\n(metrics written to " << o.csv << ")\n";
+}
+
+/// Fold a sweep into a runner document: one gated timing benchmark per
+/// scheduler (samples = its per-point simulation wall seconds) plus
+/// non-gated metric entries for every (point, scheduler) cell.
+inline void record_sweep(BenchRunner& runner, const std::string& x_label,
+                         const std::vector<exp::SweepPoint>& points,
+                         const std::vector<exp::SchedulerKind>& schedulers,
+                         const exp::SweepResult& result) {
+  for (std::size_t si = 0; si < schedulers.size(); ++si) {
+    std::vector<double> wall;
+    wall.reserve(points.size());
+    for (std::size_t pi = 0; pi < points.size(); ++pi) {
+      wall.push_back(result.cell(pi, si, schedulers.size()).result.wall_seconds);
+    }
+    runner.add_samples(std::string("sim_wall/") + exp::to_string(schedulers[si]),
+                       std::move(wall));
+  }
+  for (std::size_t pi = 0; pi < points.size(); ++pi) {
+    for (std::size_t si = 0; si < schedulers.size(); ++si) {
+      const auto& cell = result.cell(pi, si, schedulers.size());
+      const std::string prefix = x_label + "=" + metrics::Table::format(points[pi].x) + "/" +
+                                 exp::to_string(schedulers[si]) + "/";
+      runner.add_metric(prefix + "task_completion_ratio", cell.result.metrics.task_completion_ratio);
+      runner.add_metric(prefix + "flow_completion_ratio", cell.result.metrics.flow_completion_ratio);
+      runner.add_metric(prefix + "app_throughput", cell.result.metrics.app_throughput);
+      runner.add_metric(prefix + "wasted_bandwidth_ratio",
+                        cell.result.metrics.wasted_bandwidth_ratio);
+    }
+  }
+}
+
+/// One call for the standard sweep-bench tail: --csv and --json handling.
+inline void finish_sweep_bench(const util::Cli& cli, const CommonOptions& o,
+                               const std::string& bench_name, const std::string& x_label,
+                               const std::vector<exp::SweepPoint>& points,
+                               const std::vector<exp::SchedulerKind>& schedulers,
+                               const exp::SweepResult& result) {
+  maybe_write_csv(cli, x_label, points, schedulers, result);
+  if (!o.json) return;
+  BenchRunner runner;
+  runner.options().verbose = false;
+  record_sweep(runner, x_label, points, schedulers, result);
+  maybe_write_json(o, bench_name, runner);
 }
 
 /// Metric selectors used across figures.

@@ -34,6 +34,7 @@ int main(int argc, char** argv) {
   std::cout << "Flow completion ratio (task == flow: identical to task ratio here)\n";
   exp::print_metric_table(std::cout, "size-KB", points, exp::all_schedulers(), result,
                           bench::flow_ratio);
-  bench::maybe_write_csv(cli, "size_kb", points, exp::all_schedulers(), result);
+  bench::finish_sweep_bench(cli, o, "fig10_flowratio", "size_kb", points, exp::all_schedulers(),
+                           result);
   return 0;
 }

@@ -29,6 +29,7 @@ int main(int argc, char** argv) {
                           bench::task_ratio);
   std::cout << "\nExpected shape: monotone decrease for everyone (bigger coflows are\n"
                "harder to finish whole); TAPS stays on top via admission control.\n";
-  bench::maybe_write_csv(cli, "flows_per_task", points, exp::all_schedulers(), result);
+  bench::finish_sweep_bench(cli, o, "fig11_flows_per_task", "flows_per_task", points, exp::all_schedulers(),
+                           result);
   return 0;
 }

@@ -23,6 +23,7 @@ int main(int argc, char** argv) {
   std::cout << "Task completion ratio\n";
   exp::print_metric_table(std::cout, "tasks", points, exp::all_schedulers(), result,
                           bench::task_ratio);
-  bench::maybe_write_csv(cli, "task_count", points, exp::all_schedulers(), result);
+  bench::finish_sweep_bench(cli, o, "fig12_task_count", "task_count", points, exp::all_schedulers(),
+                           result);
   return 0;
 }

@@ -1,8 +1,10 @@
 // Paper Fig. 14 (Sec. VI): effective application throughput over time on
 // the 8-host partial fat-tree testbed, TAPS (full SDN message-path
 // emulation) vs Fair Sharing. 100 flows, mean 100 KB, mean deadline 40 ms.
+#include <algorithm>
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "metrics/report.hpp"
 #include "sdn/testbed.hpp"
 #include "util/cli.hpp"
@@ -21,10 +23,25 @@ int main(int argc, char** argv) {
                "denser variant (200 flows, 200 KB, 25 ms) approximating the "
                "hardware overheads the fluid model lacks; sharpens the Fair "
                "Sharing effectiveness drop toward the paper's ~60%");
+  // Uniform automation options (bench_common's set minus the ones this bench
+  // already declares in its own units above).
+  cli.add_option("repeats", "timed repetitions for --json", "3");
+  cli.add_option("threads", "accepted for uniformity (single-run bench)", "0");
+  cli.add_option("csv", "also write the time series to this CSV file", "");
+  cli.add_flag("json", "write machine-readable BENCH_<name>.json (regression gate input)");
+  cli.add_option("json-out", "override the --json output path", "");
   if (!cli.parse(argc, argv)) return cli.exit_code();
 
+  bench::CommonOptions o;
+  o.seed = static_cast<std::uint64_t>(cli.integer("seed"));
+  o.repeats = static_cast<std::size_t>(cli.integer("repeats"));
+  o.threads = static_cast<std::size_t>(cli.integer("threads"));
+  o.json = cli.flag("json") || !cli.str("json-out").empty();
+  o.json_out = cli.str("json-out");
+  o.csv = cli.str("csv");
+
   sdn::TestbedConfig config;
-  config.seed = static_cast<std::uint64_t>(cli.integer("seed"));
+  config.seed = o.seed;
   config.flow_count = static_cast<int>(cli.integer("flows"));
   config.mean_flow_size = cli.num("size-kb") * 1000.0;
   config.mean_deadline = cli.num("deadline-ms") / 1000.0;
@@ -70,5 +87,24 @@ int main(int argc, char** argv) {
             << " grants, " << r.entries_installed << " entries installed, "
             << r.entries_withdrawn << " withdrawn, " << r.quanta_sent
             << " packet bursts, " << r.switch_drops << " switch drops\n";
+
+  bench::maybe_write_table_csv(o, series);
+  if (o.json) {
+    bench::BenchRunner runner;
+    runner.options().verbose = false;
+    runner.options().repeats = std::max<std::size_t>(o.repeats, 3);
+    runner.add_metric("taps/task_completion_ratio", r.taps_metrics.task_completion_ratio);
+    runner.add_metric("taps/wasted_bandwidth_ratio", r.taps_metrics.wasted_bandwidth_ratio);
+    runner.add_metric("fair_sharing/task_completion_ratio",
+                      r.fair_metrics.task_completion_ratio);
+    runner.add_metric("fair_sharing/wasted_bandwidth_ratio",
+                      r.fair_metrics.wasted_bandwidth_ratio);
+    runner.add_metric("sdn/probes", static_cast<double>(r.probes));
+    runner.add_metric("sdn/grants", static_cast<double>(r.grants));
+    runner.add_metric("sdn/entries_installed", static_cast<double>(r.entries_installed));
+    runner.add_metric("sdn/switch_drops", static_cast<double>(r.switch_drops));
+    runner.run("testbed_wall", [&] { bench::do_not_optimize(sdn::run_testbed(config)); });
+    bench::maybe_write_json(o, "fig14_testbed", runner);
+  }
   return 0;
 }

@@ -6,6 +6,7 @@
 #include <iostream>
 #include <memory>
 
+#include "bench_common.hpp"
 #include "core/taps_scheduler.hpp"
 #include "metrics/report.hpp"
 #include "sched/d3.hpp"
@@ -82,31 +83,44 @@ Row run_scheme(const std::string& name, sim::Scheduler& sched) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  util::Cli cli("bench_fig1_motivation", "Fig. 1: task-level vs flow-level motivation");
+  bench::add_common_options(cli);
+  if (!cli.parse(argc, argv)) return cli.exit_code();
+  const bench::CommonOptions o = bench::read_common_options(cli);
+
   std::cout << "=== Fig. 1: task-level vs flow-level scheduling motivation ===\n"
             << "t1 = {2,4 units}, t2 = {1,3 units}, all deadlines 4, one bottleneck\n\n";
 
+  bench::BenchRunner runner;
+  runner.options().verbose = false;
+  runner.options().repeats = std::max<std::size_t>(o.repeats, 3);
+
   metrics::Table table({"scheme", "flows-completed", "tasks-completed", "paper"});
-  {
-    sched::FairSharing s;
-    const Row r = run_scheme("FairSharing (1b)", s);
-    table.row(r.scheme, r.flows, r.tasks, std::string("1 flow, 0 tasks"));
-  }
-  {
-    sched::D3 s;
-    const Row r = run_scheme("D3 (1c)", s);
-    table.row(r.scheme, r.flows, r.tasks, std::string("1 flow, 0 tasks"));
-  }
-  {
-    sched::Pdq s(sched::PdqConfig{.early_termination = false});
-    const Row r = run_scheme("PDQ, no ET (1d)", s);
-    table.row(r.scheme, r.flows, r.tasks, std::string("2 flows, 0 tasks"));
-  }
-  {
-    core::TapsScheduler s;
-    const Row r = run_scheme("Task-aware/TAPS (1e)", s);
-    table.row(r.scheme, r.flows, r.tasks, std::string("2 flows, 1 task"));
-  }
+  auto scheme = [&](const std::string& bench_id, const std::string& label,
+                    const std::string& paper, auto make_sched) {
+    auto s = make_sched();
+    const Row r = run_scheme(label, *s);
+    table.row(r.scheme, r.flows, r.tasks, paper);
+    runner.add_metric(bench_id + "/flows_completed", static_cast<double>(r.flows));
+    runner.add_metric(bench_id + "/tasks_completed", static_cast<double>(r.tasks));
+    if (o.json) {
+      runner.run("sim_wall/" + bench_id, [&] {
+        auto fresh = make_sched();
+        bench::do_not_optimize(run_scheme(label, *fresh));
+      });
+    }
+  };
+  scheme("fair_sharing", "FairSharing (1b)", "1 flow, 0 tasks",
+         [] { return std::make_unique<sched::FairSharing>(); });
+  scheme("d3", "D3 (1c)", "1 flow, 0 tasks", [] { return std::make_unique<sched::D3>(); });
+  scheme("pdq_no_et", "PDQ, no ET (1d)", "2 flows, 0 tasks", [] {
+    return std::make_unique<sched::Pdq>(sched::PdqConfig{.early_termination = false});
+  });
+  scheme("taps", "Task-aware/TAPS (1e)", "2 flows, 1 task",
+         [] { return std::make_unique<core::TapsScheduler>(); });
   table.print(std::cout);
+  bench::maybe_write_table_csv(o, table);
+  bench::maybe_write_json(o, "fig1_motivation", runner);
   return 0;
 }

@@ -6,6 +6,7 @@
 #include <iostream>
 #include <memory>
 
+#include "bench_common.hpp"
 #include "core/taps_scheduler.hpp"
 #include "metrics/report.hpp"
 #include "sched/baraat.hpp"
@@ -72,24 +73,41 @@ std::size_t run_scheme(sim::Scheduler& sched) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  util::Cli cli("bench_fig2_preemption", "Fig. 2: task-level scheduling vs TAPS preemption");
+  bench::add_common_options(cli);
+  if (!cli.parse(argc, argv)) return cli.exit_code();
+  const bench::CommonOptions o = bench::read_common_options(cli);
+
   std::cout << "=== Fig. 2: existing task-level scheduling vs TAPS (preemption) ===\n"
             << "t1 = {1,1 units, deadline 4}, t2 = {1,1 units, deadline 2}\n\n";
 
+  bench::BenchRunner runner;
+  runner.options().verbose = false;
+  runner.options().repeats = std::max<std::size_t>(o.repeats, 3);
+
   metrics::Table table({"scheme", "tasks-completed", "paper-figure"});
-  {
-    sched::Baraat s;
-    table.row("Baraat (2b)", run_scheme(s),
-              std::string("t2 starved by task FIFO (urgent task lost)"));
-  }
-  {
-    sched::Varys s;
-    table.row("Varys (2c)", run_scheme(s), std::string("t2 rejected: 1 task"));
-  }
-  {
-    core::TapsScheduler s;
-    table.row("TAPS (2d)", run_scheme(s), std::string("both fit via re-planning: 2 tasks"));
-  }
+  auto scheme = [&](const std::string& bench_id, const std::string& label,
+                    const std::string& paper, auto make_sched) {
+    auto s = make_sched();
+    const std::size_t tasks = run_scheme(*s);
+    table.row(label, tasks, paper);
+    runner.add_metric(bench_id + "/tasks_completed", static_cast<double>(tasks));
+    if (o.json) {
+      runner.run("sim_wall/" + bench_id, [&] {
+        auto fresh = make_sched();
+        bench::do_not_optimize(run_scheme(*fresh));
+      });
+    }
+  };
+  scheme("baraat", "Baraat (2b)", "t2 starved by task FIFO (urgent task lost)",
+         [] { return std::make_unique<sched::Baraat>(); });
+  scheme("varys", "Varys (2c)", "t2 rejected: 1 task",
+         [] { return std::make_unique<sched::Varys>(); });
+  scheme("taps", "TAPS (2d)", "both fit via re-planning: 2 tasks",
+         [] { return std::make_unique<core::TapsScheduler>(); });
   table.print(std::cout);
+  bench::maybe_write_table_csv(o, table);
+  bench::maybe_write_json(o, "fig2_preemption", runner);
   return 0;
 }

@@ -5,6 +5,7 @@
 #include <iostream>
 #include <memory>
 
+#include "bench_common.hpp"
 #include "core/taps_scheduler.hpp"
 #include "metrics/report.hpp"
 #include "sched/pdq.hpp"
@@ -70,24 +71,43 @@ std::size_t run_scheme(sim::Scheduler& sched) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  util::Cli cli("bench_fig3_global", "Fig. 3: global vs distributed scheduling");
+  bench::add_common_options(cli);
+  if (!cli.parse(argc, argv)) return cli.exit_code();
+  const bench::CommonOptions o = bench::read_common_options(cli);
+
   std::cout << "=== Fig. 3: global vs distributed scheduling ===\n"
             << "f1(1,d1) 1->2, f2(1,d2) 1->4, f3(1,d2) 3->2, f4(2,d3) 3->4\n\n";
 
+  bench::BenchRunner runner;
+  runner.options().verbose = false;
+  runner.options().repeats = std::max<std::size_t>(o.repeats, 3);
+
   metrics::Table table({"scheme", "flows-completed", "paper"});
-  {
-    sched::Pdq s(sched::PdqConfig{.early_termination = true, .flow_list_limit = 2});
-    table.row("PDQ, switch flow-list limit 2", run_scheme(s), std::string("3 (f4 lost)"));
-  }
-  {
-    sched::Pdq s;
-    table.row("PDQ, idealized (no list limit)", run_scheme(s),
-              std::string("n/a (no list artifact)"));
-  }
-  {
-    core::TapsScheduler s;
-    table.row("TAPS global scheduling", run_scheme(s), std::string("4 (optimal, Fig. 3b)"));
-  }
+  auto scheme = [&](const std::string& bench_id, const std::string& label,
+                    const std::string& paper, auto make_sched) {
+    auto s = make_sched();
+    const std::size_t flows = run_scheme(*s);
+    table.row(label, flows, paper);
+    runner.add_metric(bench_id + "/flows_completed", static_cast<double>(flows));
+    if (o.json) {
+      runner.run("sim_wall/" + bench_id, [&] {
+        auto fresh = make_sched();
+        bench::do_not_optimize(run_scheme(*fresh));
+      });
+    }
+  };
+  scheme("pdq_list2", "PDQ, switch flow-list limit 2", "3 (f4 lost)", [] {
+    return std::make_unique<sched::Pdq>(
+        sched::PdqConfig{.early_termination = true, .flow_list_limit = 2});
+  });
+  scheme("pdq_ideal", "PDQ, idealized (no list limit)", "n/a (no list artifact)",
+         [] { return std::make_unique<sched::Pdq>(); });
+  scheme("taps", "TAPS global scheduling", "4 (optimal, Fig. 3b)",
+         [] { return std::make_unique<core::TapsScheduler>(); });
   table.print(std::cout);
+  bench::maybe_write_table_csv(o, table);
+  bench::maybe_write_json(o, "fig3_global", runner);
   return 0;
 }

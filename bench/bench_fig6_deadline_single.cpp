@@ -29,6 +29,7 @@ int main(int argc, char** argv) {
   std::cout << "\n(b) Task completion ratio (all flows of the task met the deadline)\n";
   exp::print_metric_table(std::cout, "deadline-ms", points, exp::all_schedulers(), result,
                           bench::task_ratio);
-  bench::maybe_write_csv(cli, "deadline_ms", points, exp::all_schedulers(), result);
+  bench::finish_sweep_bench(cli, o, "fig6_deadline_single", "deadline_ms", points, exp::all_schedulers(),
+                           result);
   return 0;
 }

@@ -25,6 +25,7 @@ int main(int argc, char** argv) {
   std::cout << "Task completion ratio\n";
   exp::print_metric_table(std::cout, "deadline-ms", points, exp::all_schedulers(), result,
                           bench::task_ratio);
-  bench::maybe_write_csv(cli, "deadline_ms", points, exp::all_schedulers(), result);
+  bench::finish_sweep_bench(cli, o, "fig7_deadline_multi", "deadline_ms", points, exp::all_schedulers(),
+                           result);
   return 0;
 }

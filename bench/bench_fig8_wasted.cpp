@@ -44,6 +44,7 @@ int main(int argc, char** argv) {
   std::cout << "\nExpected shape: Fair Sharing wastes far more than everyone; Baraat\n"
                "(deadline-agnostic) wastes most among the rest; Varys and TAPS waste\n"
                "nothing (rejected tasks never transmit).\n";
-  bench::maybe_write_csv(cli, "deadline_ms", points, exp::all_schedulers(), result);
+  bench::finish_sweep_bench(cli, o, "fig8_wasted", "deadline_ms", points, exp::all_schedulers(),
+                           result);
   return 0;
 }

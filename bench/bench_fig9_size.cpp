@@ -27,6 +27,7 @@ int main(int argc, char** argv) {
   std::cout << "\n(b) Task completion ratio\n";
   exp::print_metric_table(std::cout, "size-KB", points, exp::all_schedulers(), result,
                           bench::task_ratio);
-  bench::maybe_write_csv(cli, "size_kb", points, exp::all_schedulers(), result);
+  bench::finish_sweep_bench(cli, o, "fig9_size", "size_kb", points, exp::all_schedulers(),
+                           result);
   return 0;
 }

@@ -4,6 +4,7 @@
 // including the architectures the paper names (Fat-Tree, BCube) — with every
 // scheduler. TAPS's slice allocation and routing use each topology's own
 // candidate paths; baselines use ECMP over the same candidates.
+#include <chrono>
 #include <iostream>
 
 #include "bench_common.hpp"
@@ -17,6 +18,7 @@ using namespace taps;
 
 struct TopoCase {
   std::string label;
+  std::string id;  // stable key used in BENCH_generality.json entries
   std::unique_ptr<topo::Topology> topology;
   double flows_per_task;
   double arrival_rate;
@@ -24,17 +26,17 @@ struct TopoCase {
 
 std::vector<TopoCase> make_cases() {
   std::vector<TopoCase> cases;
-  cases.push_back(TopoCase{"single-rooted (240 hosts)",
+  cases.push_back(TopoCase{"single-rooted (240 hosts)", "single_rooted",
                            std::make_unique<topo::SingleRootedTree>(
                                topo::SingleRootedConfig::scaled()),
                            24.0, 300.0});
-  cases.push_back(TopoCase{"fat-tree k=8 (128 hosts)",
+  cases.push_back(TopoCase{"fat-tree k=8 (128 hosts)", "fat_tree_k8",
                            std::make_unique<topo::FatTree>(topo::FatTreeConfig::scaled()),
                            96.0, 1500.0});
-  cases.push_back(TopoCase{"BCube(8,1) (64 servers)",
+  cases.push_back(TopoCase{"BCube(8,1) (64 servers)", "bcube_8_1",
                            std::make_unique<topo::BCube>(topo::BCubeConfig{8, 1}),
                            48.0, 1500.0});
-  cases.push_back(TopoCase{"BCube(4,2) (64 servers)",
+  cases.push_back(TopoCase{"BCube(4,2) (64 servers)", "bcube_4_2",
                            std::make_unique<topo::BCube>(topo::BCubeConfig{4, 2}),
                            48.0, 1500.0});
   return cases;
@@ -54,10 +56,15 @@ int main(int argc, char** argv) {
   for (const exp::SchedulerKind k : exp::all_schedulers()) headers.emplace_back(exp::to_string(k));
   metrics::Table table(std::move(headers));
 
+  bench::BenchRunner runner;
+  runner.options().verbose = false;
+
   for (const TopoCase& tc : make_cases()) {
     std::vector<std::string> row{tc.label};
     for (const exp::SchedulerKind kind : exp::all_schedulers()) {
       double ratio = 0.0;
+      std::vector<double> walls;
+      walls.reserve(o.repeats);
       for (std::size_t r = 0; r < o.repeats; ++r) {
         net::Network net(*tc.topology);
         workload::WorkloadConfig wc;
@@ -68,11 +75,18 @@ int main(int argc, char** argv) {
         util::Rng wl = rng.fork("workload");
         (void)workload::generate(net, wc, wl);
         const auto sched = exp::make_scheduler(kind, 16);
+        const auto start = std::chrono::steady_clock::now();
         sim::FluidSimulator simulator(net, *sched);
         (void)simulator.run();
+        walls.push_back(
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+                .count());
         ratio += metrics::collect(net).task_completion_ratio;
       }
       row.push_back(metrics::Table::format(ratio / static_cast<double>(o.repeats)));
+      const std::string id = tc.id + "/" + exp::to_string(kind);
+      runner.add_metric(id + "/task_ratio", ratio / static_cast<double>(o.repeats));
+      if (o.json) runner.add_samples("sim_wall/" + id, std::move(walls));
     }
     table.add_row(std::move(row));
   }
@@ -80,5 +94,7 @@ int main(int argc, char** argv) {
   table.print(std::cout);
   std::cout << "\nBCube paths relay through intermediate servers (server-centric); the\n"
                "schedulers run unchanged, supporting the paper's generality claim.\n";
+  bench::maybe_write_metrics_csv(o, runner);
+  bench::maybe_write_json(o, "generality", runner);
   return 0;
 }

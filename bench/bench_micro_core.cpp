@@ -1,12 +1,25 @@
-// Microbenchmarks (google-benchmark) for the controller's hot paths: the
-// interval-set primitives behind Algorithm 3, whole-set planning
-// (Algorithms 1-2), max-min filling, and the SDN controller's per-probe
-// decision latency — the metric that bounds how fast TAPS can admit tasks.
-#include <benchmark/benchmark.h>
+// Microbenchmarks for the controller's hot paths: the interval-set
+// primitives behind Algorithm 3, whole-set planning (Algorithms 1-2),
+// max-min filling, the SDN controller's per-probe decision latency — the
+// metric that bounds how fast TAPS can admit tasks — and end-to-end
+// simulation throughput per scheduler.
+//
+// Complements bench_micro_replan (which A/Bs the optimized replan against
+// the reference path); this binary tracks the broader primitive surface.
+// With `--json` the run writes BENCH_micro_core.json for
+// scripts/bench_compare.py.
+#include <algorithm>
+#include <chrono>
+#include <cstddef>
+#include <iostream>
+#include <string>
+#include <utility>
+#include <vector>
 
+#include "bench_common.hpp"
 #include "core/path_allocation.hpp"
-#include "exp/experiment.hpp"
 #include "core/taps_scheduler.hpp"
+#include "exp/experiment.hpp"
 #include "sched/fair_sharing.hpp"
 #include "sdn/controller.hpp"
 #include "topo/fattree.hpp"
@@ -17,41 +30,37 @@
 namespace {
 
 using namespace taps;
+using bench::BenchRunner;
+using bench::do_not_optimize;
 
-void BM_IntervalInsert(benchmark::State& state) {
-  const auto n = static_cast<int>(state.range(0));
+void bench_interval_insert(BenchRunner& runner, std::size_t n) {
   util::Rng rng(1);
   std::vector<std::pair<double, double>> ivs;
-  ivs.reserve(static_cast<std::size_t>(n));
-  for (int i = 0; i < n; ++i) {
+  ivs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
     const double lo = rng.uniform_real(0.0, 1000.0);
     ivs.emplace_back(lo, lo + rng.uniform_real(0.01, 2.0));
   }
-  for (auto _ : state) {
+  runner.run("interval_set/insert/n=" + std::to_string(n), [&] {
     util::IntervalSet s;
     for (const auto& [lo, hi] : ivs) s.insert(lo, hi);
-    benchmark::DoNotOptimize(s);
-  }
-  state.SetItemsProcessed(state.iterations() * n);
+    do_not_optimize(s);
+  });
 }
-BENCHMARK(BM_IntervalInsert)->Arg(64)->Arg(512)->Arg(4096);
 
-void BM_IntervalAllocateEarliest(benchmark::State& state) {
-  const auto n = static_cast<int>(state.range(0));
+void bench_interval_allocate(BenchRunner& runner, std::size_t n) {
   util::Rng rng(2);
   util::IntervalSet occ;
-  for (int i = 0; i < n; ++i) {
+  for (std::size_t i = 0; i < n; ++i) {
     const double lo = rng.uniform_real(0.0, 1000.0);
     occ.insert(lo, lo + rng.uniform_real(0.01, 0.5));
   }
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(occ.allocate_earliest(0.0, 3.0));
-  }
+  runner.run("interval_set/allocate_earliest/n=" + std::to_string(n), [&] {
+    do_not_optimize(occ.allocate_earliest(0.0, 3.0));
+  });
 }
-BENCHMARK(BM_IntervalAllocateEarliest)->Arg(64)->Arg(512)->Arg(4096);
 
-void BM_PathUnion(benchmark::State& state) {
-  const auto slices_per_link = static_cast<int>(state.range(0));
+void bench_path_union(BenchRunner& runner, std::size_t slices_per_link) {
   core::OccupancyMap occ(6);
   util::Rng rng(3);
   topo::Path path;
@@ -61,22 +70,19 @@ void BM_PathUnion(benchmark::State& state) {
     single.links = {l};
     util::IntervalSet s;
     double t = rng.uniform_real(0.0, 0.001);
-    for (int i = 0; i < slices_per_link; ++i) {
+    for (std::size_t i = 0; i < slices_per_link; ++i) {
       const double len = rng.uniform_real(0.0001, 0.002);
       s.insert(t, t + len);
       t += len + rng.uniform_real(0.0001, 0.002) + 0.0001;
     }
     occ.occupy(single, s);
   }
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(occ.path_union(path));
-  }
+  runner.run("occupancy/path_union/slices=" + std::to_string(slices_per_link),
+             [&] { do_not_optimize(occ.path_union(path)); });
 }
-BENCHMARK(BM_PathUnion)->Arg(16)->Arg(128)->Arg(1024);
 
 /// Whole-task planning cost on the scaled tree (Algorithm 1's inner loop).
-void BM_PlanFlows(benchmark::State& state) {
-  const auto flows = static_cast<int>(state.range(0));
+void bench_plan_flows(BenchRunner& runner, int flows) {
   const topo::SingleRootedTree tree(topo::SingleRootedConfig::scaled());
   net::Network net(tree);
   workload::WorkloadConfig wc;
@@ -89,29 +95,32 @@ void BM_PlanFlows(benchmark::State& state) {
   for (const auto& f : net.flows()) order.push_back(f.id());
   core::sort_edf_sjf(net, order);
 
-  for (auto _ : state) {
-    core::OccupancyMap occ(net.graph().link_count());
-    benchmark::DoNotOptimize(core::plan_flows(net, occ, order, 0.0, core::PlanConfig{}));
-  }
-  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(order.size()));
+  core::OccupancyMap occ(net.graph().link_count());
+  runner.run("plan_flows/flows=" + std::to_string(flows), [&] {
+    occ.reset(net.graph().link_count());
+    do_not_optimize(core::plan_flows(net, occ, order, 0.0, core::PlanConfig{}));
+  });
 }
-BENCHMARK(BM_PlanFlows)->Arg(32)->Arg(128)->Arg(512);
 
-/// Controller decision latency per probe on the fat-tree (multi-path).
-void BM_ControllerOnProbe(benchmark::State& state) {
+/// Controller decision latency per probe on the fat-tree (multi-path). Each
+/// probe admits state into the controller, so every repeat gets a fresh
+/// network + controller built outside the timed region (add_samples).
+void bench_controller_on_probe(BenchRunner& runner, std::size_t repeats) {
   const topo::FatTree ft(topo::FatTreeConfig::scaled());
-  for (auto _ : state) {
-    state.PauseTiming();
+  constexpr std::size_t kTasks = 8;
+  std::vector<double> samples;
+  samples.reserve(repeats);
+  for (std::size_t rep = 0; rep < repeats; ++rep) {
     net::Network net(ft);
     workload::WorkloadConfig wc;
-    wc.task_count = 8;
+    wc.task_count = kTasks;
     wc.flows_per_task_mean = 16;
     wc.arrival_rate = 1e9;  // all at t=0
     util::Rng rng(5);
     (void)workload::generate(net, wc, rng);
     sdn::Controller controller(net, sdn::ControllerConfig{});
-    state.ResumeTiming();
 
+    const auto start = std::chrono::steady_clock::now();
     for (const auto& task : net.tasks()) {
       sdn::ProbePacket probe;
       probe.task = task.id();
@@ -120,15 +129,15 @@ void BM_ControllerOnProbe(benchmark::State& state) {
         probe.flows.push_back(sdn::SchedulingHeader{fid, task.id(), f.spec.src, f.spec.dst,
                                                     f.spec.size, f.spec.deadline});
       }
-      benchmark::DoNotOptimize(controller.on_probe(probe, 0.0));
+      do_not_optimize(controller.on_probe(probe, 0.0));
     }
+    const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - start;
+    samples.push_back(elapsed.count() / static_cast<double>(kTasks));
   }
-  state.SetItemsProcessed(state.iterations() * 8);
+  runner.add_samples("controller/on_probe", std::move(samples), kTasks);
 }
-BENCHMARK(BM_ControllerOnProbe)->Unit(benchmark::kMicrosecond);
 
-void BM_ProgressiveFill(benchmark::State& state) {
-  const auto flows = static_cast<int>(state.range(0));
+void bench_progressive_fill(BenchRunner& runner, int flows) {
   const topo::SingleRootedTree tree(topo::SingleRootedConfig::scaled());
   net::Network net(tree);
   workload::WorkloadConfig wc;
@@ -140,35 +149,47 @@ void BM_ProgressiveFill(benchmark::State& state) {
   sched::FairSharing fs;
   fs.bind(net);
   fs.on_task_arrival(0, 0.0);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(fs.assign_rates(0.0));
-  }
-  state.SetItemsProcessed(state.iterations() * flows);
+  runner.run("progressive_fill/flows=" + std::to_string(flows),
+             [&] { do_not_optimize(fs.assign_rates(0.0)); });
 }
-BENCHMARK(BM_ProgressiveFill)->Arg(32)->Arg(256)->Arg(1024);
 
-/// End-to-end simulation throughput per scheduler: how many simulated events
-/// each policy sustains per second of wall clock (rate recomputation is each
-/// policy's hot loop).
-void BM_EndToEndScheduler(benchmark::State& state) {
-  const auto kind = static_cast<exp::SchedulerKind>(state.range(0));
+/// End-to-end simulation throughput per scheduler (rate recomputation is
+/// each policy's hot loop).
+void bench_end_to_end(BenchRunner& runner, exp::SchedulerKind kind) {
   workload::Scenario scenario = workload::Scenario::single_rooted(false);
   scenario.workload.task_count = 20;
   scenario.workload.flows_per_task_mean = 12.0;
-
-  std::int64_t events = 0;
-  for (auto _ : state) {
+  runner.run(std::string("sim/") + exp::to_string(kind), [&] {
     const exp::ExperimentResult r = exp::run_experiment(scenario, kind);
-    events += static_cast<std::int64_t>(r.stats.events);
-    benchmark::DoNotOptimize(r.metrics.task_completion_ratio);
-  }
-  state.SetItemsProcessed(events);
-  state.SetLabel(exp::to_string(kind));
+    do_not_optimize(r.metrics.task_completion_ratio);
+  });
 }
-BENCHMARK(BM_EndToEndScheduler)
-    ->DenseRange(0, 6, 1)  // the six paper schedulers + D2TCP
-    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  util::Cli cli("bench_micro_core",
+                "controller hot-path microbenchmarks: IntervalSet primitives, "
+                "path_union, plan_flows, SDN probe latency, per-scheduler "
+                "simulation throughput");
+  bench::add_common_options(cli);
+  if (!cli.parse(argc, argv)) return 1;
+  const bench::CommonOptions o = bench::read_common_options(cli);
+
+  bench::banner("micro_core", "controller hot-path microbenchmarks", o);
+
+  BenchRunner runner;
+  runner.options().repeats = std::max<std::size_t>(o.repeats, 5);
+
+  for (const std::size_t n : {64u, 512u, 4096u}) bench_interval_insert(runner, n);
+  for (const std::size_t n : {64u, 512u, 4096u}) bench_interval_allocate(runner, n);
+  for (const std::size_t n : {16u, 128u, 1024u}) bench_path_union(runner, n);
+  for (const int flows : {32, 128, 512}) bench_plan_flows(runner, flows);
+  bench_controller_on_probe(runner, runner.options().repeats);
+  for (const int flows : {32, 256, 1024}) bench_progressive_fill(runner, flows);
+  for (int k = 0; k <= 6; ++k) bench_end_to_end(runner, static_cast<exp::SchedulerKind>(k));
+
+  bench::maybe_write_metrics_csv(o, runner);
+  bench::maybe_write_json(o, "micro_core", runner);
+  return 0;
+}

@@ -1,0 +1,259 @@
+// Microbenchmarks for the TAPS replan hot path (the cost the ROADMAP cares
+// about: what the controller pays on EVERY task arrival).
+//
+// Covered:
+//   - util::IntervalSet insert/erase and earliest-fit under heavy
+//     fragmentation (the per-link primitive of Algorithm 3);
+//   - OccupancyMap::collides and path_union(_from) over a deep map;
+//   - the full per-arrival replan (EDF+SJF sort + plan_flows) at 1k/10k/50k
+//     admitted flows on the scaled fat-tree, with the fused allocator +
+//     candidate cache (optimized) A/B'd against the pre-optimization
+//     reference path (reference_allocator, no scratch, fresh map per replan);
+//   - exp::run_sweep thread scaling on a small scenario.
+//
+// `--quick` shrinks everything to CI-smoke scale. With `--json` the run
+// writes BENCH_micro_replan.json for scripts/bench_compare.py; the
+// `replan/admitted=N/speedup` metrics record optimized-vs-reference ratios.
+#include <algorithm>
+#include <cstddef>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/occupancy.hpp"
+#include "core/path_allocation.hpp"
+#include "exp/sweep.hpp"
+#include "net/network.hpp"
+#include "topo/fattree.hpp"
+#include "util/interval_set.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using taps::bench::BenchRunner;
+using taps::bench::do_not_optimize;
+
+/// A set of n busy intervals [2i, 2i+1) — unit holes between all neighbors,
+/// the worst fragmentation shape for earliest-fit scans.
+taps::util::IntervalSet fragmented_set(std::size_t n) {
+  taps::util::IntervalSet set;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double lo = 2.0 * static_cast<double>(i);
+    set.insert(lo, lo + 1.0);
+  }
+  return set;
+}
+
+void bench_interval_set(BenchRunner& runner, bool quick) {
+  const std::size_t n = quick ? 256 : 4096;
+  const double span = 2.0 * static_cast<double>(n);
+
+  taps::util::Rng rng(20260807);
+  std::vector<double> xs(1024);
+  for (double& x : xs) x = rng.uniform_real(0.0, span - 2.0);
+
+  // Mid-set insert + erase on a fragmented set (state stays bounded: every
+  // op removes at most what it added plus one pre-existing busy window).
+  {
+    taps::util::IntervalSet set = fragmented_set(n);
+    std::size_t k = 0;
+    runner.run("interval_set/insert_erase", [&] {
+      const double lo = xs[k++ & 1023];
+      set.insert(lo, lo + 0.75);
+      set.erase(lo, lo + 0.75);
+      do_not_optimize(set);
+    });
+  }
+
+  // Earliest-fit needing several holes, from a moving start time.
+  {
+    const taps::util::IntervalSet set = fragmented_set(n);
+    std::size_t k = 0;
+    runner.run("interval_set/allocate_earliest", [&] {
+      const double from = xs[k++ & 1023];
+      const auto got = set.allocate_earliest(from, 25.5, span + 64.0);
+      do_not_optimize(got);
+    });
+  }
+}
+
+void bench_occupancy(BenchRunner& runner, bool quick) {
+  // A 6-hop path (fat-tree inter-pod length) over a map whose links carry
+  // phase-shifted busy patterns, so the path union is ragged.
+  const std::size_t link_count = 8;
+  const std::size_t per_link = quick ? 128 : 2048;
+  taps::core::OccupancyMap occ(link_count);
+  taps::topo::Path path;
+  for (std::size_t l = 0; l < 6; ++l) {
+    path.links.push_back(static_cast<taps::topo::LinkId>(l));
+    taps::util::IntervalSet busy;
+    for (std::size_t i = 0; i < per_link; ++i) {
+      const double lo =
+          3.0 * static_cast<double>(i) + 0.35 * static_cast<double>(l);
+      busy.insert(lo, lo + 1.0);
+    }
+    taps::topo::Path one;
+    one.links.push_back(static_cast<taps::topo::LinkId>(l));
+    occ.occupy(one, busy);
+  }
+  const double span = 3.0 * static_cast<double>(per_link);
+
+  taps::util::Rng rng(77);
+  std::vector<double> xs(1024);
+  for (double& x : xs) x = rng.uniform_real(0.0, span - 8.0);
+
+  {
+    std::size_t k = 0;
+    runner.run("occupancy/collides", [&] {
+      const double lo = xs[k++ & 1023];
+      taps::util::IntervalSet probe;
+      probe.insert(lo, lo + 0.25);
+      probe.insert(lo + 2.0, lo + 2.25);
+      do_not_optimize(occ.collides(path, probe));
+    });
+  }
+  {
+    runner.run("occupancy/path_union", [&] {
+      do_not_optimize(occ.path_union(path));
+    });
+  }
+  {
+    std::size_t k = 0;
+    runner.run("occupancy/path_union_from", [&] {
+      // Monotone-ish query times: the hint cache resumes instead of
+      // re-bisecting (mirrors the replan's advancing `now`).
+      do_not_optimize(occ.path_union_from(path, xs[k++ & 1023]));
+    });
+  }
+}
+
+/// N single-flow tasks between random host pairs on the scaled fat-tree:
+/// ~0.5-2 ms transfers with deadlines spread over [50 ms, 4 s], so the
+/// occupancy map gets deep and fragmented like a loaded controller's.
+struct ReplanInstance {
+  taps::net::Network net;
+  std::vector<taps::net::FlowId> order;  // EDF+SJF, pre-sorted once
+
+  explicit ReplanInstance(const taps::topo::Topology& topo, std::size_t flows,
+                          std::uint64_t seed)
+      : net(topo) {
+    const auto& hosts = topo.hosts();
+    const auto last = static_cast<std::int64_t>(hosts.size()) - 1;
+    const double cap = net.capacity();
+    taps::util::Rng rng(seed);
+    for (std::size_t i = 0; i < flows; ++i) {
+      taps::net::FlowSpec fs;
+      fs.src = hosts[static_cast<std::size_t>(rng.uniform_int(0, last))];
+      do {
+        fs.dst = hosts[static_cast<std::size_t>(rng.uniform_int(0, last))];
+      } while (fs.dst == fs.src);
+      fs.size = cap * rng.uniform_real(0.0005, 0.002);
+      const double deadline = rng.uniform_real(0.05, 4.0);
+      net.add_task(0.0, deadline, std::span<const taps::net::FlowSpec>(&fs, 1));
+    }
+    order.resize(flows);
+    for (std::size_t i = 0; i < flows; ++i) {
+      order[i] = static_cast<taps::net::FlowId>(i);
+    }
+    taps::core::sort_edf_sjf(net, order);
+  }
+};
+
+void bench_replan(BenchRunner& runner, bool quick, std::uint64_t seed) {
+  const taps::topo::FatTree topo(taps::topo::FatTreeConfig::scaled());
+  const std::size_t link_count = topo.graph().link_count();
+
+  std::vector<std::size_t> scales =
+      quick ? std::vector<std::size_t>{200} : std::vector<std::size_t>{1000, 10000, 50000};
+  for (const std::size_t n : scales) {
+    const ReplanInstance inst(topo, n, seed + n);
+    // One timed op == one Algorithm-1 replan: re-sort the admitted set and
+    // re-plan every flow through a fresh occupancy map.
+    const auto replan = [&](const taps::core::PlanConfig& config,
+                            taps::core::OccupancyMap& occ,
+                            taps::core::PlanScratch* scratch) {
+      occ.reset(link_count);
+      std::vector<taps::net::FlowId> order = inst.order;
+      taps::core::sort_edf_sjf(inst.net, order);
+      const auto plans =
+          taps::core::plan_flows(inst.net, occ, order, 0.0, config, scratch);
+      do_not_optimize(plans);
+    };
+
+    const std::string prefix = "replan/admitted=" + std::to_string(n) + "/";
+    taps::core::OccupancyMap occ(link_count);
+    taps::core::PlanScratch scratch;
+    const taps::core::PlanConfig optimized{};
+    const auto& opt =
+        runner.run(prefix + "optimized", [&] { replan(optimized, occ, &scratch); });
+    const double opt_median = opt.median;
+
+    // The pre-optimization path: reference TimeAllocation (full path-union
+    // materialization), no candidate cache, occupancy storage re-grown every
+    // replan. Skipped at 50k where it would dominate the bench's runtime.
+    if (n <= 10000) {
+      taps::core::PlanConfig reference{};
+      reference.reference_allocator = true;
+      const auto& ref = runner.run(prefix + "reference", [&] {
+        taps::core::OccupancyMap fresh(link_count);
+        replan(reference, fresh, nullptr);
+      });
+      runner.add_metric(prefix + "speedup", ref.median / opt_median);
+    }
+  }
+}
+
+void bench_sweep_threads(BenchRunner& runner, bool quick) {
+  // Thread scaling of the sweep fan-out itself (cells are independent
+  // simulations). On a 1-core host the curve is flat — that is the honest
+  // answer, and the determinism test guarantees results do not depend on it.
+  taps::workload::Scenario base = taps::workload::Scenario::single_rooted(false);
+  base.workload.task_count = quick ? 10 : 60;
+  std::vector<taps::exp::SweepPoint> points;
+  for (int i = 0; i < 4; ++i) {
+    taps::exp::SweepPoint p;
+    p.x = static_cast<double>(i);
+    p.scenario = base;
+    p.scenario.seed = taps::util::hash_combine(base.seed, static_cast<std::uint64_t>(i));
+    points.push_back(std::move(p));
+  }
+  const std::vector<taps::exp::SchedulerKind> scheds{taps::exp::SchedulerKind::kTaps};
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    runner.run("sweep/threads=" + std::to_string(threads), [&] {
+      do_not_optimize(taps::exp::run_sweep(points, scheds, threads, 1));
+    });
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  taps::util::Cli cli("bench_micro_replan",
+                      "TAPS hot-path microbenchmarks: IntervalSet, OccupancyMap, "
+                      "per-arrival replan at 1k/10k/50k flows, sweep thread scaling");
+  taps::bench::add_common_options(cli);
+  cli.add_flag("quick", "tiny CI-smoke scale (fewer flows, smaller sets)");
+  if (!cli.parse(argc, argv)) return 1;
+  const taps::bench::CommonOptions o = taps::bench::read_common_options(cli);
+  const bool quick = cli.flag("quick");
+
+  taps::bench::banner("micro_replan", "TAPS hot-path microbenchmarks", o);
+  if (quick) std::cout << "(quick mode: CI-smoke scale)\n\n";
+
+  BenchRunner runner;
+  runner.options().repeats = std::max<std::size_t>(o.repeats, 5);
+
+  bench_interval_set(runner, quick);
+  bench_occupancy(runner, quick);
+  bench_replan(runner, quick, o.seed);
+  bench_sweep_threads(runner, quick);
+
+  for (const auto& [name, value] : runner.metrics()) {
+    std::cout << "metric  " << name << " = " << value << "\n";
+  }
+
+  taps::bench::maybe_write_metrics_csv(o, runner);
+  taps::bench::maybe_write_json(o, "micro_replan", runner);
+  return 0;
+}

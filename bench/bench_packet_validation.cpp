@@ -45,6 +45,9 @@ int main(int argc, char** argv) {
     return exp::make_scheduler(row.kind, max_paths);
   };
 
+  bench::BenchRunner runner;
+  runner.options().verbose = false;
+
   metrics::Table table({"scheduler", "task-ratio(fluid)", "task-ratio(packet)", "delta",
                         "flow-ratio(fluid)", "flow-ratio(packet)", "max-queue"});
   for (const Row& row : rows) {
@@ -86,6 +89,10 @@ int main(int argc, char** argv) {
     const double n = static_cast<double>(o.repeats);
     table.row(row.label, tf / n, tp / n, (tp - tf) / n, ff / n, fp / n,
               static_cast<long long>(max_queue));
+    runner.add_metric(row.label + "/task_ratio_fluid", tf / n);
+    runner.add_metric(row.label + "/task_ratio_packet", tp / n);
+    runner.add_metric(row.label + "/delta", (tp - tf) / n);
+    runner.add_metric(row.label + "/max_queue", static_cast<double>(max_queue));
   }
   table.print(std::cout);
   std::cout << "\nNegative deltas are the cost of packetization (store-and-forward\n"
@@ -97,5 +104,7 @@ int main(int argc, char** argv) {
                "latency on exact-fit admissions, which the --guard-band style planner\n"
                "slack trades against admission count. Bounded max-queue confirms paced\n"
                "senders do not build standing queues.\n";
+  bench::maybe_write_metrics_csv(o, runner);
+  bench::maybe_write_json(o, "packet_validation", runner);
   return 0;
 }

@@ -1,0 +1,72 @@
+// Minimal JSON emission for the perf-regression harness.
+//
+// The bench runner writes one machine-readable document per binary
+// (`BENCH_<name>.json`); scripts/bench_compare.py diffs two such documents
+// and gates on median regressions. We only ever *write* JSON from C++ (the
+// comparison side is Python), so this is a writer, not a parser: a small
+// value tree plus a serializer with deterministic key order (insertion
+// order), full string escaping, and round-trippable doubles.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace taps::bench {
+
+/// A JSON value: null, bool, number, string, array, or object. Keys keep
+/// insertion order so emitted documents are stable and diff well.
+class Json {
+ public:
+  Json() = default;  // null
+  Json(bool b) : kind_(Kind::kBool), bool_(b) {}                        // NOLINT(google-explicit-constructor)
+  Json(double d) : kind_(Kind::kNumber), num_(d) {}                     // NOLINT(google-explicit-constructor)
+  Json(int i) : kind_(Kind::kNumber), num_(i) {}                        // NOLINT(google-explicit-constructor)
+  Json(std::int64_t i) : kind_(Kind::kNumber), num_(static_cast<double>(i)), int_(i), is_int_(true) {}  // NOLINT
+  Json(std::uint64_t u) : Json(static_cast<std::int64_t>(u)) {}         // NOLINT(google-explicit-constructor)
+  Json(const char* s) : kind_(Kind::kString), str_(s) {}                // NOLINT(google-explicit-constructor)
+  Json(std::string s) : kind_(Kind::kString), str_(std::move(s)) {}     // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] static Json array() {
+    Json j;
+    j.kind_ = Kind::kArray;
+    return j;
+  }
+  [[nodiscard]] static Json object() {
+    Json j;
+    j.kind_ = Kind::kObject;
+    return j;
+  }
+
+  /// Append to an array (value must be an array).
+  Json& push(Json v);
+  /// Set a key on an object (value must be an object). Returns *this.
+  Json& set(const std::string& key, Json v);
+
+  [[nodiscard]] std::string dump(int indent = 0) const;
+
+ private:
+  enum class Kind : std::uint8_t { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  void write(std::string& out, int indent, int depth) const;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::int64_t int_ = 0;
+  bool is_int_ = false;
+  std::string str_;
+  std::vector<Json> arr_;
+  std::vector<std::pair<std::string, Json>> obj_;
+};
+
+/// Escape `s` into a JSON string literal body (no surrounding quotes).
+[[nodiscard]] std::string json_escape(const std::string& s);
+
+/// Shortest representation of `d` that parses back to the same double
+/// ("1.5", "1e-09", ...; infinities/NaN become null per JSON rules).
+[[nodiscard]] std::string json_number(double d);
+
+}  // namespace taps::bench

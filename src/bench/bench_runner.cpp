@@ -1,0 +1,180 @@
+#include "bench/bench_runner.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+#include <thread>
+
+#include "util/stats.hpp"
+
+namespace taps::bench {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double time_once(const std::function<void()>& fn, std::size_t iters) {
+  const auto start = Clock::now();
+  for (std::size_t i = 0; i < iters; ++i) fn();
+  const auto stop = Clock::now();
+  return std::chrono::duration<double>(stop - start).count();
+}
+
+}  // namespace
+
+void BenchResult::finalize() {
+  median = util::percentile(samples, 50.0);
+  p10 = util::percentile(samples, 10.0);
+  p90 = util::percentile(samples, 90.0);
+  util::Summary s;
+  for (const double x : samples) s.add(x);
+  mean = s.mean();
+  stddev = s.stddev();
+  min = s.min();
+  max = s.max();
+}
+
+const BenchResult& BenchRunner::run(const std::string& name, const std::function<void()>& fn) {
+  for (std::size_t i = 0; i < options_.warmup; ++i) fn();
+
+  // Calibrate: double the inner iteration count until one sample is long
+  // enough to time reliably, then keep that count for every recorded sample
+  // so they are comparable.
+  std::size_t iters = 1;
+  double elapsed = time_once(fn, iters);
+  while (elapsed < options_.min_sample_seconds && iters < (std::size_t{1} << 30)) {
+    const double target = options_.min_sample_seconds;
+    std::size_t next = iters * 2;
+    if (elapsed > 0.0) {
+      const auto projected = static_cast<std::size_t>(static_cast<double>(iters) * target / elapsed * 1.2);
+      next = std::max(next, projected);
+    }
+    iters = next;
+    elapsed = time_once(fn, iters);
+  }
+
+  BenchResult r;
+  r.name = name;
+  r.iters_per_sample = iters;
+  r.samples.reserve(options_.repeats);
+  r.samples.push_back(elapsed / static_cast<double>(iters));  // calibration run counts
+  while (r.samples.size() < options_.repeats) {
+    r.samples.push_back(time_once(fn, iters) / static_cast<double>(iters));
+  }
+  r.finalize();
+  results_.push_back(std::move(r));
+  const BenchResult& stored = results_.back();
+  if (options_.verbose) {
+    std::printf("%-40s median %12.3f us  p10 %12.3f  p90 %12.3f  (%zu samples x %zu iters)\n",
+                stored.name.c_str(), stored.median * 1e6, stored.p10 * 1e6, stored.p90 * 1e6,
+                stored.samples.size(), stored.iters_per_sample);
+    std::fflush(stdout);
+  }
+  return stored;
+}
+
+const BenchResult& BenchRunner::add_samples(const std::string& name, std::vector<double> samples,
+                                            std::size_t iters_per_sample) {
+  BenchResult r;
+  r.name = name;
+  r.iters_per_sample = iters_per_sample;
+  r.samples = std::move(samples);
+  r.finalize();
+  results_.push_back(std::move(r));
+  const BenchResult& stored = results_.back();
+  if (options_.verbose) {
+    std::printf("%-40s median %12.3f us  p10 %12.3f  p90 %12.3f  (%zu samples)\n",
+                stored.name.c_str(), stored.median * 1e6, stored.p10 * 1e6, stored.p90 * 1e6,
+                stored.samples.size());
+    std::fflush(stdout);
+  }
+  return stored;
+}
+
+void BenchRunner::add_metric(const std::string& name, double value) {
+  metrics_.emplace_back(name, value);
+}
+
+Json capture_context() {
+  Json ctx = Json::object();
+  ctx.set("hardware_concurrency", static_cast<std::size_t>(std::thread::hardware_concurrency()));
+#if defined(__VERSION__)
+  ctx.set("compiler", std::string(__VERSION__));
+#else
+  ctx.set("compiler", "unknown");
+#endif
+#if defined(NDEBUG)
+  ctx.set("assertions", false);
+#else
+  ctx.set("assertions", true);
+#endif
+#if defined(__SANITIZE_ADDRESS__)
+  ctx.set("asan", true);
+#else
+  ctx.set("asan", false);
+#endif
+  ctx.set("pointer_bits", static_cast<std::size_t>(sizeof(void*) * 8));
+#if defined(__linux__)
+  ctx.set("os", "linux");
+#elif defined(__APPLE__)
+  ctx.set("os", "darwin");
+#else
+  ctx.set("os", "other");
+#endif
+  return ctx;
+}
+
+Json BenchRunner::to_json(const std::string& bench_name,
+                          const std::vector<std::pair<std::string, std::string>>& config) const {
+  Json doc = Json::object();
+  doc.set("schema", "taps-bench-v1");
+  doc.set("name", bench_name);
+  doc.set("context", capture_context());
+
+  Json cfg = Json::object();
+  for (const auto& [k, v] : config) cfg.set(k, v);
+  doc.set("config", std::move(cfg));
+
+  Json benches = Json::array();
+  for (const BenchResult& r : results_) {
+    Json b = Json::object();
+    b.set("name", r.name);
+    b.set("unit", r.unit);
+    b.set("iters_per_sample", r.iters_per_sample);
+    b.set("median", r.median);
+    b.set("p10", r.p10);
+    b.set("p90", r.p90);
+    b.set("mean", r.mean);
+    b.set("stddev", r.stddev);
+    b.set("min", r.min);
+    b.set("max", r.max);
+    Json samples = Json::array();
+    for (const double s : r.samples) samples.push(s);
+    b.set("samples", std::move(samples));
+    benches.push(std::move(b));
+  }
+  doc.set("benchmarks", std::move(benches));
+
+  Json metrics = Json::array();
+  for (const auto& [name, value] : metrics_) {
+    Json m = Json::object();
+    m.set("name", name);
+    m.set("value", value);
+    metrics.push(std::move(m));
+  }
+  doc.set("metrics", std::move(metrics));
+  return doc;
+}
+
+std::string BenchRunner::write_json(const std::string& bench_name, const std::string& path,
+                                    const std::vector<std::pair<std::string, std::string>>& config) const {
+  const std::string out_path = path.empty() ? "BENCH_" + bench_name + ".json" : path;
+  std::ofstream out(out_path);
+  if (!out) throw std::runtime_error("cannot open bench JSON output: " + out_path);
+  out << to_json(bench_name, config).dump(2) << "\n";
+  if (!out) throw std::runtime_error("failed writing bench JSON output: " + out_path);
+  return out_path;
+}
+
+}  // namespace taps::bench

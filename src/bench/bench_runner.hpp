@@ -1,0 +1,99 @@
+// Named-benchmark runner for the perf-regression harness.
+//
+// Every bench binary registers closures under stable names, runs each with
+// warmup + repeated timed samples, and emits a machine-readable
+// `BENCH_<name>.json` document: per-benchmark median/p10/p90/mean/stddev
+// (via util::stats), plus hardware and configuration capture so two runs can
+// be compared meaningfully. scripts/bench_compare.py diffs two documents and
+// fails on median regressions; docs/BENCHMARKING.md describes the workflow.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench/bench_json.hpp"
+
+namespace taps::bench {
+
+/// Summary of one named benchmark: raw per-repeat samples (seconds per
+/// operation) and the order statistics the regression gate compares.
+struct BenchResult {
+  std::string name;
+  std::string unit = "s/op";
+  /// Inner iterations per timed sample (auto-calibrated for fast ops).
+  std::size_t iters_per_sample = 1;
+  std::vector<double> samples;  // seconds per single operation, one per repeat
+
+  double median = 0.0;
+  double p10 = 0.0;
+  double p90 = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+
+  /// Fill the order statistics from `samples`.
+  void finalize();
+};
+
+struct RunnerOptions {
+  /// Timed samples recorded per benchmark (the gate compares their median).
+  std::size_t repeats = 9;
+  /// Untimed runs before sampling starts (cache/allocator warmup).
+  std::size_t warmup = 1;
+  /// Target wall time per sample; fast closures are looped until one sample
+  /// takes at least this long and the per-op time is total/iterations.
+  double min_sample_seconds = 0.01;
+  /// Print a human-readable line per benchmark as it completes.
+  bool verbose = true;
+};
+
+class BenchRunner {
+ public:
+  explicit BenchRunner(RunnerOptions options = {}) : options_(options) {}
+
+  /// Time `fn` (warmup, calibrate inner iterations, record repeats) and
+  /// append the result. Returns the stored result for ad-hoc inspection.
+  const BenchResult& run(const std::string& name, const std::function<void()>& fn);
+
+  /// Record a benchmark from externally measured per-op samples (used when
+  /// the timed region needs bespoke setup per repeat).
+  const BenchResult& add_samples(const std::string& name, std::vector<double> samples,
+                                 std::size_t iters_per_sample = 1);
+
+  /// Attach a non-timed scalar (completion ratios, counters, ...). Metrics
+  /// are recorded in the JSON document but never gated on.
+  void add_metric(const std::string& name, double value);
+
+  [[nodiscard]] const std::vector<BenchResult>& results() const { return results_; }
+  [[nodiscard]] const std::vector<std::pair<std::string, double>>& metrics() const {
+    return metrics_;
+  }
+  [[nodiscard]] RunnerOptions& options() { return options_; }
+
+  /// Full document: schema/name/context/benchmarks/metrics.
+  [[nodiscard]] Json to_json(const std::string& bench_name,
+                             const std::vector<std::pair<std::string, std::string>>& config = {}) const;
+
+  /// Write `to_json` to `path` ("" -> "BENCH_<bench_name>.json" in the
+  /// current directory). Returns the path written. Throws on I/O failure.
+  std::string write_json(const std::string& bench_name, const std::string& path = "",
+                         const std::vector<std::pair<std::string, std::string>>& config = {}) const;
+
+ private:
+  RunnerOptions options_;
+  std::vector<BenchResult> results_;
+  std::vector<std::pair<std::string, double>> metrics_;
+};
+
+/// Compiler barrier: keep `value` (and everything reachable from it) live.
+template <typename T>
+inline void do_not_optimize(const T& value) {
+  asm volatile("" : : "g"(&value) : "memory");  // NOLINT(hicpp-no-assembler)
+}
+
+/// Hardware/build capture shared by every document ("context" object).
+[[nodiscard]] Json capture_context();
+
+}  // namespace taps::bench

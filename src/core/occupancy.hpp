@@ -2,6 +2,14 @@
 // O_x sets). A link is "occupied" during every time slice pre-allocated to
 // some flow crossing it; TAPS maintains at most one flow per link at any
 // instant, so occupancy intervals never overlap.
+//
+// Queries that scan forward from a time t (the replan hot path always asks
+// "first occupancy at or after now") go through a per-link earliest-free
+// hint: the last (from, index) answer is cached and reused when the next
+// query's `from` is not earlier, instead of rescanning from t=0. The cache
+// is invalidated per link on every mutation. Hints make the map NOT safe for
+// concurrent const access from multiple threads (each exp::Sweep worker owns
+// its scheduler and map, so this never arises in-tree).
 #pragma once
 
 #include <vector>
@@ -13,9 +21,15 @@ namespace taps::core {
 
 class OccupancyMap {
  public:
-  explicit OccupancyMap(std::size_t link_count) : by_link_(link_count) {}
+  explicit OccupancyMap(std::size_t link_count)
+      : by_link_(link_count), hints_(link_count), prefix_(link_count) {}
 
   void clear();
+
+  /// Re-target the map to `link_count` links, all idle, KEEPING the per-link
+  /// interval storage capacity (the replan hot path rebuilds a trial map on
+  /// every arrival; recycling avoids re-growing every vector each time).
+  void reset(std::size_t link_count);
 
   [[nodiscard]] std::size_t link_count() const { return by_link_.size(); }
 
@@ -26,6 +40,30 @@ class OccupancyMap {
   /// Union of the occupied sets of all links on `path` (the paper's T_ocp):
   /// its complement is the time when the whole path is idle end-to-end.
   [[nodiscard]] util::IntervalSet path_union(const topo::Path& path) const;
+
+  /// Like path_union but dropping, per link, every interval that ends at or
+  /// before `from` — exactly the part of T_ocp that can matter when
+  /// allocating from time `from`. Agrees with path_union on [from, inf) (the
+  /// property test checks this); below `from` a surviving merged interval
+  /// may start later than path_union's, because per-link intervals that end
+  /// at or before `from` are not merged in. Uses the per-link hints instead
+  /// of full scans.
+  [[nodiscard]] util::IntervalSet path_union_from(const topo::Path& path, double from) const;
+
+  /// Index of the first interval of `link(id)` with hi > from, answered via
+  /// the per-link hint cache (falls back to binary search on miss).
+  [[nodiscard]] std::size_t first_index_after(topo::LinkId id, double from) const;
+
+  /// Earliest completion of a `need`-second allocation considering ONLY link
+  /// `id` (single-link Algorithm 3, no horizon). A path's idle time is the
+  /// intersection of its links' idle time, so this lower-bounds the
+  /// completion on ANY path through the link; plan_one_flow takes the max
+  /// over a candidate's links to skip candidates that provably cannot beat
+  /// the incumbent. O(log n) per query via a lazily rebuilt per-link
+  /// prefix-busy cache (invalidated on mutation, like the hints). The value
+  /// carries prefix-summation rounding of at most ~n*ulp — callers must
+  /// compare against bounds with a slack exceeding that (see kLbSlack).
+  [[nodiscard]] double single_link_completion(topo::LinkId id, double from, double need) const;
 
   /// Mark every link of `path` occupied during `slices`. In debug builds,
   /// asserts the slices do not overlap existing occupancy (the exclusive-use
@@ -40,7 +78,22 @@ class OccupancyMap {
   void trim_before(double t);
 
  private:
+  struct Hint {
+    double from = 0.0;
+    std::uint32_t index = 0;
+    bool valid = false;
+  };
+
+  /// cum[k] = total busy seconds in intervals [0, k) of the link — rebuilt
+  /// lazily on first single_link_completion after a mutation.
+  struct BusyPrefix {
+    std::vector<double> cum;
+    bool valid = false;
+  };
+
   std::vector<util::IntervalSet> by_link_;
+  mutable std::vector<Hint> hints_;  // lazily-updated query cache, see above
+  mutable std::vector<BusyPrefix> prefix_;
 };
 
 }  // namespace taps::core

@@ -10,19 +10,47 @@ namespace taps::core {
 using net::Flow;
 using net::FlowId;
 
-FlowPlan plan_one_flow(const net::Network& net, const OccupancyMap& occupancy, FlowId fid,
-                       double now, const PlanConfig& config) {
-  const Flow& f = net.flow(fid);
-  FlowPlan plan;
-  plan.flow = fid;
+namespace {
 
+/// Compute (or fetch from `scratch`) the flow's candidate paths, with the
+/// ECMP reduction already applied — both depend only on immutable flow data
+/// and the fixed config, so caching them is observationally transparent.
+std::vector<topo::Path> compute_candidates(const net::Network& net, const Flow& f,
+                                           const PlanConfig& config) {
   auto candidates = net.topology().paths(f.spec.src, f.spec.dst, config.max_paths);
   if (config.ecmp_routing && candidates.size() > 1) {
-    const std::uint64_t h = util::hash_combine(static_cast<std::uint64_t>(fid) + 1,
+    const std::uint64_t h = util::hash_combine(static_cast<std::uint64_t>(f.id()) + 1,
                                                static_cast<std::uint64_t>(f.spec.src));
     topo::Path chosen = topo::pick_ecmp(candidates, h);
     candidates.assign(1, std::move(chosen));
   }
+  return candidates;
+}
+
+const std::vector<topo::Path>& candidate_paths(const net::Network& net, const Flow& f,
+                                               const PlanConfig& config,
+                                               PlanScratch* scratch) {
+  if (scratch == nullptr) {
+    thread_local std::vector<topo::Path> local;
+    local = compute_candidates(net, f, config);
+    return local;
+  }
+  const auto idx = static_cast<std::size_t>(f.id());
+  if (scratch->candidates.size() <= idx) scratch->candidates.resize(net.flows().size());
+  auto& cached = scratch->candidates[idx];
+  if (cached.empty()) cached = compute_candidates(net, f, config);
+  return cached;
+}
+
+}  // namespace
+
+FlowPlan plan_one_flow(const net::Network& net, const OccupancyMap& occupancy, FlowId fid,
+                       double now, const PlanConfig& config, PlanScratch* scratch) {
+  const Flow& f = net.flow(fid);
+  FlowPlan plan;
+  plan.flow = fid;
+
+  const std::vector<topo::Path>& candidates = candidate_paths(net, f, config, scratch);
   double best_completion = sim::kInfinity;
   for (const topo::Path& p : candidates) {
     // The paper assumes uniform link bandwidth; transfer time is computed at
@@ -32,13 +60,51 @@ FlowPlan plan_one_flow(const net::Network& net, const OccupancyMap& occupancy, F
       capacity = std::min(capacity, net.link_capacity(lid));
     }
     const double duration = f.remaining / capacity;
-    const TimeAllocation alloc =
-        allocate_time(occupancy, p, now, duration, f.spec.deadline - config.guard_band);
-    if (alloc.feasible() && alloc.completion < best_completion) {
-      best_completion = alloc.completion;
+    const double horizon = f.spec.deadline - config.guard_band;
+    if (config.reference_allocator) {
+      TimeAllocation alloc = allocate_time_reference(occupancy, p, now, duration, horizon);
+      if (alloc.feasible() && alloc.completion < best_completion) {
+        best_completion = alloc.completion;
+        plan.path = p;
+        plan.slices = std::move(alloc.slices);
+        plan.completion = alloc.completion;
+        plan.feasible = true;
+      }
+      continue;
+    }
+    // Candidate pruning, cheapest test first: the completion on any path is
+    // at least the max of its links' single-link completions (union idle is
+    // a subset of each link's idle), so a candidate whose lower bound cannot
+    // beat the incumbent — or fit the deadline — is skipped without a sweep.
+    // kLbSlack absorbs the bound's prefix-summation rounding: skips trigger
+    // only past the slack, so they never cut a candidate the full evaluation
+    // could still pick, and the chosen plan stays bit-identical to
+    // evaluating every candidate (the reference_allocator branch above).
+    constexpr double kLbSlack = 1e-6;
+    double lower_bound = now;
+    bool hopeless = false;
+    for (const topo::LinkId lid : p.links) {
+      lower_bound = std::max(lower_bound, occupancy.single_link_completion(lid, now, duration));
+      if (lower_bound > horizon + kLbSlack || lower_bound > best_completion + kLbSlack) {
+        hopeless = true;
+        break;
+      }
+    }
+    if (hopeless) continue;
+    // best_completion doubles as the fused allocator's branch-and-bound
+    // cutoff: a candidate that provably cannot beat the best so far aborts
+    // its scan early, and any feasible result is a strict improvement — so
+    // the plan is identical to evaluating every candidate in full. The trial
+    // set is swapped in on improvement and recycled otherwise, keeping the
+    // candidate race free of steady-state allocations.
+    thread_local util::IntervalSet trial;
+    double completion = 0.0;
+    if (allocate_time_into(occupancy, p, now, duration, horizon, best_completion, trial,
+                           completion)) {
+      best_completion = completion;
       plan.path = p;
-      plan.slices = alloc.slices;
-      plan.completion = alloc.completion;
+      std::swap(plan.slices, trial);
+      plan.completion = completion;
       plan.feasible = true;
     }
   }
@@ -47,11 +113,11 @@ FlowPlan plan_one_flow(const net::Network& net, const OccupancyMap& occupancy, F
 
 std::vector<FlowPlan> plan_flows(const net::Network& net, OccupancyMap& occupancy,
                                  std::span<const FlowId> order, double now,
-                                 const PlanConfig& config) {
+                                 const PlanConfig& config, PlanScratch* scratch) {
   std::vector<FlowPlan> plans;
   plans.reserve(order.size());
   for (const FlowId fid : order) {
-    FlowPlan plan = plan_one_flow(net, occupancy, fid, now, config);
+    FlowPlan plan = plan_one_flow(net, occupancy, fid, now, config, scratch);
     if (plan.feasible && fid != config.fault_skip_occupy) {
       occupancy.occupy(plan.path, plan.slices);
     }

@@ -27,10 +27,28 @@ struct PlanConfig {
   /// one store-and-forward pipeline after its slice ends, so exact-fit
   /// plans miss by microseconds unless the controller budgets for it.
   double guard_band = 0.0;
+  /// Use core::allocate_time_reference instead of the fused allocator.
+  /// Output is identical either way; bench_micro_replan flips this to
+  /// measure the optimization, and the equivalence property test cross-
+  /// checks both on random instances.
+  bool reference_allocator = false;
   /// Fault injection for the invariant oracle's negative tests: planning
   /// skips OccupancyMap::occupy for this flow, so later flows can be granted
   /// overlapping slices. Never set outside tests.
   net::FlowId fault_skip_occupy = net::kInvalidFlow;
+};
+
+/// Caller-owned reusable planning state. Candidate paths depend only on a
+/// flow's immutable (src, dst) and the fixed PlanConfig, yet Topology::paths
+/// re-enumerates them on every call — which the old replan loop did for
+/// every flow on every arrival. Keeping the scratch alive across replans
+/// caches each flow's candidate list after its first planning.
+struct PlanScratch {
+  /// Indexed by FlowId; an empty inner vector means "not yet computed"
+  /// (paths() never legitimately returns zero candidates).
+  std::vector<std::vector<topo::Path>> candidates;
+
+  void clear() { candidates.clear(); }
 };
 
 struct FlowPlan {
@@ -42,14 +60,17 @@ struct FlowPlan {
 };
 
 /// Plan a single flow against the current occupancy (does not commit).
+/// `scratch` (optional) caches the flow's candidate paths across calls.
 [[nodiscard]] FlowPlan plan_one_flow(const net::Network& net, const OccupancyMap& occupancy,
-                                     net::FlowId fid, double now, const PlanConfig& config);
+                                     net::FlowId fid, double now, const PlanConfig& config,
+                                     PlanScratch* scratch = nullptr);
 
 /// Plan every flow in `order` (the caller sorts by EDF+SJF), committing each
 /// feasible flow's slices into `occupancy` before planning the next.
 [[nodiscard]] std::vector<FlowPlan> plan_flows(const net::Network& net, OccupancyMap& occupancy,
                                                std::span<const net::FlowId> order, double now,
-                                               const PlanConfig& config);
+                                               const PlanConfig& config,
+                                               PlanScratch* scratch = nullptr);
 
 /// Sort flow ids by the paper's scheduling discipline: EDF first (earlier
 /// deadline), SJF tie-break (smaller remaining size), then flow id.

@@ -17,28 +17,76 @@ void TapsScheduler::bind(net::Network& net) {
   BaseScheduler::bind(net);
   occ_ = OccupancyMap(net.graph().link_count());
   slices_.assign(net.flows().size(), util::IntervalSet{});
+  committed_order_.clear();
+  plan_scratch_.clear();
+  occ_pool_.clear();
   counters_ = TapsCounters{};
 }
 
 std::vector<FlowId> TapsScheduler::unfinished_admitted() const {
+  // committed_order_ holds every flow of the last committed plan — a
+  // superset of the currently active unfinished flows, because admission
+  // always commits a plan covering all of them — already in EDF+SJF order.
   std::vector<FlowId> out;
-  out.reserve(active_.size());
+  out.reserve(committed_order_.size());
+  for (const FlowId fid : committed_order_) {
+    const Flow& f = net_->flow(fid);
+    if (f.active() && f.remaining > sim::kByteEpsilon) out.push_back(fid);
+  }
+#ifndef NDEBUG
+  // The filtered committed order must be exactly the old active_-scan set.
+  std::vector<FlowId> check;
   for (const FlowId fid : active_) {
     const Flow& f = net_->flow(fid);
-    if (!f.finished() && f.remaining > sim::kByteEpsilon) out.push_back(fid);
+    if (!f.finished() && f.remaining > sim::kByteEpsilon) check.push_back(fid);
   }
+  std::vector<FlowId> a = out, b = check;
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  assert(a == b);
+#endif
   return out;
 }
 
-TapsScheduler::PlanAttempt TapsScheduler::try_plan(std::vector<FlowId> order,
-                                                   double now) const {
-  sort_edf_sjf(*net_, order);
-  PlanAttempt attempt{.plans = {},
-                      .occ = OccupancyMap(net_->graph().link_count()),
-                      .fully_feasible = true};
-  const PlanConfig plan_config{config_.max_paths, config_.ecmp_routing, config_.guard_band,
-                               config_.fault_skip_occupy};
-  attempt.plans = plan_flows(*net_, attempt.occ, order, now, plan_config);
+OccupancyMap TapsScheduler::acquire_occupancy() {
+  if (!occ_pool_.empty()) {
+    OccupancyMap occ = std::move(occ_pool_.back());
+    occ_pool_.pop_back();
+    occ.reset(net_->graph().link_count());
+    return occ;
+  }
+  return OccupancyMap(net_->graph().link_count());
+}
+
+TapsScheduler::PlanAttempt TapsScheduler::try_plan(std::vector<FlowId> order, double now,
+                                                   std::size_t sorted_prefix) {
+  const net::Network& net = *net_;
+  const auto cmp = [&net](FlowId a, FlowId b) {
+    const Flow& fa = net.flow(a);
+    const Flow& fb = net.flow(b);
+    if (fa.spec.deadline != fb.spec.deadline) return fa.spec.deadline < fb.spec.deadline;
+    if (fa.remaining != fb.remaining) return fa.remaining < fb.remaining;
+    return a < b;
+  };
+  assert(sorted_prefix <= order.size());
+  const auto prefix_end = order.begin() + static_cast<std::ptrdiff_t>(sorted_prefix);
+  if (std::is_sorted(order.begin(), prefix_end, cmp)) {
+    std::sort(prefix_end, order.end(), cmp);
+    std::inplace_merge(order.begin(), prefix_end, order.end(), cmp);
+    ++counters_.incremental_sorts;
+  } else {
+    // Remaining-size drift reordered a deadline tie since the last commit.
+    std::sort(order.begin(), order.end(), cmp);
+    ++counters_.full_sorts;
+  }
+
+  PlanAttempt attempt{.plans = {}, .occ = acquire_occupancy(), .fully_feasible = true};
+  const PlanConfig plan_config{.max_paths = config_.max_paths,
+                               .ecmp_routing = config_.ecmp_routing,
+                               .guard_band = config_.guard_band,
+                               .reference_allocator = config_.reference_allocator,
+                               .fault_skip_occupy = config_.fault_skip_occupy};
+  attempt.plans = plan_flows(*net_, attempt.occ, order, now, plan_config, &plan_scratch_);
   for (const auto& p : attempt.plans) {
     if (!p.feasible) {
       attempt.fully_feasible = false;
@@ -50,11 +98,15 @@ TapsScheduler::PlanAttempt TapsScheduler::try_plan(std::vector<FlowId> order,
 
 void TapsScheduler::commit(PlanAttempt&& attempt) {
   assert(attempt.fully_feasible);
-  occ_ = std::move(attempt.occ);
-  for (const auto& plan : attempt.plans) {
+  std::swap(occ_, attempt.occ);
+  release_occupancy(std::move(attempt.occ));  // the retired committed map
+  committed_order_.clear();
+  committed_order_.reserve(attempt.plans.size());
+  for (auto& plan : attempt.plans) {
     Flow& f = net_->flow(plan.flow);
-    f.path = plan.path;
-    slices_[static_cast<std::size_t>(plan.flow)] = plan.slices;
+    f.path = std::move(plan.path);
+    slices_[static_cast<std::size_t>(plan.flow)] = std::move(plan.slices);
+    committed_order_.push_back(plan.flow);
   }
 }
 
@@ -88,9 +140,12 @@ void TapsScheduler::on_task_arrival(TaskId id, double now) {
 
   // Trial: all unfinished admitted flows plus the newcomers, globally
   // re-planned from `now` (Algorithm 1's Ftmp = Ftrans U {arriving flows}).
+  // The incumbents come out of unfinished_admitted() in last-committed
+  // EDF+SJF order, so try_plan usually only has to sort the wave in.
   std::vector<FlowId> trial_order = unfinished_admitted();
+  const std::size_t incumbent_count = trial_order.size();
   trial_order.insert(trial_order.end(), wave.begin(), wave.end());
-  PlanAttempt trial = try_plan(std::move(trial_order), now);
+  PlanAttempt trial = try_plan(std::move(trial_order), now, incumbent_count);
   ++counters_.replans;
 
   const RejectOutcome outcome =
@@ -110,10 +165,12 @@ void TapsScheduler::on_task_arrival(TaskId id, double now) {
       for (const FlowId fid : unfinished_admitted()) {
         if (net_->flow(fid).task() != outcome.victim) order.push_back(fid);
       }
+      const std::size_t survivor_count = order.size();  // sorted subsequence
       order.insert(order.end(), wave.begin(), wave.end());
-      PlanAttempt attempt = try_plan(std::move(order), now);
+      PlanAttempt attempt = try_plan(std::move(order), now, survivor_count);
       ++counters_.replans;
       if (attempt.fully_feasible) {
+        release_occupancy(std::move(trial.occ));
         net_->reject_task(outcome.victim);
         ++counters_.tasks_preempted;
         admit(id, wave);
@@ -122,12 +179,14 @@ void TapsScheduler::on_task_arrival(TaskId id, double now) {
       }
       // Preemption would strand a survivor: fall through to rejecting the
       // newcomer instead (the safe choice; the incumbent plan still holds).
+      release_occupancy(std::move(attempt.occ));
       break;
     }
 
     case Decision::kRejectNew:
       break;
   }
+  release_occupancy(std::move(trial.occ));
 
   // Reject the newcomer. Re-plan the incumbents opportunistically (EDF with
   // updated remaining sizes usually compacts the schedule and helps future
@@ -136,11 +195,14 @@ void TapsScheduler::on_task_arrival(TaskId id, double now) {
   // so its future part is still valid — remains in force.
   net_->reject_task(id);
   ++counters_.tasks_rejected;
-  PlanAttempt compacted = try_plan(unfinished_admitted(), now);
+  std::vector<FlowId> incumbents = unfinished_admitted();
+  const std::size_t incumbents_sorted = incumbents.size();
+  PlanAttempt compacted = try_plan(std::move(incumbents), now, incumbents_sorted);
   ++counters_.replans;
   if (compacted.fully_feasible) {
     commit(std::move(compacted));
   } else {
+    release_occupancy(std::move(compacted.occ));
     ++counters_.replan_reverts;
     util::log_debug() << "TAPS: compacting re-plan at t=" << now
                       << " would strand a survivor; keeping the prior plan";

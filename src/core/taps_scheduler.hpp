@@ -30,6 +30,9 @@ struct TapsConfig {
   /// PlanConfig::guard_band). Keep 0 for the paper's fluid evaluation; set
   /// to ~a few packet times x path length on packet networks.
   double guard_band = 0.0;
+  /// A/B switch for bench_micro_replan: plan with the reference TimeAllocation
+  /// instead of the fused one (see PlanConfig::reference_allocator).
+  bool reference_allocator = false;
   /// Test-only seeded mutation (see PlanConfig::fault_skip_occupy): the
   /// invariant oracle's negative test proves it catches the resulting
   /// exclusivity breach. Never set outside tests.
@@ -44,6 +47,11 @@ struct TapsCounters {
   /// Compacting re-plans abandoned because the greedy allocator would have
   /// stranded an already-admitted flow (the prior plan was kept instead).
   std::size_t replan_reverts = 0;
+  /// Replans where the incumbents were still in EDF+SJF order from the last
+  /// commit, so only the arriving wave was sorted and merged in (vs
+  /// full_sorts, where remaining-size drift forced a full re-sort).
+  std::size_t incremental_sorts = 0;
+  std::size_t full_sorts = 0;
 };
 
 class TapsScheduler : public sched::BaseScheduler {
@@ -75,17 +83,33 @@ class TapsScheduler : public sched::BaseScheduler {
     bool fully_feasible = true;
   };
 
-  [[nodiscard]] PlanAttempt try_plan(std::vector<net::FlowId> order, double now) const;
+  /// Plan `order`'s flows from scratch at `now`. The first `sorted_prefix`
+  /// entries are known to be in committed EDF+SJF order (modulo remaining-
+  /// size drift on deadline ties, which is re-checked): when the check
+  /// holds, only the tail is sorted and merged in instead of re-sorting the
+  /// whole admitted set. The comparator is a strict total order, so either
+  /// route yields the identical unique ordering.
+  [[nodiscard]] PlanAttempt try_plan(std::vector<net::FlowId> order, double now,
+                                     std::size_t sorted_prefix);
   void commit(PlanAttempt&& attempt);
   void admit(net::TaskId id, const std::vector<net::FlowId>& wave);
 
-  /// Unfinished flows of all currently admitted tasks.
+  /// Unfinished flows of all currently admitted tasks, in last-committed
+  /// EDF+SJF order (the usually-still-sorted prefix try_plan exploits).
   [[nodiscard]] std::vector<net::FlowId> unfinished_admitted() const;
+
+  /// Trial-occupancy recycling: maps retired by commit() or from discarded
+  /// attempts keep their per-link storage for the next replan.
+  [[nodiscard]] OccupancyMap acquire_occupancy();
+  void release_occupancy(OccupancyMap&& occ) { occ_pool_.push_back(std::move(occ)); }
 
   TapsConfig config_;
   OccupancyMap occ_{0};
   std::vector<util::IntervalSet> slices_;  // indexed by FlowId
   std::vector<char> makeup_busy_;          // per-link claims within one assign_rates
+  std::vector<net::FlowId> committed_order_;  // EDF+SJF order of the last commit
+  PlanScratch plan_scratch_;               // per-flow candidate-path cache
+  std::vector<OccupancyMap> occ_pool_;     // retired trial maps, capacity kept
   TapsCounters counters_;
 };
 

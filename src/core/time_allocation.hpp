@@ -5,7 +5,19 @@
 // and allocates the first E seconds of idle time in its complement, starting
 // from `now`. The flow's completion time on p is the end of the last
 // allocated slice.
+//
+// Two implementations, identical output (the equivalence property test
+// drives both on random instances):
+//   - allocate_time: materializes T_ocp restricted to the window that can
+//     matter — each link's range starts at its earliest-free hint and stops
+//     at min(completion_bound, horizon) — into reused scratch buffers, then
+//     scans it with a branch-and-bound abort.
+//   - allocate_time_reference: the textbook two-step (path_union, then
+//     IntervalSet::allocate_earliest), kept as the oracle and selectable at
+//     run time via PlanConfig::reference_allocator for A/B benchmarking.
 #pragma once
+
+#include <limits>
 
 #include "core/occupancy.hpp"
 
@@ -21,8 +33,32 @@ struct TimeAllocation {
 /// Allocate `duration` seconds on `path` starting at `now`, finishing no
 /// later than `horizon` (the flow's deadline). Returns an infeasible result
 /// when the path lacks enough idle time before the horizon.
-[[nodiscard]] TimeAllocation allocate_time(const OccupancyMap& occupancy,
-                                           const topo::Path& path, double now,
-                                           double duration, double horizon);
+///
+/// `completion_bound` is a branch-and-bound cutoff for candidate-path races
+/// (Algorithm 2 keeps only strictly-earlier completions): the scan aborts —
+/// returning infeasible — as soon as the completion provably cannot be
+/// < `completion_bound` (the remaining demand must land at or after the
+/// sweep cursor, so completion >= cursor + remaining). A returned feasible
+/// allocation is always the true earliest one and has
+/// completion < completion_bound.
+[[nodiscard]] TimeAllocation allocate_time(
+    const OccupancyMap& occupancy, const topo::Path& path, double now, double duration,
+    double horizon, double completion_bound = std::numeric_limits<double>::infinity());
+
+/// Allocation core writing into a caller-owned `slices` set (cleared first,
+/// so its capacity is reused across calls — the candidate-path race calls
+/// this 16x per flow and discards most results). Returns feasibility;
+/// `completion` is set only when feasible, and `slices` is left empty on
+/// infeasibility/abort. Same semantics as allocate_time otherwise.
+[[nodiscard]] bool allocate_time_into(const OccupancyMap& occupancy, const topo::Path& path,
+                                      double now, double duration, double horizon,
+                                      double completion_bound, util::IntervalSet& slices,
+                                      double& completion);
+
+/// Reference implementation (materialize T_ocp, then allocate_earliest).
+/// Bit-identical results to allocate_time; slower on fragmented occupancy.
+[[nodiscard]] TimeAllocation allocate_time_reference(const OccupancyMap& occupancy,
+                                                     const topo::Path& path, double now,
+                                                     double duration, double horizon);
 
 }  // namespace taps::core

@@ -94,21 +94,35 @@ void print_metric_table(std::ostream& os, const std::string& x_label,
 
 void write_sweep_csv(const std::string& path, const std::string& x_label,
                      const std::vector<SweepPoint>& points,
-                     const std::vector<SchedulerKind>& schedulers, const SweepResult& result) {
+                     const std::vector<SchedulerKind>& schedulers, const SweepResult& result,
+                     bool include_timing) {
   std::ofstream out(path);
   if (!out) throw std::runtime_error("cannot open CSV output: " + path);
   util::CsvWriter csv(out);
-  csv.row(x_label, "scheduler", "task_completion_ratio", "flow_completion_ratio",
-          "app_throughput", "task_size_ratio", "wasted_bandwidth_ratio", "tasks_total",
-          "tasks_completed", "flows_total", "flows_completed", "wall_seconds");
+  if (include_timing) {
+    csv.row(x_label, "scheduler", "task_completion_ratio", "flow_completion_ratio",
+            "app_throughput", "task_size_ratio", "wasted_bandwidth_ratio", "tasks_total",
+            "tasks_completed", "flows_total", "flows_completed", "wall_seconds");
+  } else {
+    csv.row(x_label, "scheduler", "task_completion_ratio", "flow_completion_ratio",
+            "app_throughput", "task_size_ratio", "wasted_bandwidth_ratio", "tasks_total",
+            "tasks_completed", "flows_total", "flows_completed");
+  }
   for (std::size_t pi = 0; pi < points.size(); ++pi) {
     for (std::size_t si = 0; si < schedulers.size(); ++si) {
       const SweepCell& cell = result.cell(pi, si, schedulers.size());
       const metrics::RunMetrics& m = cell.result.metrics;
-      csv.row(cell.x, to_string(cell.scheduler), m.task_completion_ratio,
-              m.flow_completion_ratio, m.app_throughput, m.task_size_ratio,
-              m.wasted_bandwidth_ratio, m.tasks_total, m.tasks_completed, m.flows_total,
-              m.flows_completed, cell.result.wall_seconds);
+      if (include_timing) {
+        csv.row(cell.x, to_string(cell.scheduler), m.task_completion_ratio,
+                m.flow_completion_ratio, m.app_throughput, m.task_size_ratio,
+                m.wasted_bandwidth_ratio, m.tasks_total, m.tasks_completed, m.flows_total,
+                m.flows_completed, cell.result.wall_seconds);
+      } else {
+        csv.row(cell.x, to_string(cell.scheduler), m.task_completion_ratio,
+                m.flow_completion_ratio, m.app_throughput, m.task_size_ratio,
+                m.wasted_bandwidth_ratio, m.tasks_total, m.tasks_completed, m.flows_total,
+                m.flows_completed);
+      }
     }
   }
 }

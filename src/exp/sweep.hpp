@@ -49,8 +49,12 @@ void print_metric_table(std::ostream& os, const std::string& x_label,
 /// Write the full sweep to CSV (one row per point x scheduler, all metric
 /// columns) so figures can be re-plotted externally (scripts/plot_figures.py).
 /// Throws std::runtime_error if the file cannot be opened.
+/// `include_timing = false` drops the wall_seconds column, leaving only
+/// deterministic values — the thread-count determinism test diffs two such
+/// files byte for byte.
 void write_sweep_csv(const std::string& path, const std::string& x_label,
                      const std::vector<SweepPoint>& points,
-                     const std::vector<SchedulerKind>& schedulers, const SweepResult& result);
+                     const std::vector<SchedulerKind>& schedulers, const SweepResult& result,
+                     bool include_timing = true);
 
 }  // namespace taps::exp

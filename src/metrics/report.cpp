@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <ostream>
 
+#include "util/csv.hpp"
+
 namespace taps::metrics {
 
 void Table::add_row(std::vector<std::string> row) {
@@ -39,6 +41,12 @@ void Table::print(std::ostream& os) const {
   for (const std::size_t w : widths) total += w + 2;
   os << std::string(total > 2 ? total - 2 : total, '-') << '\n';
   for (const auto& row : rows_) emit(row);
+}
+
+void Table::write_csv(std::ostream& os) const {
+  util::CsvWriter csv(os);
+  csv.write_row(headers_);
+  for (const auto& row : rows_) csv.write_row(row);
 }
 
 }  // namespace taps::metrics

@@ -25,6 +25,13 @@ class Table {
 
   void print(std::ostream& os) const;
 
+  /// The same rows as CSV (header first), for the bench binaries' --csv
+  /// option on table-shaped (non-sweep) output.
+  void write_csv(std::ostream& os) const;
+
+  [[nodiscard]] const std::vector<std::string>& headers() const { return headers_; }
+  [[nodiscard]] const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
   [[nodiscard]] static std::string format(double v);
   [[nodiscard]] static std::string format(const std::string& s) { return s; }
   [[nodiscard]] static std::string format(const char* s) { return s; }

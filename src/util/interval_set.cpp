@@ -162,6 +162,18 @@ IntervalSet IntervalSet::allocate_earliest(double from, double duration, double 
   return out;
 }
 
+std::size_t IntervalSet::first_index_after(double t) const {
+  const auto it = std::lower_bound(ivs_.begin(), ivs_.end(), t,
+                                   [](const Interval& iv, double v) { return iv.hi <= v; });
+  return static_cast<std::size_t>(it - ivs_.begin());
+}
+
+void IntervalSet::push_back_disjoint(double lo, double hi) {
+  assert(hi > lo);
+  assert(ivs_.empty() || lo > ivs_.back().hi);
+  ivs_.push_back(Interval{lo, hi});
+}
+
 double IntervalSet::next_boundary(double t) const {
   // Intervals are sorted; find the first interval whose end is > t.
   auto it = std::upper_bound(ivs_.begin(), ivs_.end(), t,

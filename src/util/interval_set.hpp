@@ -90,6 +90,15 @@ class IntervalSet {
   /// slice-scheduled flow.
   [[nodiscard]] double next_boundary(double t) const;
 
+  /// Index of the first interval with hi > t (== size() when none): the
+  /// first interval still relevant when allocating from time t. O(log n).
+  [[nodiscard]] std::size_t first_index_after(double t) const;
+
+  /// Append [lo, hi) known to start strictly after the current last interval
+  /// ends (asserted in debug builds). O(1); lets allocators build their
+  /// result without the general insert()'s merge scan.
+  void push_back_disjoint(double lo, double hi);
+
   /// End of the last interval (requires !empty()).
   [[nodiscard]] double back_end() const { return ivs_.back().hi; }
   /// Start of the first interval (requires !empty()).

@@ -1,0 +1,80 @@
+// Unit tests for the perf-harness runner and its JSON document — the
+// machine-readable contract scripts/bench_compare.py gates on.
+#include "bench/bench_runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace taps::bench {
+namespace {
+
+RunnerOptions quiet() {
+  RunnerOptions o;
+  o.repeats = 5;
+  o.warmup = 1;
+  o.min_sample_seconds = 0.0;  // no calibration loops: 1 iter per sample
+  o.verbose = false;
+  return o;
+}
+
+TEST(BenchRunner, RunRecordsRequestedRepeats) {
+  BenchRunner runner(quiet());
+  int calls = 0;
+  const BenchResult& r = runner.run("counting", [&] {
+    ++calls;
+    for (int spin = 0; spin < 200; ++spin) do_not_optimize(spin);  // samples > 0 on coarse clocks
+  });
+  EXPECT_EQ(r.name, "counting");
+  EXPECT_EQ(r.samples.size(), 5u);
+  // warmup (1) + calibration probe (1) + 5 timed samples.
+  EXPECT_GE(calls, 6);
+  EXPECT_GT(r.median, 0.0);
+  EXPECT_LE(r.min, r.median);
+  EXPECT_LE(r.median, r.max);
+}
+
+TEST(BenchRunner, AddSamplesComputesOrderStatistics) {
+  BenchRunner runner(quiet());
+  const BenchResult& r = runner.add_samples("fixed", {5.0, 1.0, 3.0, 2.0, 4.0});
+  EXPECT_DOUBLE_EQ(r.median, 3.0);
+  EXPECT_DOUBLE_EQ(r.min, 1.0);
+  EXPECT_DOUBLE_EQ(r.max, 5.0);
+  EXPECT_DOUBLE_EQ(r.mean, 3.0);
+  EXPECT_LE(r.p10, r.median);
+  EXPECT_GE(r.p90, r.median);
+}
+
+TEST(BenchRunner, JsonDocumentCarriesSchemaBenchmarksAndMetrics) {
+  BenchRunner runner(quiet());
+  runner.add_samples("alpha", {1.0, 2.0, 3.0});
+  runner.add_metric("flows_completed", 17.0);
+  const std::string text = runner.to_json("unit", {{"seed", "42"}}).dump(2);
+
+  EXPECT_NE(text.find("\"schema\": \"taps-bench-v1\""), std::string::npos) << text;
+  EXPECT_NE(text.find("\"name\": \"unit\""), std::string::npos);
+  EXPECT_NE(text.find("\"alpha\""), std::string::npos);
+  EXPECT_NE(text.find("\"median\""), std::string::npos);
+  EXPECT_NE(text.find("\"flows_completed\""), std::string::npos);
+  EXPECT_NE(text.find("\"seed\": \"42\""), std::string::npos);
+  EXPECT_NE(text.find("\"context\""), std::string::npos);
+}
+
+TEST(BenchRunner, WriteJsonDefaultsToBenchNamePath) {
+  BenchRunner runner(quiet());
+  runner.add_samples("alpha", {1.0});
+  const std::string dir = ::testing::TempDir();
+  const std::string path = runner.write_json("writer_unit", dir + "BENCH_writer_unit.json");
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  EXPECT_NE(ss.str().find("taps-bench-v1"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace taps::bench

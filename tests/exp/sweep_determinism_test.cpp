@@ -1,0 +1,64 @@
+// Determinism across thread counts: a sweep's results must depend only on
+// the scenario seeds, never on worker scheduling. Catches RNG-sharing and
+// thread-pool ordering bugs before parallel sweeps are trusted to produce
+// benchmark baselines (docs/BENCHMARKING.md).
+#include "exp/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "workload/scenario.hpp"
+
+namespace taps::exp {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+TEST(SweepDeterminism, ThreadCountDoesNotChangeResults) {
+  // Small but non-trivial: several points x schedulers x repeats, so cells
+  // really do run concurrently in the 8-thread sweep.
+  std::vector<SweepPoint> points;
+  for (int i = 0; i < 4; ++i) {
+    SweepPoint p;
+    p.x = static_cast<double>(i);
+    p.scenario = workload::Scenario::single_rooted(false);
+    p.scenario.workload.task_count = 12;
+    p.scenario.seed = util::hash_combine(1234, static_cast<std::uint64_t>(i));
+    points.push_back(std::move(p));
+  }
+  const std::vector<SchedulerKind> scheds{SchedulerKind::kTaps, SchedulerKind::kFairSharing};
+
+  const SweepResult serial = run_sweep(points, scheds, /*threads=*/1, /*repeats=*/2);
+  const SweepResult parallel = run_sweep(points, scheds, /*threads=*/8, /*repeats=*/2);
+  ASSERT_EQ(serial.cells.size(), parallel.cells.size());
+
+  // Byte-identical CSVs (timing column excluded: wall clock is the one field
+  // legitimately allowed to differ between runs).
+  const std::string path1 = ::testing::TempDir() + "sweep_det_t1.csv";
+  const std::string path8 = ::testing::TempDir() + "sweep_det_t8.csv";
+  write_sweep_csv(path1, "x", points, scheds, serial, /*include_timing=*/false);
+  write_sweep_csv(path8, "x", points, scheds, parallel, /*include_timing=*/false);
+
+  const std::string bytes1 = read_file(path1);
+  const std::string bytes8 = read_file(path8);
+  EXPECT_FALSE(bytes1.empty());
+  EXPECT_EQ(bytes1, bytes8) << "sweep output depends on the worker thread count";
+
+  std::remove(path1.c_str());
+  std::remove(path8.c_str());
+}
+
+}  // namespace
+}  // namespace taps::exp

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <numeric>
 
@@ -50,6 +51,29 @@ TEST(ThreadPool, ManySmallTasks) {
   }
   for (auto& f : futs) f.get();
   EXPECT_EQ(sum.load(), 500L * 501 / 2);
+}
+
+TEST(ThreadPool, ZeroThreadsResolvesToHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(),
+            std::max<std::size_t>(1, std::thread::hardware_concurrency()));
+}
+
+TEST(ThreadPool, DestructionDrainsQueuedWork) {
+  // Workers only exit once the queue is empty, so every task submitted
+  // before destruction must run even if it was still queued when the
+  // destructor fired.
+  std::atomic<int> ran{0};
+  std::vector<std::future<void>> futs;
+  {
+    ThreadPool pool(1);
+    futs.reserve(64);
+    for (int i = 0; i < 64; ++i) {
+      futs.push_back(pool.submit([&ran] { ran.fetch_add(1); }));
+    }
+  }  // ~ThreadPool joins after the single worker drained all 64 tasks
+  EXPECT_EQ(ran.load(), 64);
+  for (auto& f : futs) f.get();  // none may hold a broken promise
 }
 
 TEST(ThreadPool, FutureCarriesTaskException) {
