@@ -9,12 +9,19 @@
 //     admitted flows on the scaled fat-tree, with the fused allocator +
 //     candidate cache (optimized) A/B'd against the pre-optimization
 //     reference path (reference_allocator, no scratch, fresh map per replan);
+//   - the steady-state per-arrival cost through TapsScheduler itself, with
+//     the incremental journaled session A/B'd against the from-scratch full
+//     replan on the same warm instance (arrival/admitted=N/...);
+//   - the end-to-end arrival cascade: N tasks admitted back-to-back through
+//     a fresh scheduler, where prefix reuse turns the total cost superlinear
+//     in its favour (cascade/arrivals=N/...);
 //   - exp::run_sweep thread scaling on a small scenario.
 //
 // `--quick` shrinks everything to CI-smoke scale. With `--json` the run
 // writes BENCH_micro_replan.json for scripts/bench_compare.py; the
 // `replan/admitted=N/speedup` metrics record optimized-vs-reference ratios.
 #include <algorithm>
+#include <chrono>
 #include <cstddef>
 #include <iostream>
 #include <string>
@@ -23,6 +30,7 @@
 #include "bench_common.hpp"
 #include "core/occupancy.hpp"
 #include "core/path_allocation.hpp"
+#include "core/taps_scheduler.hpp"
 #include "exp/sweep.hpp"
 #include "net/network.hpp"
 #include "topo/fattree.hpp"
@@ -204,6 +212,154 @@ void bench_replan(BenchRunner& runner, bool quick, std::uint64_t seed) {
   }
 }
 
+/// Register `tasks` single-flow tasks, all arriving at t=0 with near-sorted
+/// deadlines spread over [50 ms, 4 s]: deadline(i) = base + i*step + jitter
+/// where jitter < `jitter_steps`*step, so each arrival sorts into the last
+/// few EDF positions (small replanned tails under the incremental session,
+/// full re-plans under the oracle).
+void fill_arrival_tasks(taps::net::Network& net, const taps::topo::Topology& topo,
+                        std::size_t tasks, std::uint64_t seed, double jitter_steps) {
+  const auto& hosts = topo.hosts();
+  const auto last = static_cast<std::int64_t>(hosts.size()) - 1;
+  const double cap = net.capacity();
+  const double step = 4.0 / static_cast<double>(tasks);
+  taps::util::Rng rng(seed);
+  for (std::size_t i = 0; i < tasks; ++i) {
+    taps::net::FlowSpec fs;
+    fs.src = hosts[static_cast<std::size_t>(rng.uniform_int(0, last))];
+    do {
+      fs.dst = hosts[static_cast<std::size_t>(rng.uniform_int(0, last))];
+    } while (fs.dst == fs.src);
+    fs.size = cap * rng.uniform_real(0.0005, 0.002);
+    const double deadline = 0.05 + step * static_cast<double>(i) +
+                            rng.uniform_real(0.0, jitter_steps * step);
+    net.add_task(0.0, deadline, std::span<const taps::net::FlowSpec>(&fs, 1));
+  }
+}
+
+/// Seconds elapsed feeding tasks [first, first+count) through `sched` at t=0.
+double time_arrivals(taps::core::TapsScheduler& sched, std::size_t first,
+                     std::size_t count) {
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < count; ++i) {
+    sched.on_task_arrival(static_cast<taps::net::TaskId>(first + i), 0.0);
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+/// Steady-state per-arrival cost through TapsScheduler: ONE warm instance
+/// holding N admitted flows; each sample times fresh spare-task arrivals with
+/// the incremental session toggled on/off via set_incremental_replan, so both
+/// modes pay their price against bit-identical committed state. Incremental
+/// samples batch several arrivals (the per-op time is total/batch) because a
+/// single reused-prefix arrival is too fast to time single-shot; the admitted
+/// count drifts by well under the batch total over the run, which is
+/// deterministic and identical across runs — the gate compares like with like.
+void bench_arrival(BenchRunner& runner, bool quick, std::uint64_t seed) {
+  const taps::topo::FatTree topo(taps::topo::FatTreeConfig::scaled());
+  const std::size_t n = quick ? 200 : 10000;
+  const std::size_t repeats = runner.options().repeats;
+  const std::size_t batch = quick ? 25 : 4;  // incremental arrivals per sample
+  const std::size_t spares = (1 + repeats) + batch * (1 + repeats);
+
+  taps::net::Network net(topo);
+  // jitter_steps = 0: strictly increasing deadlines, so warming the instance
+  // costs one planned flow per arrival instead of a quadratic cascade.
+  fill_arrival_tasks(net, topo, n + spares, seed, 0.0);
+
+  taps::core::TapsScheduler sched;
+  sched.bind(net);
+  for (std::size_t i = 0; i < n; ++i) {
+    sched.on_task_arrival(static_cast<taps::net::TaskId>(i), 0.0);
+  }
+
+  std::size_t next = n;
+  const auto measure = [&](bool incremental, std::size_t per_sample) {
+    sched.set_incremental_replan(incremental);
+    time_arrivals(sched, next, per_sample);  // warmup in this mode, untimed
+    next += per_sample;
+    std::vector<double> samples;
+    samples.reserve(repeats);
+    for (std::size_t r = 0; r < repeats; ++r) {
+      samples.push_back(time_arrivals(sched, next, per_sample) /
+                        static_cast<double>(per_sample));
+      next += per_sample;
+    }
+    return samples;
+  };
+
+  const std::string prefix = "arrival/admitted=" + std::to_string(n) + "/";
+  std::vector<double> full = measure(/*incremental=*/false, 1);
+  std::vector<double> inc = measure(/*incremental=*/true, batch);
+  const double full_median = runner.add_samples(prefix + "full", std::move(full)).median;
+  const double inc_median =
+      runner.add_samples(prefix + "incremental", std::move(inc), batch).median;
+  runner.add_metric(prefix + "speedup", full_median / inc_median);
+}
+
+/// End-to-end arrival cascade: each op binds a fresh scheduler and feeds N
+/// near-sorted-deadline tasks through it back-to-back. The oracle pays a full
+/// replan per arrival (Θ(N²) planned flows); the session adopts the committed
+/// prefix and replans only the tail, so its advantage grows with N — the
+/// speedup metrics at matched scales record that superlinear separation. The
+/// full-replan runs are capped at 1000 arrivals (beyond that one op takes
+/// minutes); incremental extends to 50k where the oracle is untimeable.
+void bench_cascade(BenchRunner& runner, bool quick, std::uint64_t seed) {
+  const taps::topo::FatTree topo(taps::topo::FatTreeConfig::scaled());
+  const std::vector<std::size_t> scales =
+      quick ? std::vector<std::size_t>{100}
+            : std::vector<std::size_t>{200, 1000, 10000, 50000};
+  constexpr std::size_t kFullCap = 1000;       // largest oracle-timed scale
+  constexpr std::size_t kSlowSamples = 3;      // samples for multi-second ops
+
+  const auto cascade = [&](std::size_t n, bool incremental) {
+    taps::net::Network net(topo);
+    fill_arrival_tasks(net, topo, n, seed + n, /*jitter_steps=*/3.0);
+    taps::core::TapsConfig config;
+    config.incremental_replan = incremental;
+    taps::core::TapsScheduler sched(config);
+    sched.bind(net);
+    const double secs = time_arrivals(sched, 0, n);
+    return std::make_pair(secs, sched.counters());
+  };
+
+  for (const std::size_t n : scales) {
+    const std::string prefix = "cascade/arrivals=" + std::to_string(n) + "/";
+    const bool slow = !quick && n >= 10000;
+    const std::size_t reps = slow ? kSlowSamples : runner.options().repeats;
+
+    std::vector<double> inc;
+    inc.reserve(reps);
+    taps::core::TapsCounters counters;
+    for (std::size_t r = 0; r < reps; ++r) {
+      auto [secs, c] = cascade(n, /*incremental=*/true);
+      inc.push_back(secs);
+      counters = c;
+    }
+    const double inc_median =
+        runner.add_samples(prefix + "incremental", std::move(inc)).median;
+    // Fraction of per-arrival planning avoided by prefix adoption (cross-
+    // arrival reuse + checkpoint resume vs flows actually re-planned).
+    const double reused = static_cast<double>(counters.cross_arrival_reuse_flows +
+                                              counters.checkpoint_reuse_flows);
+    const double planned = static_cast<double>(counters.flows_planned);
+    runner.add_metric(prefix + "reuse_ratio", reused / std::max(1.0, reused + planned));
+
+    if (quick || n <= kFullCap) {
+      const std::size_t full_reps = (!quick && n >= kFullCap) ? kSlowSamples : reps;
+      std::vector<double> full;
+      full.reserve(full_reps);
+      for (std::size_t r = 0; r < full_reps; ++r) {
+        full.push_back(cascade(n, /*incremental=*/false).first);
+      }
+      const double full_median =
+          runner.add_samples(prefix + "full", std::move(full)).median;
+      runner.add_metric(prefix + "speedup", full_median / inc_median);
+    }
+  }
+}
+
 void bench_sweep_threads(BenchRunner& runner, bool quick) {
   // Thread scaling of the sweep fan-out itself (cells are independent
   // simulations). On a 1-core host the curve is flat — that is the honest
@@ -231,7 +387,8 @@ void bench_sweep_threads(BenchRunner& runner, bool quick) {
 int main(int argc, char** argv) {
   taps::util::Cli cli("bench_micro_replan",
                       "TAPS hot-path microbenchmarks: IntervalSet, OccupancyMap, "
-                      "per-arrival replan at 1k/10k/50k flows, sweep thread scaling");
+                      "per-arrival replan at 1k/10k/50k flows, incremental-session "
+                      "A/B + arrival cascades, sweep thread scaling");
   taps::bench::add_common_options(cli);
   cli.add_flag("quick", "tiny CI-smoke scale (fewer flows, smaller sets)");
   if (!cli.parse(argc, argv)) return 1;
@@ -247,6 +404,8 @@ int main(int argc, char** argv) {
   bench_interval_set(runner, quick);
   bench_occupancy(runner, quick);
   bench_replan(runner, quick, o.seed);
+  bench_arrival(runner, quick, o.seed);
+  bench_cascade(runner, quick, o.seed);
   bench_sweep_threads(runner, quick);
 
   for (const auto& [name, value] : runner.metrics()) {

@@ -64,15 +64,54 @@ util::IntervalSet OccupancyMap::path_union_from(const topo::Path& path, double f
   return out;
 }
 
-void OccupancyMap::occupy(const topo::Path& path, const util::IntervalSet& slices) {
+void OccupancyMap::occupy(const topo::Path& path, const util::IntervalSet& slices,
+                          OccupancyJournal* journal) {
   assert(!collides(path, slices));
   for (const topo::LinkId lid : path.links) {
     const auto i = static_cast<std::size_t>(lid);
     auto& set = by_link_[i];
-    for (const util::Interval& iv : slices.intervals()) set.insert(iv);
+    if (journal == nullptr) {
+      for (const util::Interval& iv : slices.intervals()) set.insert(iv);
+    } else {
+      for (const util::Interval& iv : slices.intervals()) {
+        const auto arena_begin = static_cast<std::uint32_t>(journal->arena.size());
+        auto undo = set.insert_logged(iv.lo, iv.hi, journal->arena);
+        journal->records.push_back(OccupancyJournal::Record{lid, undo, arena_begin});
+      }
+    }
     hints_[i].valid = false;
     prefix_[i].valid = false;
   }
+}
+
+void OccupancyMap::vacate(const topo::Path& path, const util::IntervalSet& slices,
+                          OccupancyJournal& journal) {
+  for (const topo::LinkId lid : path.links) {
+    const auto i = static_cast<std::size_t>(lid);
+    auto& set = by_link_[i];
+    for (const util::Interval& iv : slices.intervals()) {
+      const auto arena_begin = static_cast<std::uint32_t>(journal.arena.size());
+      auto undo = set.erase_logged(iv.lo, iv.hi, journal.arena);
+      journal.records.push_back(OccupancyJournal::Record{lid, undo, arena_begin});
+    }
+    hints_[i].valid = false;
+    prefix_[i].valid = false;
+  }
+}
+
+void OccupancyMap::rollback(OccupancyJournal& journal, const OccupancyCheckpoint& cp) {
+  assert(cp.records <= journal.records.size());
+  assert(cp.arena <= journal.arena.size());
+  for (std::size_t r = journal.records.size(); r > cp.records; --r) {
+    const OccupancyJournal::Record& rec = journal.records[r - 1];
+    const auto i = static_cast<std::size_t>(rec.link);
+    by_link_[i].undo_splice(rec.undo, journal.arena.data() + rec.arena_begin,
+                            rec.undo.replaced);
+    hints_[i].valid = false;
+    prefix_[i].valid = false;
+  }
+  journal.records.resize(cp.records);
+  journal.arena.resize(cp.arena);
 }
 
 bool OccupancyMap::collides(const topo::Path& path, const util::IntervalSet& slices) const {

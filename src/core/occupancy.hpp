@@ -19,6 +19,36 @@
 
 namespace taps::core {
 
+/// Undo log for OccupancyMap mutations. Logged occupy()/vacate() calls
+/// append one record per per-link splice; rollback() replays them in LIFO
+/// order, restoring every touched IntervalSet bitwise. A checkpoint is just
+/// the journal's (records, arena) watermark, so taking one is O(1) and
+/// rolling back costs O(mutations since the checkpoint) — the mechanism
+/// behind TapsScheduler's incremental replanning (see DESIGN.md).
+struct OccupancyJournal {
+  struct Record {
+    topo::LinkId link = 0;
+    util::IntervalSet::SpliceUndo undo;
+    std::uint32_t arena_begin = 0;  // slice of `arena` holding the replaced intervals
+  };
+  std::vector<Record> records;
+  std::vector<util::Interval> arena;
+
+  [[nodiscard]] bool empty() const { return records.empty(); }
+  void clear() {
+    records.clear();
+    arena.clear();
+  }
+};
+
+/// Watermark into an OccupancyJournal: everything logged after it can be
+/// rolled back. Checkpoints taken on the same journal are totally ordered;
+/// rollback to an older checkpoint implicitly discards newer ones.
+struct OccupancyCheckpoint {
+  std::size_t records = 0;
+  std::size_t arena = 0;
+};
+
 class OccupancyMap {
  public:
   explicit OccupancyMap(std::size_t link_count)
@@ -67,8 +97,27 @@ class OccupancyMap {
 
   /// Mark every link of `path` occupied during `slices`. In debug builds,
   /// asserts the slices do not overlap existing occupancy (the exclusive-use
-  /// invariant).
-  void occupy(const topo::Path& path, const util::IntervalSet& slices);
+  /// invariant). With `journal` non-null every mutation is logged so
+  /// rollback() can undo it.
+  void occupy(const topo::Path& path, const util::IntervalSet& slices,
+              OccupancyJournal* journal = nullptr);
+
+  /// Remove `slices` from every link of `path` (logged). The inverse of
+  /// occupy() for a committed flow whose slices are known exactly: because
+  /// granted slices never overlap across flows, erasing them leaves
+  /// precisely the other flows' occupancy, in canonical (hence bitwise-
+  /// reproducible) form.
+  void vacate(const topo::Path& path, const util::IntervalSet& slices,
+              OccupancyJournal& journal);
+
+  /// Current watermark of `journal` (O(1)).
+  [[nodiscard]] static OccupancyCheckpoint checkpoint(const OccupancyJournal& journal) {
+    return OccupancyCheckpoint{journal.records.size(), journal.arena.size()};
+  }
+
+  /// Undo every mutation logged after `cp`, restoring the touched links'
+  /// interval sets bitwise, and truncate the journal back to `cp`.
+  void rollback(OccupancyJournal& journal, const OccupancyCheckpoint& cp);
 
   /// True if `slices` would collide with existing occupancy on any link of
   /// the path (property tests use this).

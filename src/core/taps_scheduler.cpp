@@ -21,6 +21,16 @@ void TapsScheduler::bind(net::Network& net) {
   plan_scratch_.clear();
   occ_pool_.clear();
   counters_ = TapsCounters{};
+  journal_.clear();
+  session_order_.clear();
+  session_plans_.clear();
+  session_marks_.clear();
+  session_retired_.clear();
+  session_adopted_ = 0;
+  session_infeasible_ = 0;
+  committed_remaining_.assign(net.flows().size(), 0.0);
+  cross_arrival_valid_ = false;
+  arrivals_since_trim_ = 0;
 }
 
 std::vector<FlowId> TapsScheduler::unfinished_admitted() const {
@@ -58,8 +68,7 @@ OccupancyMap TapsScheduler::acquire_occupancy() {
   return OccupancyMap(net_->graph().link_count());
 }
 
-TapsScheduler::PlanAttempt TapsScheduler::try_plan(std::vector<FlowId> order, double now,
-                                                   std::size_t sorted_prefix) {
+void TapsScheduler::sort_order(std::vector<FlowId>& order, std::size_t sorted_prefix) {
   const net::Network& net = *net_;
   const auto cmp = [&net](FlowId a, FlowId b) {
     const Flow& fa = net.flow(a);
@@ -79,14 +88,22 @@ TapsScheduler::PlanAttempt TapsScheduler::try_plan(std::vector<FlowId> order, do
     std::sort(order.begin(), order.end(), cmp);
     ++counters_.full_sorts;
   }
+}
 
+PlanConfig TapsScheduler::make_plan_config() const {
+  return PlanConfig{.max_paths = config_.max_paths,
+                    .ecmp_routing = config_.ecmp_routing,
+                    .guard_band = config_.guard_band,
+                    .reference_allocator = config_.reference_allocator,
+                    .fault_skip_occupy = config_.fault_skip_occupy};
+}
+
+TapsScheduler::PlanAttempt TapsScheduler::try_plan(std::vector<FlowId> order, double now,
+                                                   std::size_t sorted_prefix) {
+  sort_order(order, sorted_prefix);
   PlanAttempt attempt{.plans = {}, .occ = acquire_occupancy(), .fully_feasible = true};
-  const PlanConfig plan_config{.max_paths = config_.max_paths,
-                               .ecmp_routing = config_.ecmp_routing,
-                               .guard_band = config_.guard_band,
-                               .reference_allocator = config_.reference_allocator,
-                               .fault_skip_occupy = config_.fault_skip_occupy};
-  attempt.plans = plan_flows(*net_, attempt.occ, order, now, plan_config, &plan_scratch_);
+  attempt.plans = plan_flows(*net_, attempt.occ, order, now, make_plan_config(), &plan_scratch_);
+  counters_.flows_planned += order.size();
   for (const auto& p : attempt.plans) {
     if (!p.feasible) {
       attempt.fully_feasible = false;
@@ -100,6 +117,11 @@ void TapsScheduler::commit(PlanAttempt&& attempt) {
   assert(attempt.fully_feasible);
   std::swap(occ_, attempt.occ);
   release_occupancy(std::move(attempt.occ));  // the retired committed map
+  // Spent flows leave the plan here: drop their stale slices (the list was
+  // snapshotted at arrival start, exactly when commit_session evaluates it,
+  // so both modes clear the same sets on the same arrivals).
+  for (const FlowId fid : session_retired_) slices_[static_cast<std::size_t>(fid)].clear();
+  session_retired_.clear();
   committed_order_.clear();
   committed_order_.reserve(attempt.plans.size());
   for (auto& plan : attempt.plans) {
@@ -107,7 +129,9 @@ void TapsScheduler::commit(PlanAttempt&& attempt) {
     f.path = std::move(plan.path);
     slices_[static_cast<std::size_t>(plan.flow)] = std::move(plan.slices);
     committed_order_.push_back(plan.flow);
+    committed_remaining_[static_cast<std::size_t>(plan.flow)] = f.remaining;
   }
+  cross_arrival_valid_ = true;
 }
 
 void TapsScheduler::admit(TaskId id, const std::vector<FlowId>& wave) {
@@ -123,10 +147,26 @@ void TapsScheduler::admit(TaskId id, const std::vector<FlowId>& wave) {
   }
 }
 
+void TapsScheduler::maybe_trim(double now) {
+  if (config_.trim_interval == 0) return;
+  if (++arrivals_since_trim_ < config_.trim_interval) return;
+  arrivals_since_trim_ = 0;
+  // Planning only ever reads occupancy at or after `now` and rate assignment
+  // never looks backwards, so dropping the past changes nothing — it only
+  // bounds memory on long arrival streams. Slices are trimmed together with
+  // the map so an incremental vacate-by-slices stays exact.
+  occ_.trim_before(now);
+  for (auto& sl : slices_) sl.trim_before(now);
+  ++counters_.occupancy_trims;
+}
+
 void TapsScheduler::on_task_arrival(TaskId id, double now) {
   // Flows may be registered after bind() (SDN usage registers tasks as
   // probes arrive; Network::extend_task adds waves): grow the slice table.
   if (slices_.size() < net_->flows().size()) slices_.resize(net_->flows().size());
+  if (committed_remaining_.size() < net_->flows().size()) {
+    committed_remaining_.resize(net_->flows().size(), 0.0);
+  }
 
   net::Task& t = net_->task(id);
   const std::vector<FlowId> wave = pending_wave(id, now);
@@ -137,6 +177,26 @@ void TapsScheduler::on_task_arrival(TaskId id, double now) {
     return;
   }
   if (wave.empty()) return;
+
+  maybe_trim(now);
+
+  // Snapshot the spent committed flows whose stale slices will be dropped if
+  // this arrival commits. Taken before any planning/rejection mutates flow
+  // state so that the full-replan and incremental paths retire identical
+  // sets — part of keeping the two modes bitwise in step.
+  session_retired_.clear();
+  for (const FlowId fid : committed_order_) {
+    const Flow& f = net_->flow(fid);
+    if (f.active() && f.remaining > sim::kByteEpsilon) continue;
+    const auto& sl = slices_[static_cast<std::size_t>(fid)];
+    if (!sl.empty() && sl.back_end() <= now) session_retired_.push_back(fid);
+  }
+
+  if (config_.incremental_replan && config_.fault_skip_occupy == net::kInvalidFlow &&
+      cross_arrival_valid_) {
+    on_task_arrival_incremental(id, now, wave);
+    return;
+  }
 
   // Trial: all unfinished admitted flows plus the newcomers, globally
   // re-planned from `now` (Algorithm 1's Ftmp = Ftrans U {arriving flows}).
@@ -209,6 +269,204 @@ void TapsScheduler::on_task_arrival(TaskId id, double now) {
   }
 }
 
+void TapsScheduler::open_session(const std::vector<FlowId>& target, double now) {
+  assert(journal_.empty());
+  session_order_.clear();
+  session_plans_.clear();
+  session_marks_.clear();
+  session_adopted_ = 0;
+  session_infeasible_ = 0;
+
+  // Walk the last committed plan in order. The leading run of entries that a
+  // full replan would provably reproduce verbatim is adopted in place (their
+  // occupancy is already in occ_ — zero work); everything else is vacated so
+  // the tail replans against exactly the context the full replan would see.
+  bool chain = true;
+  std::size_t pos = 0;  // next unmatched position of `target`
+  for (const FlowId fid : committed_order_) {
+    const Flow& f = net_->flow(fid);
+    const auto i = static_cast<std::size_t>(fid);
+    util::IntervalSet& sl = slices_[i];
+    const bool unfinished = f.active() && f.remaining > sim::kByteEpsilon;
+    if (!unfinished) {
+      if (sl.empty()) continue;
+      // The flow left the order, so its occupancy must go. If any of it lies
+      // in the future, a full replan would not have reproduced the prefix
+      // planned around it — the reusable run ends here.
+      if (sl.back_end() > now) chain = false;
+      occ_.vacate(f.path, sl, journal_);
+      continue;
+    }
+    if (chain && pos < target.size() && target[pos] == fid && !sl.empty() &&
+        sl.front_start() >= now && f.remaining == committed_remaining_[i]) {
+      // Reusable: same flow at the same position, remaining bitwise
+      // untouched since the commit (no transmission — its slices start at or
+      // after `now`), and every earlier position matched too. A full replan
+      // recomputes exactly the committed path and slices here (DESIGN.md,
+      // "Incremental replanning"), so adopt them without replanning. The
+      // plan entry carries just what apply_reject_rule reads.
+      session_marks_.push_back(OccupancyMap::checkpoint(journal_));
+      session_order_.push_back(fid);
+      FlowPlan light;
+      light.flow = fid;
+      light.completion = sl.back_end();
+      light.feasible = true;
+      session_plans_.push_back(std::move(light));
+      ++pos;
+      continue;
+    }
+    chain = false;
+    occ_.vacate(f.path, sl, journal_);
+  }
+  session_adopted_ = session_order_.size();
+  counters_.cross_arrival_reuse_flows += session_adopted_;
+}
+
+void TapsScheduler::plan_tail(const std::vector<FlowId>& target, double now) {
+  const PlanConfig plan_config = make_plan_config();
+  for (std::size_t k = session_order_.size(); k < target.size(); ++k) {
+    const FlowId fid = target[k];
+    session_marks_.push_back(OccupancyMap::checkpoint(journal_));
+    FlowPlan plan = plan_one_flow(*net_, occ_, fid, now, plan_config, &plan_scratch_);
+    ++counters_.flows_planned;
+    if (plan.feasible && fid != plan_config.fault_skip_occupy) {
+      occ_.occupy(plan.path, plan.slices, &journal_);
+    }
+    if (!plan.feasible) ++session_infeasible_;
+    session_order_.push_back(fid);
+    session_plans_.push_back(std::move(plan));
+  }
+}
+
+void TapsScheduler::resume_session(const std::vector<FlowId>& target, double now) {
+  std::size_t p = 0;
+  while (p < session_order_.size() && p < target.size() && session_order_[p] == target[p]) {
+    ++p;
+  }
+  if (p < session_adopted_) {
+    // The new target diverges inside the adopted prefix (e.g. the preemption
+    // victim owns one of those flows). Rolling the journal back cannot
+    // un-adopt an entry — adopted occupancy predates the session — so
+    // restore the committed state wholesale and re-open against the new
+    // target; the open walk naturally stops adopting at the first removed
+    // flow.
+    ++counters_.session_restarts;
+    abandon_session();
+    open_session(target, now);
+  } else {
+    if (p < session_order_.size()) {
+      occ_.rollback(journal_, session_marks_[p]);
+      for (std::size_t k = p; k < session_plans_.size(); ++k) {
+        if (!session_plans_[k].feasible) --session_infeasible_;
+      }
+      session_order_.resize(p);
+      session_marks_.resize(p);
+      session_plans_.resize(p);
+    }
+    counters_.checkpoint_reuse_flows += p;
+  }
+  plan_tail(target, now);
+}
+
+void TapsScheduler::commit_session() {
+  assert(session_infeasible_ == 0);
+  for (const FlowId fid : session_retired_) slices_[static_cast<std::size_t>(fid)].clear();
+  session_retired_.clear();
+  committed_order_.clear();
+  committed_order_.reserve(session_order_.size());
+  for (std::size_t k = 0; k < session_order_.size(); ++k) {
+    const FlowId fid = session_order_[k];
+    Flow& f = net_->flow(fid);
+    if (k >= session_adopted_) {
+      FlowPlan& plan = session_plans_[k];
+      f.path = std::move(plan.path);
+      slices_[static_cast<std::size_t>(fid)] = std::move(plan.slices);
+    }
+    committed_order_.push_back(fid);
+    committed_remaining_[static_cast<std::size_t>(fid)] = f.remaining;
+  }
+  // occ_ already holds exactly the committed occupancy; the journal's undo
+  // history is no longer needed.
+  journal_.clear();
+  cross_arrival_valid_ = true;
+}
+
+void TapsScheduler::abandon_session() {
+  occ_.rollback(journal_, OccupancyCheckpoint{});
+  journal_.clear();
+}
+
+void TapsScheduler::on_task_arrival_incremental(TaskId id, double now,
+                                                const std::vector<FlowId>& wave) {
+  // Mirrors on_task_arrival's decision cascade exactly, but runs it as one
+  // journaled session over the live committed map instead of three
+  // from-scratch trial maps. Every committed decision and committed byte of
+  // state is bitwise identical to the full-replan path (pinned by
+  // tests/core/taps_incremental_prop_test.cpp).
+  assert(journal_.empty());
+  std::vector<FlowId> trial_order = unfinished_admitted();
+  const std::size_t incumbent_count = trial_order.size();
+  trial_order.insert(trial_order.end(), wave.begin(), wave.end());
+  sort_order(trial_order, incumbent_count);
+  open_session(trial_order, now);
+  plan_tail(trial_order, now);
+  ++counters_.replans;
+
+  const RejectOutcome outcome =
+      apply_reject_rule(*net_, id, session_plans_, config_.preempt_policy);
+  switch (outcome.decision) {
+    case Decision::kAccept:
+      admit(id, wave);
+      commit_session();
+      return;
+
+    case Decision::kPreemptVictim: {
+      assert(outcome.victim != net::kInvalidTask);
+      // Validation replan without the victim's flows: resume from the
+      // longest prefix of the trial plan that survives the removal.
+      std::vector<FlowId> order;
+      order.reserve(trial_order.size());
+      for (const FlowId fid : trial_order) {
+        if (net_->flow(fid).task() != outcome.victim) order.push_back(fid);
+      }
+      resume_session(order, now);
+      ++counters_.replans;
+      if (session_infeasible_ == 0) {
+        net_->reject_task(outcome.victim);
+        ++counters_.tasks_preempted;
+        admit(id, wave);
+        commit_session();
+        return;
+      }
+      break;
+    }
+
+    case Decision::kRejectNew:
+      break;
+  }
+
+  // Reject the newcomer; compact the incumbents (see the full-replan path
+  // for the rationale), resuming from whatever trial/validation prefix
+  // survives dropping the newcomer's flows.
+  net_->reject_task(id);
+  ++counters_.tasks_rejected;
+  std::vector<FlowId> incumbents;
+  incumbents.reserve(trial_order.size());
+  for (const FlowId fid : trial_order) {
+    if (net_->flow(fid).task() != id) incumbents.push_back(fid);
+  }
+  resume_session(incumbents, now);
+  ++counters_.replans;
+  if (session_infeasible_ == 0) {
+    commit_session();
+  } else {
+    abandon_session();
+    ++counters_.replan_reverts;
+    util::log_debug() << "TAPS: compacting re-plan at t=" << now
+                      << " would strand a survivor; keeping the prior plan";
+  }
+}
+
 void TapsScheduler::on_flow_finished(FlowId id, double now) {
   BaseScheduler::on_flow_finished(id, now);
   const Flow& f = net_->flow(id);
@@ -232,6 +490,11 @@ void TapsScheduler::on_flow_finished(FlowId id, double now) {
         slices_[static_cast<std::size_t>(sibling)].clear();
       }
     }
+    // The siblings' committed occupancy is now orphaned from their cleared
+    // slices, so it can no longer be vacated incrementally: route the next
+    // arrival through the full replan (whose commit swaps in a fresh map and
+    // re-establishes validity).
+    cross_arrival_valid_ = false;
   }
 }
 

@@ -37,6 +37,19 @@ struct TapsConfig {
   /// invariant oracle's negative test proves it catches the resulting
   /// exclusivity breach. Never set outside tests.
   net::FlowId fault_skip_occupy = net::kInvalidFlow;
+  /// Incremental replanning: keep the committed occupancy live under an undo
+  /// journal, reuse the committed plan's still-valid leading prefix across
+  /// arrivals, and resume the preemption-validation / compacting replans
+  /// from checkpoints of the trial plan instead of replanning from flow 0.
+  /// Schedules are bit-identical either way (pinned by
+  /// tests/core/taps_incremental_prop_test.cpp); `false` keeps the original
+  /// full-replan path as the oracle.
+  bool incremental_replan = true;
+  /// Trim committed occupancy and per-flow slices below `now` every this
+  /// many task arrivals (0 disables). Bounds memory on long runs; planning
+  /// only reads occupancy at or after `now`, so trimming never changes a
+  /// schedule.
+  std::size_t trim_interval = 64;
 };
 
 struct TapsCounters {
@@ -52,6 +65,25 @@ struct TapsCounters {
   /// full_sorts, where remaining-size drift forced a full re-sort).
   std::size_t incremental_sorts = 0;
   std::size_t full_sorts = 0;
+  /// Flow positions actually planned by running Algorithms 2/3
+  /// (plan_one_flow calls), in either mode. The planner-effort denominator
+  /// for the two reuse counters below.
+  std::size_t flows_planned = 0;
+  /// Flow positions satisfied by adopting the committed plan's still-valid
+  /// leading prefix at session open instead of replanning them
+  /// (cross-arrival prefix reuse; incremental mode only).
+  std::size_t cross_arrival_reuse_flows = 0;
+  /// Flow positions kept from an earlier try_plan of the same arrival when
+  /// the preemption-validation or compacting replan resumed from a prefix
+  /// checkpoint (within-arrival reuse; incremental mode only).
+  std::size_t checkpoint_reuse_flows = 0;
+  /// Incremental sessions abandoned mid-arrival because a later replan of
+  /// the same arrival diverged inside the adopted prefix (e.g. the
+  /// preemption victim owned one of the adopted flows), forcing a rollback
+  /// to the committed state and a fresh session open.
+  std::size_t session_restarts = 0;
+  /// Periodic occupancy/slice trims (TapsConfig::trim_interval).
+  std::size_t occupancy_trims = 0;
 };
 
 class TapsScheduler : public sched::BaseScheduler {
@@ -71,6 +103,11 @@ class TapsScheduler : public sched::BaseScheduler {
   }
   [[nodiscard]] const OccupancyMap& occupancy() const { return occ_; }
   [[nodiscard]] const TapsCounters& counters() const { return counters_; }
+
+  /// Bench/test hook: flip incremental replanning on a live scheduler. The
+  /// committed state is mode-independent (schedules are bit-identical), so
+  /// A/B measurements can warm up one instance and time both modes on it.
+  void set_incremental_replan(bool on) { config_.incremental_replan = on; }
 
  private:
   /// A candidate plan: committed only when every flow in it is feasible, so
@@ -94,6 +131,49 @@ class TapsScheduler : public sched::BaseScheduler {
   void commit(PlanAttempt&& attempt);
   void admit(net::TaskId id, const std::vector<net::FlowId>& wave);
 
+  /// Sort `order` EDF+SJF. The first `sorted_prefix` entries are known to be
+  /// in committed order (modulo remaining-size drift on deadline ties, which
+  /// is re-checked): when the check holds, only the tail is sorted and
+  /// merged in. The comparator is a strict total order, so either route
+  /// yields the identical unique ordering.
+  void sort_order(std::vector<net::FlowId>& order, std::size_t sorted_prefix);
+
+  [[nodiscard]] PlanConfig make_plan_config() const;
+
+  // ---- incremental replanning (config_.incremental_replan) ----
+  //
+  // Instead of rebuilding a trial OccupancyMap from scratch per try_plan,
+  // one arrival runs as a *session* that mutates the committed map occ_ in
+  // place under journal_: the committed plan's still-valid leading prefix is
+  // adopted untouched (zero cost), everything after it is vacated, and the
+  // tail is replanned with every mutation logged. Later replans of the same
+  // arrival (preemption validation, compacting) roll back to the checkpoint
+  // of the longest shared prefix and replan only from there. Reverting the
+  // whole arrival is a rollback to the session start. See DESIGN.md
+  // ("Incremental replanning") for the argument that schedules stay
+  // bit-identical to the full-replan oracle.
+  void on_task_arrival_incremental(net::TaskId id, double now,
+                                   const std::vector<net::FlowId>& wave);
+  /// Start a session against `target` (requires an empty journal): walk the
+  /// committed order, vacating spent/broken entries and adopting the leading
+  /// prefix that provably matches what a full replan would produce, then
+  /// plan the remaining tail.
+  void open_session(const std::vector<net::FlowId>& target, double now);
+  /// Re-aim the current session at a new target order: roll back to the
+  /// checkpoint of the longest shared prefix (or restart the session when
+  /// the divergence lies inside the adopted prefix) and replan the tail.
+  void resume_session(const std::vector<net::FlowId>& target, double now);
+  void plan_tail(const std::vector<net::FlowId>& target, double now);
+  /// Install the session as the committed plan: move planned paths/slices
+  /// into the network, refresh the cross-arrival validity tokens, drop the
+  /// journal (occ_ already holds the planned occupancy).
+  void commit_session();
+  /// Roll occ_ back to the session start, restoring the committed state
+  /// bitwise.
+  void abandon_session();
+  /// Deterministic trim cadence (identical in both modes).
+  void maybe_trim(double now);
+
   /// Unfinished flows of all currently admitted tasks, in last-committed
   /// EDF+SJF order (the usually-still-sorted prefix try_plan exploits).
   [[nodiscard]] std::vector<net::FlowId> unfinished_admitted() const;
@@ -111,6 +191,26 @@ class TapsScheduler : public sched::BaseScheduler {
   PlanScratch plan_scratch_;               // per-flow candidate-path cache
   std::vector<OccupancyMap> occ_pool_;     // retired trial maps, capacity kept
   TapsCounters counters_;
+
+  // Incremental-session state (meaningful only within one arrival, except
+  // committed_remaining_ / cross_arrival_valid_ which persist across
+  // arrivals as the reuse-validity tokens).
+  OccupancyJournal journal_;
+  std::vector<net::FlowId> session_order_;     // plan order built so far
+  std::vector<FlowPlan> session_plans_;        // adopted entries hold light plans
+  std::vector<OccupancyCheckpoint> session_marks_;  // journal state BEFORE each entry
+  std::vector<net::FlowId> session_retired_;   // spent flows whose slices clear on commit
+  std::size_t session_adopted_ = 0;            // leading adopted-entry count
+  std::size_t session_infeasible_ = 0;
+  /// Per-flow remaining bytes at last commit: a committed prefix entry is
+  /// reusable only while its remaining is bitwise unchanged (no transmission
+  /// since the plan was computed) — one of the cheap validity tokens.
+  std::vector<double> committed_remaining_;
+  /// False until the first commit and after any event that edits scheduler
+  /// state outside a commit (missed-deadline sibling invalidation): the next
+  /// arrival then takes the full-replan path, which re-establishes validity.
+  bool cross_arrival_valid_ = false;
+  std::size_t arrivals_since_trim_ = 0;
 };
 
 }  // namespace taps::core

@@ -105,6 +105,17 @@ ExperimentRun run_experiment_full(const workload::Scenario& scenario, SchedulerK
   const auto stop = std::chrono::steady_clock::now();
   run.result.wall_seconds = std::chrono::duration<double>(stop - start).count();
   run.result.metrics = metrics::collect(*run.network);
+  if (const auto* taps = dynamic_cast<const core::TapsScheduler*>(run.scheduler.get())) {
+    const core::TapsCounters& c = taps->counters();
+    metrics::RunMetrics& m = run.result.metrics;
+    m.replans = c.replans;
+    m.flows_planned = c.flows_planned;
+    m.prefix_reuse_flows = c.cross_arrival_reuse_flows + c.checkpoint_reuse_flows;
+    const double denom =
+        static_cast<double>(m.prefix_reuse_flows) + static_cast<double>(m.flows_planned);
+    m.prefix_reuse_ratio =
+        denom > 0.0 ? static_cast<double>(m.prefix_reuse_flows) / denom : 0.0;
+  }
   return run;
 }
 

@@ -29,6 +29,10 @@ metrics::RunMetrics average(const std::vector<metrics::RunMetrics>& ms) {
     avg.total_bytes += m.total_bytes;
     avg.useful_bytes += m.useful_bytes;
     avg.wasted_bytes += m.wasted_bytes;
+    avg.replans += m.replans;
+    avg.flows_planned += m.flows_planned;
+    avg.prefix_reuse_flows += m.prefix_reuse_flows;
+    avg.prefix_reuse_ratio += m.prefix_reuse_ratio;
   }
   const auto n = static_cast<double>(ms.size());
   avg.task_completion_ratio /= n;
@@ -36,6 +40,7 @@ metrics::RunMetrics average(const std::vector<metrics::RunMetrics>& ms) {
   avg.app_throughput /= n;
   avg.task_size_ratio /= n;
   avg.wasted_bandwidth_ratio /= n;
+  avg.prefix_reuse_ratio /= n;
   return avg;
 }
 
@@ -102,11 +107,13 @@ void write_sweep_csv(const std::string& path, const std::string& x_label,
   if (include_timing) {
     csv.row(x_label, "scheduler", "task_completion_ratio", "flow_completion_ratio",
             "app_throughput", "task_size_ratio", "wasted_bandwidth_ratio", "tasks_total",
-            "tasks_completed", "flows_total", "flows_completed", "wall_seconds");
+            "tasks_completed", "flows_total", "flows_completed", "replans", "flows_planned",
+            "prefix_reuse_flows", "prefix_reuse_ratio", "wall_seconds");
   } else {
     csv.row(x_label, "scheduler", "task_completion_ratio", "flow_completion_ratio",
             "app_throughput", "task_size_ratio", "wasted_bandwidth_ratio", "tasks_total",
-            "tasks_completed", "flows_total", "flows_completed");
+            "tasks_completed", "flows_total", "flows_completed", "replans", "flows_planned",
+            "prefix_reuse_flows", "prefix_reuse_ratio");
   }
   for (std::size_t pi = 0; pi < points.size(); ++pi) {
     for (std::size_t si = 0; si < schedulers.size(); ++si) {
@@ -116,12 +123,14 @@ void write_sweep_csv(const std::string& path, const std::string& x_label,
         csv.row(cell.x, to_string(cell.scheduler), m.task_completion_ratio,
                 m.flow_completion_ratio, m.app_throughput, m.task_size_ratio,
                 m.wasted_bandwidth_ratio, m.tasks_total, m.tasks_completed, m.flows_total,
-                m.flows_completed, cell.result.wall_seconds);
+                m.flows_completed, m.replans, m.flows_planned, m.prefix_reuse_flows,
+                m.prefix_reuse_ratio, cell.result.wall_seconds);
       } else {
         csv.row(cell.x, to_string(cell.scheduler), m.task_completion_ratio,
                 m.flow_completion_ratio, m.app_throughput, m.task_size_ratio,
                 m.wasted_bandwidth_ratio, m.tasks_total, m.tasks_completed, m.flows_total,
-                m.flows_completed);
+                m.flows_completed, m.replans, m.flows_planned, m.prefix_reuse_flows,
+                m.prefix_reuse_ratio);
       }
     }
   }

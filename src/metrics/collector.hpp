@@ -30,6 +30,13 @@ struct RunMetrics {
   double total_bytes = 0.0;
   double useful_bytes = 0.0;  // bytes of flows completed before deadline
   double wasted_bytes = 0.0;  // bytes sent by flows that did not complete
+
+  // Planner effort, copied from TapsCounters by the experiment driver (all
+  // zero for schedulers without a global replan; collect() never fills them).
+  std::size_t replans = 0;
+  std::size_t flows_planned = 0;      // plan_one_flow calls actually paid for
+  std::size_t prefix_reuse_flows = 0; // cross-arrival adoptions + checkpoint resumes
+  double prefix_reuse_ratio = 0.0;    // reused / (reused + planned)
 };
 
 [[nodiscard]] RunMetrics collect(const net::Network& net);

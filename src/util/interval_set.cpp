@@ -47,6 +47,60 @@ void IntervalSet::erase(double lo, double hi) {
 
 void IntervalSet::trim_before(double t) { erase(-std::numeric_limits<double>::infinity(), t); }
 
+IntervalSet::SpliceUndo IntervalSet::insert_logged(double lo, double hi,
+                                                   std::vector<Interval>& arena) {
+  SpliceUndo undo;
+  if (hi <= lo) return undo;
+  // Same merge-range search as insert().
+  auto first = std::lower_bound(ivs_.begin(), ivs_.end(), lo,
+                                [](const Interval& iv, double v) { return iv.hi < v; });
+  auto last = std::upper_bound(first, ivs_.end(), hi,
+                               [](double v, const Interval& iv) { return v < iv.lo; });
+  undo.index = static_cast<std::uint32_t>(first - ivs_.begin());
+  undo.inserted = 1;
+  undo.replaced = static_cast<std::uint32_t>(last - first);
+  arena.insert(arena.end(), first, last);
+  if (first != last) {
+    lo = std::min(lo, first->lo);
+    hi = std::max(hi, std::prev(last)->hi);
+  }
+  auto it = ivs_.erase(first, last);
+  ivs_.insert(it, Interval{lo, hi});
+  return undo;
+}
+
+IntervalSet::SpliceUndo IntervalSet::erase_logged(double lo, double hi,
+                                                  std::vector<Interval>& arena) {
+  SpliceUndo undo;
+  if (hi <= lo || ivs_.empty()) return undo;
+  // First interval with iv.hi > lo, then one-past the last with iv.lo < hi:
+  // exactly the intervals overlapping [lo, hi).
+  auto first = std::lower_bound(ivs_.begin(), ivs_.end(), lo,
+                                [](const Interval& iv, double v) { return iv.hi <= v; });
+  auto last = std::lower_bound(first, ivs_.end(), hi,
+                               [](const Interval& iv, double v) { return iv.lo < v; });
+  if (first == last) return undo;
+  undo.index = static_cast<std::uint32_t>(first - ivs_.begin());
+  undo.replaced = static_cast<std::uint32_t>(last - first);
+  arena.insert(arena.end(), first, last);
+  Interval frags[2];
+  std::size_t nf = 0;
+  if (first->lo < lo) frags[nf++] = Interval{first->lo, lo};
+  if (std::prev(last)->hi > hi) frags[nf++] = Interval{hi, std::prev(last)->hi};
+  undo.inserted = static_cast<std::uint32_t>(nf);
+  auto it = ivs_.erase(first, last);
+  ivs_.insert(it, frags, frags + nf);
+  return undo;
+}
+
+void IntervalSet::undo_splice(const SpliceUndo& undo, const Interval* replaced, std::size_t n) {
+  assert(n == undo.replaced);
+  assert(undo.index + undo.inserted <= ivs_.size());
+  const auto at = ivs_.begin() + static_cast<std::ptrdiff_t>(undo.index);
+  auto it = ivs_.erase(at, at + static_cast<std::ptrdiff_t>(undo.inserted));
+  ivs_.insert(it, replaced, replaced + n);
+}
+
 double IntervalSet::measure() const {
   double m = 0.0;
   for (const auto& iv : ivs_) m += iv.length();

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <iosfwd>
 #include <limits>
 #include <vector>
@@ -46,6 +47,31 @@ class IntervalSet {
 
   /// Remove [lo, hi) from the set (splitting intervals as needed).
   void erase(double lo, double hi);
+
+  /// Undo record for one logged mutation: `inserted` new intervals were
+  /// placed at `index`, replacing `replaced` consecutive original intervals
+  /// (saved by the caller, e.g. in an OccupancyJournal arena).
+  struct SpliceUndo {
+    std::uint32_t index = 0;
+    std::uint32_t inserted = 0;
+    std::uint32_t replaced = 0;
+  };
+
+  /// insert() that appends the intervals it replaces to `arena` and returns
+  /// an undo record. undo_splice() with the record and the corresponding
+  /// arena slice restores the prior state bitwise. O(changed) rollback is
+  /// what makes plan checkpointing cheap (see core::OccupancyJournal).
+  SpliceUndo insert_logged(double lo, double hi, std::vector<Interval>& arena);
+
+  /// erase() with the same logging contract as insert_logged. Unlike the
+  /// plain erase() it splices only the affected range instead of rebuilding
+  /// the whole vector, so it is O(overlapping + tail move).
+  SpliceUndo erase_logged(double lo, double hi, std::vector<Interval>& arena);
+
+  /// Reverse one logged mutation: remove the `undo.inserted` intervals at
+  /// `undo.index` and put back the `n == undo.replaced` saved ones. Records
+  /// must be undone in LIFO order.
+  void undo_splice(const SpliceUndo& undo, const Interval* replaced, std::size_t n);
 
   /// Remove everything before `t` (useful to garbage-collect past occupancy).
   void trim_before(double t);

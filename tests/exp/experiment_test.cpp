@@ -72,6 +72,26 @@ TEST(Experiment, TapsTasksCompleteOrAreRejected) {
   }
 }
 
+TEST(Experiment, TapsPlannerEffortCountersSurfaceInMetrics) {
+  const workload::Scenario s = tiny_scenario();
+  const auto taps = run_experiment(s, SchedulerKind::kTaps);
+  EXPECT_GT(taps.metrics.replans, 0u);
+  EXPECT_GT(taps.metrics.flows_planned, 0u);
+  EXPECT_GE(taps.metrics.prefix_reuse_ratio, 0.0);
+  EXPECT_LE(taps.metrics.prefix_reuse_ratio, 1.0);
+  EXPECT_DOUBLE_EQ(
+      taps.metrics.prefix_reuse_ratio,
+      static_cast<double>(taps.metrics.prefix_reuse_flows) /
+          static_cast<double>(taps.metrics.prefix_reuse_flows + taps.metrics.flows_planned));
+
+  // Schedulers without a global replan report zero effort, not garbage.
+  const auto fair = run_experiment(s, SchedulerKind::kFairSharing);
+  EXPECT_EQ(fair.metrics.replans, 0u);
+  EXPECT_EQ(fair.metrics.flows_planned, 0u);
+  EXPECT_EQ(fair.metrics.prefix_reuse_flows, 0u);
+  EXPECT_DOUBLE_EQ(fair.metrics.prefix_reuse_ratio, 0.0);
+}
+
 TEST(Experiment, ObserverReceivesSegments) {
   class Count final : public sim::TransmitObserver {
    public:
@@ -126,6 +146,20 @@ TEST(Sweep, CsvRoundTrip) {
   // Metric column survives the round trip exactly.
   EXPECT_DOUBLE_EQ(std::stod(rows[2][2]),
                    r.cell(0, 1, 2).result.metrics.task_completion_ratio);
+  // Planner-effort columns are present; TAPS reports real work, FairSharing zeros.
+  const auto col = [&](const std::string& name) {
+    for (std::size_t i = 0; i < rows[0].size(); ++i) {
+      if (rows[0][i] == name) return i;
+    }
+    ADD_FAILURE() << "missing column " << name;
+    return std::size_t{0};
+  };
+  EXPECT_GT(std::stoull(rows[2][col("replans")]), 0u);
+  EXPECT_GT(std::stoull(rows[2][col("flows_planned")]), 0u);
+  EXPECT_EQ(std::stoull(rows[1][col("replans")]), 0u);
+  const double reuse = std::stod(rows[2][col("prefix_reuse_ratio")]);
+  EXPECT_GE(reuse, 0.0);
+  EXPECT_LE(reuse, 1.0);
   std::remove(path.c_str());
 }
 
