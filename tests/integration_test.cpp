@@ -67,9 +67,9 @@ INSTANTIATE_TEST_SUITE_P(
                                          SchedulerKind::kPdq, SchedulerKind::kBaraat,
                                          SchedulerKind::kVarys, SchedulerKind::kTaps),
                        ::testing::Values(1u, 17u, 42u)),
-    [](const auto& info) {
-      return std::string(exp::to_string(std::get<0>(info.param))) + "_seed" +
-             std::to_string(std::get<1>(info.param));
+    [](const auto& pinfo) {
+      return std::string(exp::to_string(std::get<0>(pinfo.param))) + "_seed" +
+             std::to_string(std::get<1>(pinfo.param));
     });
 
 TEST(Integration, TapsNeverWastesAndNeverFailsAdmitted) {

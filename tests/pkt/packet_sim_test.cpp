@@ -151,8 +151,8 @@ INSTANTIATE_TEST_SUITE_P(Schedulers, FluidVsPacket,
                                            exp::SchedulerKind::kBaraat,
                                            exp::SchedulerKind::kVarys,
                                            exp::SchedulerKind::kTaps),
-                         [](const auto& info) {
-                           return std::string(exp::to_string(info.param));
+                         [](const auto& pinfo) {
+                           return std::string(exp::to_string(pinfo.param));
                          });
 
 }  // namespace

@@ -89,9 +89,9 @@ INSTANTIATE_TEST_SUITE_P(
                                          exp::SchedulerKind::kBaraat,
                                          exp::SchedulerKind::kVarys, exp::SchedulerKind::kTaps),
                        ::testing::Values(3u, 19u)),
-    [](const auto& info) {
-      return std::string(exp::to_string(std::get<0>(info.param))) + "_seed" +
-             std::to_string(std::get<1>(info.param));
+    [](const auto& pinfo) {
+      return std::string(exp::to_string(std::get<0>(pinfo.param))) + "_seed" +
+             std::to_string(std::get<1>(pinfo.param));
     });
 
 // PDQ-specific priority property: whenever PDQ assigns rates, the most

@@ -58,9 +58,9 @@ INSTANTIATE_TEST_SUITE_P(
     Matrix, SchedulerOracle,
     ::testing::Combine(::testing::ValuesIn(exp::extended_schedulers()),
                        ::testing::Values(1u, 42u)),
-    [](const auto& info) {
-      return std::string(exp::to_string(std::get<0>(info.param))) + "_seed" +
-             std::to_string(std::get<1>(info.param));
+    [](const auto& pinfo) {
+      return std::string(exp::to_string(std::get<0>(pinfo.param))) + "_seed" +
+             std::to_string(std::get<1>(pinfo.param));
     });
 
 // Property form: workload parameters themselves are randomized (including

@@ -182,7 +182,7 @@ INSTANTIATE_TEST_SUITE_P(Families, SizeDistributionTest,
                          ::testing::Values(SizeDistribution::kNormal,
                                            SizeDistribution::kLognormal,
                                            SizeDistribution::kPareto),
-                         [](const auto& info) { return to_string(info.param); });
+                         [](const auto& pinfo) { return to_string(pinfo.param); });
 
 TEST(TaskGenerator, RejectsNonEmptyNetwork) {
   const topo::SingleRootedTree tree(topo::SingleRootedConfig::scaled());
