@@ -1,0 +1,380 @@
+#!/usr/bin/env python3
+"""Determinism and repo-invariant linter for the TAPS tree (tier 3 of
+docs/STATIC_ANALYSIS.md).
+
+The reproduction's guarantees — bit-identical incremental/oracle schedules,
+byte-identical sweep CSVs at any thread count — only survive if no
+nondeterminism source leaks into `src/`. Runtime tests catch what they
+happen to execute; this linter statically bans the whole pattern class:
+
+  rand                  libc / std randomness outside util::Rng's seeded
+                        streams (rand, srand, random, drand48,
+                        std::random_device)
+  wall-clock            real-time clocks in simulation logic (time(),
+                        clock(), gettimeofday, clock_gettime,
+                        std::chrono::{system,steady,high_resolution}_clock)
+  unordered-iteration   range-for over a std::unordered_{map,set,...} —
+                        iteration order is implementation-defined, so any
+                        ordered output or scheduling decision fed from it
+                        is nondeterministic
+  pointer-key           std::{map,set,multimap,multiset} keyed on a pointer
+                        — ordered by allocator addresses, i.e. by ASLR
+  uninitialized-member  scalar (POD) members of aggregate structs without a
+                        default initializer — config/flow/task structs are
+                        value-copied everywhere, and an uninitialized field
+                        is a nondeterminism (and MSan) bomb
+  float-type            `float` where the repo-wide double time/byte
+                        convention is required (mixed precision changes
+                        rounding, breaking bitwise-equality oracles)
+
+Escape hatch (must carry a justification on the same comment line):
+    // taps-lint: allow(<rule>[, <rule>...]) -- <why this site is safe>
+on the offending line or the line directly above it;
+    // taps-lint: allow-file(<rule>) -- <why>
+anywhere in the file disables the rule for the whole file.
+
+Usage:
+    scripts/lint_determinism.py [paths...]      # default: src/
+    scripts/lint_determinism.py --list-rules
+
+Exit codes: 0 clean, 1 findings, 2 usage error. Unit suite:
+tests/scripts/lint_determinism_test.py (ctest: lint_determinism_py).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+
+RULES = {
+    "rand": "unseeded randomness; derive draws from util::Rng streams",
+    "wall-clock": "wall-clock time in sim code; use simulated time "
+                  "(or allow() for measurement-only timing)",
+    "unordered-iteration": "iteration over an unordered container feeds "
+                           "ordered output/decisions; iterate a sorted key "
+                           "list (or allow() for order-independent "
+                           "reductions)",
+    "pointer-key": "ordered container keyed by pointer orders by address "
+                   "(ASLR-dependent); key by a stable id",
+    "uninitialized-member": "scalar struct member without initializer; "
+                            "default-initialize every POD field",
+    "float-type": "float breaks the double time/byte precision convention",
+}
+
+ALLOW_RE = re.compile(r"taps-lint:\s*allow\(([^)]*)\)")
+ALLOW_FILE_RE = re.compile(r"taps-lint:\s*allow-file\(([^)]*)\)")
+
+# -- simple textual rules (applied per stripped line) -----------------------
+
+RAND_RE = re.compile(
+    r"(?<![A-Za-z0-9_])(?:s?rand|random|drand48|lrand48|mrand48)\s*\("
+    r"|std::random_device")
+WALL_CLOCK_RE = re.compile(
+    # std::time(...) in any form; bare time() only in its libc call shape
+    # (time(nullptr/NULL/0)) so ctor init-lists like `time(t)` stay clean.
+    r"std::time\s*\("
+    r"|(?<![A-Za-z0-9_:.])time\s*\(\s*(?:nullptr|NULL|0)\s*\)"
+    r"|(?<![A-Za-z0-9_])clock\s*\(\s*\)"
+    r"|\bgettimeofday\b|\bclock_gettime\b|\blocaltime\b|\bgmtime\b"
+    r"|\b(?:system_clock|steady_clock|high_resolution_clock)\b")
+FLOAT_RE = re.compile(r"\bfloat\b")
+UNORDERED_DECL_RE = re.compile(r"\bunordered_(?:multi)?(?:map|set)\b")
+ORDERED_PTR_RE = re.compile(r"\bstd::(?:multi)?(?:map|set)\s*<")
+RANGE_FOR_RE = re.compile(r"\bfor\s*\((?:[^;()]|\([^()]*\))*:\s*([^)]+)\)")
+
+SCALAR_TYPE_RE = re.compile(
+    r"^(?:unsigned\s+)?(?:bool|char|short|int|long(?:\s+long)?|float|double"
+    r"|std::size_t|size_t|std::u?int(?:8|16|32|64)_t|std::ptrdiff_t"
+    r"|[A-Za-z_]\w*Id)(?:\s+(?:int|long))?$")
+MEMBER_DECL_RE = re.compile(
+    r"^\s*((?:[A-Za-z_][\w:]*(?:\s+[A-Za-z_][\w:]*)*))\s+"
+    r"([A-Za-z_]\w*)\s*;\s*$")
+
+
+def strip_comments_and_strings(lines: list[str]) -> list[str]:
+    """Blank out comment and string/char-literal contents, preserving line
+    structure so reported line numbers stay exact."""
+    out = []
+    in_block = False
+    for line in lines:
+        res = []
+        i, n = 0, len(line)
+        while i < n:
+            c = line[i]
+            if in_block:
+                if line.startswith("*/", i):
+                    in_block = False
+                    i += 2
+                    res.append("  ")
+                else:
+                    res.append(" ")
+                    i += 1
+            elif line.startswith("//", i):
+                res.append(" " * (n - i))
+                break
+            elif line.startswith("/*", i):
+                in_block = True
+                res.append("  ")
+                i += 2
+            elif c in "\"'":
+                quote = c
+                res.append(" ")
+                i += 1
+                while i < n:
+                    if line[i] == "\\":
+                        res.append("  ")
+                        i += 2
+                    elif line[i] == quote:
+                        res.append(" ")
+                        i += 1
+                        break
+                    else:
+                        res.append(" ")
+                        i += 1
+            else:
+                res.append(c)
+                i += 1
+        out.append("".join(res))
+    return out
+
+
+def parse_allows(lines: list[str]) -> tuple[list[set], set]:
+    """Per-line allowed rule sets (an allow covers its own line and the next
+    non-empty line below it) plus file-wide allows."""
+    per_line: list[set] = [set() for _ in lines]
+    file_wide: set = set()
+    for idx, line in enumerate(lines):
+        m = ALLOW_FILE_RE.search(line)
+        if m:
+            file_wide.update(r.strip() for r in m.group(1).split(","))
+        m = ALLOW_RE.search(line)
+        if m:
+            rules = {r.strip() for r in m.group(1).split(",")}
+            per_line[idx].update(rules)
+            if idx + 1 < len(lines):
+                per_line[idx + 1].update(rules)
+    return per_line, file_wide
+
+
+def template_depth_split(args: str) -> list[str]:
+    """Split template argument text on top-level commas."""
+    parts, depth, cur = [], 0, []
+    for c in args:
+        if c in "<([":
+            depth += 1
+        elif c in ">)]":
+            depth -= 1
+        if c == "," and depth == 0:
+            parts.append("".join(cur))
+            cur = []
+        else:
+            cur.append(c)
+    parts.append("".join(cur))
+    return parts
+
+
+def extract_template_args(text: str, open_idx: int) -> str | None:
+    """Given index of `<`, return the balanced content between it and the
+    matching `>` (or None when unbalanced on this line)."""
+    depth = 0
+    for i in range(open_idx, len(text)):
+        if text[i] == "<":
+            depth += 1
+        elif text[i] == ">":
+            depth -= 1
+            if depth == 0:
+                return text[open_idx + 1:i]
+    return None
+
+
+def collapse_templates(text: str) -> str:
+    """`std::unordered_map<K, V> name` -> `std::unordered_map name`."""
+    out, depth = [], 0
+    for c in text:
+        if c == "<":
+            depth += 1
+        elif c == ">":
+            depth = max(0, depth - 1)
+        elif depth == 0:
+            out.append(c)
+    return "".join(out)
+
+
+def unordered_names(stripped: list[str]) -> set[str]:
+    """Identifiers (variables, members, type aliases) declared with an
+    unordered container type anywhere in the given lines."""
+    names: set[str] = set()
+    aliases: set[str] = set()
+    for line in stripped:
+        if not UNORDERED_DECL_RE.search(line):
+            # Also catch declarations whose type is a known alias.
+            for alias in aliases:
+                m = re.search(r"\b%s\s+([A-Za-z_]\w*)\s*[;={]" % re.escape(alias),
+                              line)
+                if m:
+                    names.add(m.group(1))
+            continue
+        m = re.match(r"\s*using\s+([A-Za-z_]\w*)\s*=", line)
+        if m:
+            aliases.add(m.group(1))
+            continue
+        flat = collapse_templates(line)
+        m = re.search(r"unordered_(?:multi)?(?:map|set)\s*&?\s+&?\s*"
+                      r"([A-Za-z_]\w*)", flat)
+        if m:
+            names.add(m.group(1))
+    return names
+
+
+def range_for_target(expr: str) -> str | None:
+    """Final identifier of a range-for range expression, or None when the
+    range is a call/temporary (e.g. `net_->tasks()`)."""
+    expr = expr.strip()
+    if expr.endswith(")"):
+        return None
+    m = re.search(r"([A-Za-z_]\w*)$", expr)
+    return m.group(1) if m else None
+
+
+def lint_uninitialized_members(stripped: list[str], path: str,
+                               findings: list, allowed) -> None:
+    depth = 0
+    stack: list[dict] = []
+    completed: list[dict] = []
+    for idx, line in enumerate(stripped):
+        opens = line.count("{")
+        closes = line.count("}")
+        m = re.search(r"\bstruct\s+([A-Za-z_]\w*)[^;{]*\{", line)
+        if m:
+            stack.append({"name": m.group(1), "depth": depth, "has_ctor": False,
+                          "members": []})
+        if stack and not m:
+            st = stack[-1]
+            body_depth = st["depth"] + 1
+            if depth == body_depth:
+                if re.search(r"\b%s\s*\(" % re.escape(st["name"]), line):
+                    st["has_ctor"] = True
+                dm = MEMBER_DECL_RE.match(line)
+                if dm and SCALAR_TYPE_RE.match(dm.group(1).strip()):
+                    st["members"].append((idx, dm.group(1).strip(),
+                                          dm.group(2)))
+        depth += opens - closes
+        while stack and depth <= stack[-1]["depth"]:
+            completed.append(stack.pop())
+    completed.extend(stack)  # unterminated at EOF: still report members
+    for st in completed:
+        if st["has_ctor"]:
+            continue
+        for idx, type_text, name in st["members"]:
+            if allowed(idx, "uninitialized-member"):
+                continue
+            findings.append((path, idx + 1, "uninitialized-member",
+                             f"struct {st['name']}: member '{type_text} "
+                             f"{name}' has no default initializer"))
+
+
+def lint_file(path: str, companion_text: str | None = None) -> list:
+    with open(path, encoding="utf-8", errors="replace") as f:
+        raw = f.read().splitlines()
+    stripped = strip_comments_and_strings(raw)
+    per_line_allow, file_allow = parse_allows(raw)
+
+    def allowed(idx: int, rule: str) -> bool:
+        return rule in file_allow or rule in per_line_allow[idx]
+
+    findings: list = []
+
+    def add(idx: int, rule: str, detail: str = ""):
+        if not allowed(idx, rule):
+            findings.append((path, idx + 1, rule,
+                             detail or RULES[rule]))
+
+    known_unordered = unordered_names(stripped)
+    if companion_text is not None:
+        known_unordered |= unordered_names(
+            strip_comments_and_strings(companion_text.splitlines()))
+
+    for idx, line in enumerate(stripped):
+        if RAND_RE.search(line):
+            add(idx, "rand")
+        if WALL_CLOCK_RE.search(line):
+            add(idx, "wall-clock")
+        if FLOAT_RE.search(line):
+            add(idx, "float-type")
+        for m in ORDERED_PTR_RE.finditer(line):
+            args = extract_template_args(line, m.end() - 1)
+            if args is None:
+                continue
+            key = template_depth_split(args)[0]
+            if "*" in key:
+                add(idx, "pointer-key",
+                    f"ordered container keyed by pointer type "
+                    f"'{key.strip()}'")
+        for m in RANGE_FOR_RE.finditer(line):
+            target = range_for_target(m.group(1))
+            if target and target in known_unordered:
+                add(idx, "unordered-iteration",
+                    f"range-for over unordered container '{target}'")
+
+    lint_uninitialized_members(stripped, path, findings, allowed)
+    return findings
+
+
+def companion_path(path: str) -> str | None:
+    stem, ext = os.path.splitext(path)
+    for other in (".hpp", ".h", ".cpp", ".cc"):
+        if other != ext and os.path.exists(stem + other):
+            return stem + other
+    return None
+
+
+def collect_files(paths: list[str]) -> list[str]:
+    files: list[str] = []
+    for p in paths:
+        if os.path.isfile(p):
+            files.append(p)
+        elif os.path.isdir(p):
+            for root, _dirs, names in os.walk(p):
+                for name in sorted(names):
+                    if name.endswith((".hpp", ".h", ".cpp", ".cc")):
+                        files.append(os.path.join(root, name))
+        else:
+            print(f"error: no such path: {p}", file=sys.stderr)
+            raise SystemExit(2)
+    return sorted(set(files))
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("paths", nargs="*", default=None,
+                        help="files or directories to lint (default: src/)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print rule ids and exit")
+    args = parser.parse_args()
+
+    if args.list_rules:
+        for rule, desc in RULES.items():
+            print(f"{rule}: {desc}")
+        return 0
+
+    files = collect_files(args.paths or ["src"])
+    all_findings = []
+    for path in files:
+        comp = companion_path(path)
+        comp_text = None
+        if comp is not None:
+            with open(comp, encoding="utf-8", errors="replace") as f:
+                comp_text = f.read()
+        all_findings.extend(lint_file(path, comp_text))
+
+    for path, line, rule, detail in all_findings:
+        print(f"{path}:{line}: [{rule}] {detail}")
+    print(f"lint_determinism: {len(files)} files, "
+          f"{len(all_findings)} findings")
+    return 1 if all_findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Drive clang-tidy over the TAPS tree from the compilation database.
+
+Reads compile_commands.json from the build directory, keeps only first-party
+translation units (src/ bench/ tests/ by default), and runs clang-tidy on
+them in parallel. Any diagnostic fails the run (the repo profile in
+.clang-tidy sets WarningsAsErrors: '*').
+
+Usage:
+    scripts/run_clang_tidy.py -p build [--clang-tidy clang-tidy-18]
+        [--jobs N] [--filter REGEX] [files...]
+
+Exit codes: 0 clean, 1 findings, 2 usage or environment error.
+See docs/STATIC_ANALYSIS.md for the workflow.
+"""
+
+from __future__ import annotations
+
+import argparse
+import concurrent.futures
+import json
+import os
+import re
+import subprocess
+import sys
+
+DEFAULT_DIRS = ("src/", "bench/", "tests/")
+
+
+def load_database(build_dir: str) -> list[dict]:
+    path = os.path.join(build_dir, "compile_commands.json")
+    try:
+        with open(path, encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: cannot read {path}: {e}\n"
+              "(configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON; the "
+              "top-level CMakeLists already does)", file=sys.stderr)
+        raise SystemExit(2)
+
+
+def first_party_sources(db: list[dict], root: str, pattern: str | None) -> list[str]:
+    keep: list[str] = []
+    seen: set[str] = set()
+    rx = re.compile(pattern) if pattern else None
+    for entry in db:
+        path = os.path.normpath(
+            os.path.join(entry.get("directory", ""), entry["file"]))
+        rel = os.path.relpath(path, root)
+        if rel.startswith(".."):
+            continue  # system / third-party TU
+        if not rel.startswith(DEFAULT_DIRS):
+            continue
+        if rx and not rx.search(rel):
+            continue
+        if rel not in seen:
+            seen.add(rel)
+            keep.append(rel)
+    return sorted(keep)
+
+
+def run_one(clang_tidy: str, build_dir: str, source: str) -> tuple[str, int, str]:
+    try:
+        proc = subprocess.run(
+            [clang_tidy, "-p", build_dir, "--quiet", source],
+            capture_output=True, text=True, check=False)
+    except FileNotFoundError:
+        print(f"error: {clang_tidy} not found on PATH", file=sys.stderr)
+        raise SystemExit(2)
+    # clang-tidy prints suppressed-warning counts on stderr even when clean;
+    # only surface stderr when the run actually failed.
+    out = proc.stdout.strip()
+    if proc.returncode != 0 and proc.stderr.strip():
+        out = (out + "\n" + proc.stderr.strip()).strip()
+    return source, proc.returncode, out
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("files", nargs="*",
+                        help="restrict to these sources (repo-relative); "
+                             "default: every first-party TU in the database")
+    parser.add_argument("-p", "--build-dir", default="build",
+                        help="build directory containing compile_commands.json")
+    parser.add_argument("--clang-tidy", default="clang-tidy",
+                        help="clang-tidy executable to use")
+    parser.add_argument("--jobs", type=int, default=0,
+                        help="parallel clang-tidy processes (default: cores)")
+    parser.add_argument("--filter", default=None,
+                        help="only lint sources matching this regex")
+    args = parser.parse_args()
+
+    root = os.getcwd()
+    db = load_database(args.build_dir)
+    sources = args.files or first_party_sources(db, root, args.filter)
+    if not sources:
+        print("error: no first-party sources matched", file=sys.stderr)
+        return 2
+
+    jobs = args.jobs or os.cpu_count() or 1
+    failures: list[str] = []
+    with concurrent.futures.ThreadPoolExecutor(max_workers=jobs) as pool:
+        futures = [pool.submit(run_one, args.clang_tidy, args.build_dir, s)
+                   for s in sources]
+        for fut in concurrent.futures.as_completed(futures):
+            source, rc, out = fut.result()
+            status = "ok" if rc == 0 else "FAIL"
+            print(f"  {status:>4}  {source}")
+            if rc != 0:
+                failures.append(source)
+                if out:
+                    print(out)
+
+    print(f"\nclang-tidy: {len(sources)} files, {len(failures)} with findings")
+    if failures:
+        for f in sorted(failures):
+            print(f"  FAIL {f}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,6 +12,7 @@ namespace taps::bench {
 
 namespace {
 
+// taps-lint: allow(wall-clock) -- the bench harness exists to time things
 using Clock = std::chrono::steady_clock;
 
 double time_once(const std::function<void()>& fn, std::size_t iters) {

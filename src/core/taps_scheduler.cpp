@@ -46,6 +46,7 @@ std::vector<FlowId> TapsScheduler::unfinished_admitted() const {
 #ifndef NDEBUG
   // The filtered committed order must be exactly the old active_-scan set.
   std::vector<FlowId> check;
+  check.reserve(active_.size());
   for (const FlowId fid : active_) {
     const Flow& f = net_->flow(fid);
     if (!f.finished() && f.remaining > sim::kByteEpsilon) check.push_back(fid);
@@ -221,8 +222,10 @@ void TapsScheduler::on_task_arrival(TaskId id, double now) {
       // Validate the post-preemption plan BEFORE discarding the victim: the
       // greedy multi-path allocator is not monotone, so removing the victim
       // does not provably keep every survivor feasible.
+      const std::vector<FlowId> candidates = unfinished_admitted();
       std::vector<FlowId> order;
-      for (const FlowId fid : unfinished_admitted()) {
+      order.reserve(candidates.size() + wave.size());
+      for (const FlowId fid : candidates) {
         if (net_->flow(fid).task() != outcome.victim) order.push_back(fid);
       }
       const std::size_t survivor_count = order.size();  // sorted subsequence

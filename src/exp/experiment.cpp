@@ -100,8 +100,10 @@ ExperimentRun run_experiment_full(const workload::Scenario& scenario, SchedulerK
   sim::FluidSimulator simulator(*run.network, *run.scheduler);
   if (observer != nullptr) simulator.set_observer(observer);
 
+  // taps-lint: allow(wall-clock) -- measures host wall time for reporting
   const auto start = std::chrono::steady_clock::now();
   run.result.stats = simulator.run();
+  // taps-lint: allow(wall-clock) -- wall_seconds never feeds sim decisions
   const auto stop = std::chrono::steady_clock::now();
   run.result.wall_seconds = std::chrono::duration<double>(stop - start).count();
   run.result.metrics = metrics::collect(*run.network);

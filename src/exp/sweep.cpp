@@ -5,12 +5,23 @@
 #include <stdexcept>
 
 #include "metrics/report.hpp"
+#include "util/annotations.hpp"
 #include "util/csv.hpp"
+#include "util/logging.hpp"
+#include "util/sync.hpp"
 #include "util/thread_pool.hpp"
 
 namespace taps::exp {
 
 namespace {
+
+// The only state sweep workers mutate in common: a progress counter feeding
+// debug logging. The result cells themselves need no lock — each worker owns
+// exactly one disjoint index (see run_sweep).
+struct SweepProgress {
+  util::Mutex mu;
+  std::size_t done TAPS_GUARDED_BY(mu) = 0;
+};
 
 metrics::RunMetrics average(const std::vector<metrics::RunMetrics>& ms) {
   metrics::RunMetrics avg;
@@ -53,9 +64,12 @@ SweepResult run_sweep(const std::vector<SweepPoint>& points,
   out.cells.resize(points.size() * schedulers.size());
 
   util::ThreadPool pool(threads);
+  SweepProgress progress;
   pool.parallel_for(out.cells.size(), [&](std::size_t idx) {
     const std::size_t pi = idx / schedulers.size();
     const std::size_t si = idx % schedulers.size();
+    // Disjoint per-worker slot: no two workers share an idx, so writing the
+    // cell is race-free without a lock (TSan-checked by the sweep suite).
     SweepCell& cell = out.cells[idx];
     cell.x = points[pi].x;
     cell.scheduler = schedulers[si];
@@ -75,6 +89,14 @@ SweepResult run_sweep(const std::vector<SweepPoint>& points,
     cell.result.metrics = average(reps);
     cell.result.stats = stats;
     cell.result.wall_seconds = wall;
+
+    {
+      util::MutexLock lock(progress.mu);
+      ++progress.done;
+      util::log_debug() << "sweep cell " << progress.done << "/" << out.cells.size()
+                        << " done (x=" << cell.x << ", scheduler=" << to_string(cell.scheduler)
+                        << ")";
+    }
   });
   return out;
 }

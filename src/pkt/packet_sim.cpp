@@ -27,10 +27,11 @@ PacketSimStats PacketSimulator::run() {
 
   // Wave arrivals, exactly as the fluid simulator delivers them.
   struct Wave {
-    double time;
-    TaskId task;
+    double time = 0.0;
+    TaskId task = 0;
   };
   std::vector<Wave> waves;
+  waves.reserve(net_->tasks().size());
   for (const auto& t : net_->tasks()) {
     double last = -1.0;
     for (const FlowId fid : t.spec.flows) {

@@ -27,6 +27,7 @@ void BaseScheduler::on_flow_finished(net::FlowId id, double /*now*/) {
 
 std::vector<FlowId> BaseScheduler::pending_wave(TaskId id, double now) const {
   std::vector<FlowId> wave;
+  wave.reserve(net_->task(id).spec.flows.size());
   for (const FlowId fid : net_->task(id).spec.flows) {
     const Flow& f = net_->flow(fid);
     if (f.state == FlowState::kPending && f.spec.arrival <= now + sim::kTimeEpsilon) {
@@ -76,6 +77,7 @@ void BaseScheduler::progressive_fill(const std::vector<FlowId>& flows,
   std::vector<FlowId> alive;
   alive.reserve(flows.size());
   std::vector<topo::LinkId> used_links;
+  used_links.reserve(link_flow_count_.size());
   for (const FlowId fid : flows) {
     const Flow& f = net_->flow(fid);
     if (f.finished() || f.remaining <= sim::kByteEpsilon) continue;

@@ -31,8 +31,8 @@ void Varys::on_task_arrival(TaskId id, double now) {
   // is all-or-nothing per task: if any wave does not fit, the whole task is
   // discarded (Varys has no notion of partially useful coflows).
   struct Candidate {
-    FlowId id;
-    double reserve;
+    FlowId id = 0;
+    double reserve = 0.0;
   };
   std::vector<Candidate> cands;
   cands.reserve(wave.size());

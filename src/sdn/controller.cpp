@@ -76,6 +76,7 @@ void Controller::on_flow_probe(const SchedulingHeader& header, double now) {
 
 double Controller::next_flush_time() const {
   double earliest = std::numeric_limits<double>::infinity();
+  // taps-lint: allow(unordered-iteration) -- pure min-reduction, order-free
   for (const auto& [task, batch] : pending_) {
     earliest = std::min(earliest, batch.first_probe + config_.gather_window);
   }
@@ -84,6 +85,7 @@ double Controller::next_flush_time() const {
 
 std::vector<ScheduleReply> Controller::flush(double now) {
   std::vector<TaskId> due;
+  // taps-lint: allow(unordered-iteration) -- `due` is sorted before use
   for (const auto& [task, batch] : pending_) {
     if (batch.first_probe + config_.gather_window <= now + 1e-12) due.push_back(task);
   }
@@ -100,6 +102,7 @@ std::vector<ScheduleReply> Controller::flush(double now) {
 ScheduleReply Controller::decide(TaskId task, double now) {
   // Snapshot admitted tasks to detect preemption.
   std::vector<TaskId> admitted_before;
+  admitted_before.reserve(net_->tasks().size());
   for (const auto& t : net_->tasks()) {
     if (t.state == TaskState::kAdmitted) admitted_before.push_back(t.id());
   }

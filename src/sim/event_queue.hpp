@@ -38,9 +38,9 @@ class EventQueue {
 
  private:
   struct Entry {
-    double time;
-    std::uint64_t seq;
-    EventId id;
+    double time = 0.0;
+    std::uint64_t seq = 0;
+    EventId id = 0;
     bool operator>(const Entry& o) const {
       if (time != o.time) return time > o.time;
       return seq > o.seq;

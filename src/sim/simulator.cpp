@@ -22,10 +22,11 @@ SimStats FluidSimulator::run() {
   // event per distinct flow arrival, re-announcing the task to the scheduler
   // each time new flows become available.
   struct Wave {
-    double time;
-    TaskId task;
+    double time = 0.0;
+    TaskId task = 0;
   };
   std::vector<Wave> waves;
+  waves.reserve(net_->tasks().size());
   for (const auto& t : net_->tasks()) {
     double last = -1.0;
     for (const FlowId fid : t.spec.flows) {

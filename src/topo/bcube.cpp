@@ -75,6 +75,7 @@ std::vector<Path> BCube::paths(NodeId src, NodeId dst, std::size_t max_paths) co
   // Digits where the two addresses differ; each correction is one two-hop
   // relay through the switch of that level.
   std::vector<int> levels;
+  levels.reserve(static_cast<std::size_t>(k_) + 1);
   for (int l = 0; l <= k_; ++l) {
     if (digit(a, l) != digit(b, l)) levels.push_back(l);
   }

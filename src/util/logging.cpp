@@ -2,13 +2,16 @@
 
 #include <atomic>
 #include <cstdio>
-#include <mutex>
+
+#include "util/sync.hpp"
 
 namespace taps::util {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
-std::mutex g_emit_mutex;
+// Serializes whole lines onto stderr so concurrent sweep workers never
+// interleave partial messages. stderr itself is the guarded resource.
+Mutex g_emit_mutex;
 
 const char* level_name(LogLevel l) {
   switch (l) {
@@ -32,7 +35,7 @@ void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_rela
 LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
 void log_message(LogLevel level, const std::string& msg) {
-  std::lock_guard<std::mutex> lock(g_emit_mutex);
+  MutexLock lock(g_emit_mutex);
   std::fprintf(stderr, "[%s] %s\n", level_name(level), msg.c_str());
 }
 

@@ -2,7 +2,17 @@
 
 #include <cassert>
 
+#include "util/sync.hpp"
+
 namespace taps::util {
+
+namespace {
+// glibc's lgamma() writes the process-global `signgam` (POSIX), and
+// libstdc++'s poisson_distribution calls lgamma both at construction and in
+// its large-mean rejection sampler. Rng::poisson is the only lgamma caller
+// in the codebase, so one lock keeps concurrent sweep workers race-free.
+Mutex g_lgamma_mutex;
+}  // namespace
 
 std::uint64_t fnv1a(std::string_view s) noexcept {
   std::uint64_t h = 0xcbf29ce484222325ULL;
@@ -54,6 +64,7 @@ double Rng::normal_truncated(double mean, double stddev, double min) {
 std::int64_t Rng::poisson(double mean) {
   assert(mean >= 0.0);
   if (mean == 0.0) return 0;
+  MutexLock lock(g_lgamma_mutex);
   return std::poisson_distribution<std::int64_t>(mean)(engine_);
 }
 

@@ -1,0 +1,67 @@
+// Annotated synchronization primitives for clang's thread-safety analysis.
+//
+// libstdc++'s std::mutex / std::lock_guard carry no `capability` attributes,
+// so code locking through them cannot be checked by -Wthread-safety. These
+// thin wrappers restore that: Mutex is a lockable capability, MutexLock is
+// the scoped guard, and CondVar is a condition variable that waits on a
+// Mutex directly (via std::condition_variable_any, which accepts any
+// BasicLockable). All wrappers are zero-cost abstractions over the std
+// types apart from condition_variable_any's internal reference bookkeeping,
+// which is off every hot path (the pool's wait loop parks idle workers).
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "util/annotations.hpp"
+
+namespace taps::util {
+
+/// std::mutex annotated as a thread-safety capability.
+class TAPS_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() TAPS_ACQUIRE() { m_.lock(); }
+  void unlock() TAPS_RELEASE() { m_.unlock(); }
+  [[nodiscard]] bool try_lock() TAPS_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex m_;
+};
+
+/// Scoped lock (std::lock_guard analogue) that the analysis can see.
+class TAPS_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) TAPS_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() TAPS_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable waiting directly on an annotated Mutex. Waits require
+/// the mutex held; the temporary release inside wait() happens within
+/// std::condition_variable_any (a system header, outside the analysis).
+///
+/// Deliberately predicate-less: a predicate lambda reading guarded state
+/// cannot carry a TAPS_REQUIRES annotation portably, so callers write the
+/// classic `while (!ready) cv.wait(mu);` loop, which the analysis can check.
+class CondVar {
+ public:
+  void wait(Mutex& mu) TAPS_REQUIRES(mu) { cv_.wait(mu); }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace taps::util

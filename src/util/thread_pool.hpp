@@ -2,14 +2,16 @@
 // parallel (each point is a full simulation; they share nothing mutable).
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
+#include <stdexcept>
 #include <thread>
 #include <vector>
+
+#include "util/annotations.hpp"
+#include "util/sync.hpp"
 
 namespace taps::util {
 
@@ -31,7 +33,7 @@ class ThreadPool {
     auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
     std::future<R> fut = task->get_future();
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       if (stopping_) throw std::runtime_error("submit on stopped ThreadPool");
       queue_.emplace_back([task]() { (*task)(); });
     }
@@ -47,10 +49,10 @@ class ThreadPool {
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stopping_ = false;
+  Mutex mutex_;
+  CondVar cv_;
+  std::deque<std::function<void()>> queue_ TAPS_GUARDED_BY(mutex_);
+  bool stopping_ TAPS_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace taps::util

@@ -1,0 +1,185 @@
+"""Tests for scripts/lint_determinism.py (the determinism linter).
+
+Run from ctest as `lint_determinism_py` — stdlib only. The linter is
+exercised end-to-end as a subprocess so the exit-code contract (0 clean /
+1 findings / 2 usage error) is what is actually pinned. One positive
+fixture per rule, the allow()/allow-file() escape hatches, and a clean run
+over the real repo src/ (the zero-findings acceptance gate).
+"""
+
+import pathlib
+import subprocess
+import sys
+import tempfile
+import unittest
+
+REPO = pathlib.Path(__file__).resolve().parents[2]
+SCRIPT = REPO / "scripts" / "lint_determinism.py"
+
+
+def run_lint(*args, cwd=None):
+    return subprocess.run(
+        [sys.executable, str(SCRIPT), *map(str, args)],
+        capture_output=True, text=True, cwd=cwd, check=False)
+
+
+class LintFixtureTest(unittest.TestCase):
+    """Each rule must fire on a minimal positive fixture."""
+
+    def setUp(self):
+        self._tmp = tempfile.TemporaryDirectory()
+        self.tmp = pathlib.Path(self._tmp.name)
+        self.addCleanup(self._tmp.cleanup)
+
+    def lint_source(self, source, name="fixture.cpp"):
+        path = self.tmp / name
+        path.write_text(source, encoding="utf-8")
+        return run_lint(path)
+
+    def assert_finding(self, source, rule, name="fixture.cpp"):
+        proc = self.lint_source(source, name)
+        self.assertEqual(proc.returncode, 1, proc.stdout + proc.stderr)
+        self.assertIn(f"[{rule}]", proc.stdout)
+        return proc
+
+    def assert_clean(self, source, name="fixture.cpp"):
+        proc = self.lint_source(source, name)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        return proc
+
+    def test_rand(self):
+        self.assert_finding("int x = rand();\n", "rand")
+        self.assert_finding("std::random_device rd;\n", "rand")
+        self.assert_finding("srand(42);\n", "rand")
+
+    def test_wall_clock(self):
+        self.assert_finding("auto t = std::time(nullptr);\n", "wall-clock")
+        self.assert_finding(
+            "auto n = std::chrono::system_clock::now();\n", "wall-clock")
+        self.assert_finding(
+            "auto n = std::chrono::steady_clock::now();\n", "wall-clock")
+        self.assert_finding("gettimeofday(&tv, nullptr);\n", "wall-clock")
+
+    def test_wall_clock_does_not_flag_sim_time_identifiers(self):
+        self.assert_clean("double next_flush_time() const;\n"
+                          "double t = peek_time();\n")
+
+    def test_unordered_iteration(self):
+        self.assert_finding(
+            "std::unordered_map<int, double> pending_;\n"
+            "void f() { for (const auto& [k, v] : pending_) use(k); }\n",
+            "unordered-iteration")
+
+    def test_unordered_iteration_sees_companion_header(self):
+        (self.tmp / "w.hpp").write_text(
+            "#include <unordered_set>\n"
+            "struct W { std::unordered_set<int> live_; void f(); };\n",
+            encoding="utf-8")
+        (self.tmp / "w.cpp").write_text(
+            "#include \"w.hpp\"\n"
+            "void W::f() { for (int x : live_) emit(x); }\n",
+            encoding="utf-8")
+        proc = run_lint(self.tmp / "w.cpp")
+        self.assertEqual(proc.returncode, 1, proc.stdout)
+        self.assertIn("[unordered-iteration]", proc.stdout)
+
+    def test_ordered_map_iteration_is_fine(self):
+        self.assert_clean(
+            "std::map<int, double> pending_;\n"
+            "void f() { for (const auto& [k, v] : pending_) use(k); }\n")
+
+    def test_pointer_key(self):
+        self.assert_finding("std::map<Flow*, int> by_flow;\n", "pointer-key")
+        self.assert_finding("std::set<const Node*> seen;\n", "pointer-key")
+
+    def test_pointer_value_is_fine(self):
+        self.assert_clean("std::map<int, Flow*> by_id;\n")
+
+    def test_uninitialized_member(self):
+        self.assert_finding(
+            "struct FlowConfig {\n"
+            "  double deadline;\n"
+            "  int waves = 1;\n"
+            "};\n",
+            "uninitialized-member")
+
+    def test_initialized_members_are_fine(self):
+        self.assert_clean(
+            "struct FlowConfig {\n"
+            "  double deadline = 0.0;\n"
+            "  std::size_t waves = 1;\n"
+            "  std::string name;\n"  # non-POD: value-initialized anyway
+            "};\n")
+
+    def test_struct_with_constructor_is_exempt(self):
+        self.assert_clean(
+            "struct Entry {\n"
+            "  Entry(double t) : time(t) {}\n"
+            "  double time;\n"
+            "};\n")
+
+    def test_float_type(self):
+        self.assert_finding("float ratio = 0.5f;\n", "float-type")
+
+    def test_float_in_comment_or_string_is_fine(self):
+        self.assert_clean("// accumulates float error\n"
+                          "const char* s = \"float\";\n"
+                          "double x = 0.0;\n")
+
+    def test_allow_same_line(self):
+        self.assert_clean(
+            "auto t = std::time(nullptr);"
+            "  // taps-lint: allow(wall-clock) -- logging timestamp only\n")
+
+    def test_allow_line_above(self):
+        self.assert_clean(
+            "// taps-lint: allow(rand) -- fixture exercising rand itself\n"
+            "int x = rand();\n")
+
+    def test_allow_multiple_rules(self):
+        self.assert_clean(
+            "// taps-lint: allow(rand, wall-clock) -- test fixture\n"
+            "int x = rand() + time(nullptr);\n")
+
+    def test_allow_wrong_rule_does_not_suppress(self):
+        self.assert_finding(
+            "// taps-lint: allow(wall-clock) -- mismatched rule id\n"
+            "int x = rand();\n",
+            "rand")
+
+    def test_allow_does_not_leak_two_lines_down(self):
+        self.assert_finding(
+            "// taps-lint: allow(rand)\n"
+            "int ok = rand();\n"
+            "int bad = rand();\n",
+            "rand")
+
+    def test_allow_file(self):
+        self.assert_clean(
+            "// taps-lint: allow-file(float-type) -- fp32 conversion shim\n"
+            "float a;\nfloat b;\n"
+            "struct P { P() {} };\n")
+
+
+class LintCliTest(unittest.TestCase):
+    def test_list_rules(self):
+        proc = run_lint("--list-rules")
+        self.assertEqual(proc.returncode, 0)
+        for rule in ("rand", "wall-clock", "unordered-iteration",
+                     "pointer-key", "uninitialized-member", "float-type"):
+            self.assertIn(rule, proc.stdout)
+
+    def test_missing_path_is_usage_error(self):
+        proc = run_lint("no/such/dir")
+        self.assertEqual(proc.returncode, 2)
+
+    def test_repo_src_is_clean(self):
+        """The acceptance gate: the real tree has zero findings."""
+        proc = run_lint("src", cwd=REPO)
+        self.assertEqual(proc.returncode, 0,
+                         f"src/ has findings:\n{proc.stdout}{proc.stderr}")
+        self.assertIn("0 findings", proc.stdout)
+
+
+if __name__ == "__main__":
+    unittest.main()
