@@ -33,6 +33,44 @@ void TapsScheduler::bind(net::Network& net) {
   arrivals_since_trim_ = 0;
 }
 
+void TapsScheduler::migrate(net::Network& fresh, const std::vector<net::FlowId>& flow_map) {
+  assert(journal_.empty());
+  assert(flow_map.size() == slices_.size());
+  assert(fresh.graph().link_count() == occ_.link_count());
+  BaseScheduler::bind(fresh);
+  for (const Flow& f : fresh.flows()) {
+    if (f.active()) active_.push_back(f.id());
+  }
+  std::vector<util::IntervalSet> slices(fresh.flows().size());
+  std::vector<double> remaining(fresh.flows().size(), 0.0);
+  for (std::size_t old = 0; old < flow_map.size(); ++old) {
+    const FlowId nid = flow_map[old];
+    if (nid == net::kInvalidFlow) continue;
+    slices[static_cast<std::size_t>(nid)] = std::move(slices_[old]);
+    remaining[static_cast<std::size_t>(nid)] = committed_remaining_[old];
+  }
+  slices_ = std::move(slices);
+  committed_remaining_ = std::move(remaining);
+  std::vector<FlowId> order;
+  order.reserve(committed_order_.size());
+  for (const FlowId fid : committed_order_) {
+    const FlowId nid = flow_map[static_cast<std::size_t>(fid)];
+    if (nid != net::kInvalidFlow) order.push_back(nid);
+  }
+  committed_order_ = std::move(order);
+  // Dropped committed entries were finished: their future-facing occupancy
+  // is empty (completed flows transmitted exactly their slices; preempted
+  // flows were vacated at preemption), so the committed map still matches
+  // the surviving plan on [now, inf) and occ_ carries over untouched.
+  plan_scratch_.clear();
+  session_order_.clear();
+  session_plans_.clear();
+  session_marks_.clear();
+  session_retired_.clear();
+  session_adopted_ = 0;
+  session_infeasible_ = 0;
+}
+
 std::vector<FlowId> TapsScheduler::unfinished_admitted() const {
   // committed_order_ holds every flow of the last committed plan — a
   // superset of the currently active unfinished flows, because admission

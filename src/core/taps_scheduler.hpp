@@ -109,6 +109,24 @@ class TapsScheduler : public sched::BaseScheduler {
   /// A/B measurements can warm up one instance and time both modes on it.
   void set_incremental_replan(bool on) { config_.incremental_replan = on; }
 
+  /// Move the committed scheduler state onto `fresh`, a re-registration of
+  /// the current network's unfinished tasks (same flow states/remaining
+  /// bitwise, same relative order). `flow_map[old_id]` gives each old flow's
+  /// id in `fresh`, or net::kInvalidFlow for flows that were dropped
+  /// (finished tasks). Counters, the committed occupancy and the
+  /// cross-arrival validity token carry over, so subsequent decisions are
+  /// bit-identical to never having migrated: kept ids preserve relative
+  /// order (every EDF+SJF tie-break compares the same way), dropped flows
+  /// can only own past occupancy, which planning (always querying at or
+  /// after `now`) never reads and trimming eventually drops, and the
+  /// candidate-path cache is rebuilt lazily from immutable (src, dst) pairs.
+  /// This is how the long-lived controller service (svc::Shard) bounds the
+  /// task/flow registry on unbounded arrival streams. Must be called
+  /// between arrivals (no open session); active_ is rebuilt in flow-id
+  /// order, so assign_rates() makeup tie-breaks may differ afterwards — the
+  /// service never calls assign_rates.
+  void migrate(net::Network& fresh, const std::vector<net::FlowId>& flow_map);
+
  private:
   /// A candidate plan: committed only when every flow in it is feasible, so
   /// an admitted task can never be stranded by a re-plan (the previously

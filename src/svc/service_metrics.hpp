@@ -1,0 +1,34 @@
+// metrics:: surfacing for the admission service: render service counters
+// (outcome mix, batch-size histogram, queue depth) and the aggregated
+// per-shard TapsCounters as metrics::Table rows, and fold a finished run
+// into metrics::RunMetrics so existing reporting/bench tooling can consume
+// controller runs like simulator runs.
+#pragma once
+
+#include <vector>
+
+#include "metrics/collector.hpp"
+#include "metrics/report.hpp"
+#include "svc/service.hpp"
+
+namespace taps::svc {
+
+/// Sum of the per-shard counters (quiescent shards only).
+[[nodiscard]] ShardStats aggregate(const std::vector<ShardStats>& shards);
+
+/// All shard stats of a quiescent service, in shard order.
+[[nodiscard]] std::vector<ShardStats> shard_stats(const AdmissionService& service);
+
+/// Two-column (metric, value) table: service counters, reason breakdown,
+/// batch histogram, aggregated TapsCounters, and admissions per virtual
+/// second (accepted / max shard clock).
+[[nodiscard]] metrics::Table stats_table(const ServiceStats& service,
+                                         const std::vector<ShardStats>& shards);
+
+/// Fold a service run into RunMetrics: decision counts plus the planner-
+/// effort fields (replans, flows_planned, prefix reuse) from the aggregated
+/// TapsCounters.
+[[nodiscard]] metrics::RunMetrics to_run_metrics(const ServiceStats& service,
+                                                 const std::vector<ShardStats>& shards);
+
+}  // namespace taps::svc

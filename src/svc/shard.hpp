@@ -1,0 +1,105 @@
+// One admission domain of the controller service: a Network + TapsScheduler
+// pair driven in virtual time by its request stream. The pod-sharded service
+// (svc::AdmissionService) owns several shards over the same topology; every
+// shard only ever plans flows whose candidate paths stay inside its own pod's
+// links, so disjoint shards share no mutable state and admit concurrently.
+//
+// A shard is single-threaded by construction — the service guarantees at
+// most one thread is inside process() at a time (one batch in flight, each
+// shard's group handled by one worker). Everything here is deterministic:
+// the same request sequence produces bitwise-identical responses and state,
+// regardless of batching, threading, or registry compaction.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/taps_scheduler.hpp"
+#include "net/network.hpp"
+#include "svc/request.hpp"
+#include "topo/paths.hpp"
+
+namespace taps::svc {
+
+struct ShardConfig {
+  core::TapsConfig taps;
+  /// Rebuild the shard's task/flow registry every this many processed
+  /// requests, dropping finished tasks (0 disables). Together with the
+  /// scheduler's trim_interval this bounds memory on unbounded arrival
+  /// streams; decisions are bit-identical with compaction on or off
+  /// (pinned by tests/svc/svc_service_test.cpp and the equivalence
+  /// property test).
+  std::size_t compact_interval = 1024;
+};
+
+struct ShardStats {
+  std::size_t processed = 0;
+  std::size_t accepted = 0;
+  std::size_t rejected = 0;   // planner rejects
+  std::size_t preempted = 0;  // victims revoked after acceptance
+  std::size_t completed = 0;  // flows finished in virtual time
+  std::size_t compactions = 0;
+  std::size_t live_tasks = 0;
+  std::size_t live_flows = 0;
+  /// Registry sizes — with compaction on these stay bounded by
+  /// compact_interval plus the live set instead of growing with the stream.
+  std::size_t registered_tasks = 0;
+  std::size_t registered_flows = 0;
+  double clock = 0.0;
+  core::TapsCounters taps;
+};
+
+class Shard {
+ public:
+  /// The topology must outlive the shard.
+  Shard(const topo::Topology& topology, const ShardConfig& config);
+
+  /// Admit or reject one validated request at its arrival time. Requests
+  /// must come in non-decreasing `arrival` order (the service's submit path
+  /// enforces this globally). Advances the shard's virtual clock, retiring
+  /// flows whose pre-allocated slices have fully elapsed.
+  [[nodiscard]] TaskResponse process(Seq seq, const TaskRequest& request);
+
+  /// Advance virtual time without a new arrival (drain completions).
+  void advance_to(double t);
+
+  [[nodiscard]] ShardStats stats() const;
+  [[nodiscard]] double virtual_time() const { return clock_; }
+  [[nodiscard]] const net::Network& network() const { return *net_; }
+  [[nodiscard]] const core::TapsScheduler& scheduler() const { return sched_; }
+
+  /// Deterministic full-precision (hexfloat) dump of the shard's committed
+  /// state: two shards fed the same request sequence compare bitwise equal.
+  /// Test/debug aid for the equivalence suites.
+  [[nodiscard]] std::string fingerprint() const;
+
+  /// Invariant oracle: every live flow holds canonical, deadline-respecting
+  /// slices that are mutually exclusive per link and present in the
+  /// scheduler's committed occupancy. Returns a description of the first
+  /// violation, or nullopt when silent.
+  [[nodiscard]] std::optional<std::string> audit() const;
+
+ private:
+  void maybe_compact();
+
+  const topo::Topology* topo_;
+  ShardConfig config_;
+  std::unique_ptr<net::Network> net_;
+  core::TapsScheduler sched_;
+  double clock_ = 0.0;
+  std::size_t arrivals_since_compact_ = 0;
+  std::vector<Seq> task_seq_;             // local TaskId -> submission seq
+  std::vector<net::TaskId> live_tasks_;   // admitted, unfinished
+  std::vector<net::FlowId> live_flows_;   // admitted, unfinished
+  std::size_t processed_ = 0;
+  std::size_t accepted_ = 0;
+  std::size_t rejected_ = 0;
+  std::size_t preempted_ = 0;
+  std::size_t completed_ = 0;
+  std::size_t compactions_ = 0;
+};
+
+}  // namespace taps::svc

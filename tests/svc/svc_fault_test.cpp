@@ -1,0 +1,252 @@
+// Fault injection for the admission service: malformed requests, duplicate
+// client tags, out-of-order arrivals, abandonment, queue-overflow
+// backpressure and shutdown with work still queued or in flight. The
+// contract under test: every submit() gets exactly one response carrying an
+// explicit reason — faults never crash, never drop silently, and never
+// corrupt shard state (audit stays silent).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/fixtures.hpp"
+#include "svc/svc_fixtures.hpp"
+
+namespace taps::test {
+namespace {
+
+using svc::AdmissionService;
+using svc::Reason;
+using svc::ServiceConfig;
+using svc::TaskResponse;
+
+std::vector<TaskResponse> by_seq(std::vector<TaskResponse> responses) {
+  std::sort(responses.begin(), responses.end(),
+            [](const TaskResponse& a, const TaskResponse& b) { return a.seq < b.seq; });
+  return responses;
+}
+
+TEST(SvcFault, MalformedRequestsRejectedImmediately) {
+  auto d = make_dumbbell();
+  const topo::NodeId a = d.left[0];
+  const topo::NodeId b = d.right[0];
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  const topo::NodeId tor = 0;  // make_dumbbell adds the ToR switches first
+  struct Case {
+    const char* label;
+    svc::TaskRequest request;
+  };
+  const std::vector<Case> cases = {
+      {"empty flow list", task_req(0.0, 1.0, {})},
+      {"negative arrival", task_req(-1.0, 1.0, {flow_req(a, b, 1.0)})},
+      {"NaN arrival", task_req(nan, 1.0, {flow_req(a, b, 1.0)})},
+      {"deadline == arrival", task_req(1.0, 1.0, {flow_req(a, b, 1.0)})},
+      {"deadline < arrival", task_req(1.0, 0.5, {flow_req(a, b, 1.0)})},
+      {"infinite deadline", task_req(0.0, inf, {flow_req(a, b, 1.0)})},
+      {"unknown src node", task_req(0.0, 1.0, {flow_req(9999, b, 1.0)})},
+      {"negative dst node", task_req(0.0, 1.0, {flow_req(a, -3, 1.0)})},
+      {"switch as endpoint", task_req(0.0, 1.0, {flow_req(tor, b, 1.0)})},
+      {"src == dst", task_req(0.0, 1.0, {flow_req(a, a, 1.0)})},
+      {"zero size", task_req(0.0, 1.0, {flow_req(a, b, 0.0)})},
+      {"negative size", task_req(0.0, 1.0, {flow_req(a, b, -2.0)})},
+      {"NaN size", task_req(0.0, 1.0, {flow_req(a, b, nan)})},
+      {"bad second flow", task_req(0.0, 1.0, {flow_req(a, b, 1.0), flow_req(a, b, -1.0)})},
+  };
+  AdmissionService service(*d.topology, ServiceConfig{});
+  for (const Case& c : cases) {
+    (void)service.submit(c.request);
+    const auto responses = service.take_responses();
+    ASSERT_EQ(responses.size(), 1u) << c.label;
+    EXPECT_EQ(responses[0].reason, Reason::kMalformed) << c.label;
+    EXPECT_TRUE(responses[0].grants.empty()) << c.label;
+  }
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.submitted, cases.size());
+  EXPECT_EQ(stats.enqueued, 0u);
+  EXPECT_EQ(stats.by_reason[static_cast<std::size_t>(Reason::kMalformed)], cases.size());
+  // A valid request still goes through after the garbage.
+  (void)service.submit(task_req(0.0, 5.0, {flow_req(a, b, 1.0)}));
+  service.pump();
+  const auto ok = service.take_responses();
+  ASSERT_EQ(ok.size(), 1u);
+  EXPECT_TRUE(ok[0].accepted());
+  EXPECT_EQ(service.audit(), std::nullopt);
+}
+
+TEST(SvcFault, DuplicateClientTagRejectedWhileInFlight) {
+  auto d = make_dumbbell();
+  AdmissionService service(*d.topology, ServiceConfig{});
+  (void)service.submit(task_req(0.0, 5.0, {flow_req(d.left[0], d.right[0], 1.0)}, 42));
+  (void)service.submit(task_req(0.1, 5.0, {flow_req(d.left[1], d.right[1], 1.0)}, 42));
+  {
+    const auto responses = service.take_responses();
+    ASSERT_EQ(responses.size(), 1u);  // only the duplicate answered so far
+    EXPECT_EQ(responses[0].reason, Reason::kDuplicate);
+    EXPECT_EQ(responses[0].client_tag, 42u);
+  }
+  service.pump();
+  {
+    const auto responses = service.take_responses();
+    ASSERT_EQ(responses.size(), 1u);
+    EXPECT_TRUE(responses[0].accepted());
+  }
+  // Once answered, the tag is free again.
+  (void)service.submit(task_req(0.2, 5.0, {flow_req(d.left[1], d.right[1], 1.0)}, 42));
+  service.pump();
+  EXPECT_TRUE(service.take_responses().at(0).accepted());
+  // Tag 0 means untagged: never treated as a duplicate.
+  (void)service.submit(task_req(0.3, 5.0, {flow_req(d.left[2], d.right[2], 0.5)}, 0));
+  (void)service.submit(task_req(0.4, 5.0, {flow_req(d.left[3], d.right[3], 0.5)}, 0));
+  EXPECT_EQ(service.stats().enqueued, 4u);
+  service.pump();
+  EXPECT_EQ(service.take_responses().size(), 2u);
+  EXPECT_EQ(service.audit(), std::nullopt);
+}
+
+TEST(SvcFault, OutOfOrderArrivalRejected) {
+  auto d = make_dumbbell();
+  AdmissionService service(*d.topology, ServiceConfig{});
+  (void)service.submit(task_req(1.0, 5.0, {flow_req(d.left[0], d.right[0], 1.0)}));
+  (void)service.submit(task_req(0.5, 5.0, {flow_req(d.left[1], d.right[1], 1.0)}));
+  // Equal arrival times are fine (near-simultaneous batch members).
+  (void)service.submit(task_req(1.0, 5.0, {flow_req(d.left[2], d.right[2], 1.0)}));
+  service.pump();
+  const auto responses = by_seq(service.take_responses());
+  ASSERT_EQ(responses.size(), 3u);
+  EXPECT_TRUE(responses[0].accepted());
+  EXPECT_EQ(responses[1].reason, Reason::kOutOfOrder);
+  EXPECT_TRUE(responses[2].accepted());
+  EXPECT_EQ(service.audit(), std::nullopt);
+}
+
+TEST(SvcFault, QueueOverflowAppliesExplicitBackpressure) {
+  auto d = make_dumbbell();
+  ServiceConfig config;
+  config.queue_capacity = 2;
+  AdmissionService service(*d.topology, config);
+  for (int i = 0; i < 4; ++i) {
+    (void)service.submit(
+        task_req(0.1 * i, 5.0, {flow_req(d.left[i], d.right[i], 0.1)}));
+  }
+  service.pump();
+  const auto responses = by_seq(service.take_responses());
+  ASSERT_EQ(responses.size(), 4u);
+  EXPECT_TRUE(responses[0].accepted());
+  EXPECT_TRUE(responses[1].accepted());
+  EXPECT_EQ(responses[2].reason, Reason::kQueueFull);
+  EXPECT_EQ(responses[3].reason, Reason::kQueueFull);
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.submitted, 4u);
+  EXPECT_EQ(stats.responses, 4u);
+  EXPECT_EQ(stats.enqueued, 2u);
+  EXPECT_EQ(stats.max_queue_depth, 2u);
+  EXPECT_EQ(service.audit(), std::nullopt);
+}
+
+TEST(SvcFault, AbandonedRequestAnsweredWithoutProcessing) {
+  auto d = make_dumbbell();
+  AdmissionService service(*d.topology, ServiceConfig{});
+  const svc::Seq doomed =
+      service.submit(task_req(0.0, 5.0, {flow_req(d.left[0], d.right[0], 9.0)}));
+  const svc::Seq kept =
+      service.submit(task_req(0.1, 5.0, {flow_req(d.left[1], d.right[1], 1.0)}));
+  EXPECT_TRUE(service.abandon(doomed));
+  EXPECT_FALSE(service.abandon(doomed));  // already flagged
+  EXPECT_FALSE(service.abandon(kept + 100));  // never existed
+  service.pump();
+  const auto responses = by_seq(service.take_responses());
+  ASSERT_EQ(responses.size(), 2u);
+  EXPECT_EQ(responses[0].reason, Reason::kAbandoned);
+  EXPECT_TRUE(responses[1].accepted());
+  // The abandoned task's 9.0-unit flow never touched the shard: the kept
+  // task was planned as if it were alone.
+  EXPECT_EQ(service.shard(0).stats().processed, 1u);
+  EXPECT_FALSE(service.abandon(kept));  // already answered
+  EXPECT_EQ(service.audit(), std::nullopt);
+}
+
+TEST(SvcFault, StopAnswersQueuedRequestsAndRefusesNewOnes) {
+  auto d = make_dumbbell();
+  AdmissionService service(*d.topology, ServiceConfig{});
+  for (int i = 0; i < 3; ++i) {
+    (void)service.submit(
+        task_req(0.1 * i, 5.0, {flow_req(d.left[i], d.right[i], 0.1)}));
+  }
+  service.stop();
+  const auto responses = by_seq(service.take_responses());
+  ASSERT_EQ(responses.size(), 3u);
+  for (const TaskResponse& r : responses) EXPECT_EQ(r.reason, Reason::kShutdown);
+  (void)service.submit(task_req(1.0, 5.0, {flow_req(d.left[4], d.right[4], 0.1)}));
+  const auto late = service.take_responses();
+  ASSERT_EQ(late.size(), 1u);
+  EXPECT_EQ(late[0].reason, Reason::kShutdown);
+  EXPECT_EQ(service.stats().submitted, 4u);
+  EXPECT_EQ(service.stats().responses, 4u);
+}
+
+TEST(SvcFault, StopWithInFlightBatchesAnswersEverySubmission) {
+  topo::FatTree ft(topo::FatTreeConfig{4, kPow2Capacity});
+  util::Rng rng(7);
+  WorkloadKnobs knobs;
+  knobs.tasks = 200;
+  const auto requests = pod_local_workload(ft, rng, knobs);
+  ServiceConfig config;
+  config.shards = 4;
+  config.threads = 4;
+  config.max_batch = 8;
+  config.queue_capacity = requests.size() + 1;
+  AdmissionService service(ft, config);
+  service.start();
+  for (const auto& r : requests) (void)service.submit(r);
+  service.stop();  // no wait_idle: some batches are mid-flight, rest queued
+  const auto responses = service.take_responses();
+  EXPECT_EQ(responses.size(), requests.size());
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.responses, stats.submitted);
+  std::size_t tallied = 0;
+  for (const std::size_t n : stats.by_reason) tallied += n;
+  EXPECT_EQ(tallied, stats.responses);
+  for (const TaskResponse& r : responses) {
+    EXPECT_TRUE(r.reason == Reason::kAccepted || r.reason == Reason::kShutdown)
+        << svc::to_string(r.reason);
+  }
+  EXPECT_EQ(service.audit(), std::nullopt);
+}
+
+// A hostile mixed stream: the service keeps exact response accounting and
+// shard invariants through interleaved faults.
+TEST(SvcFault, MixedFaultStreamKeepsExactAccounting) {
+  auto d = make_dumbbell();
+  ServiceConfig config;
+  config.queue_capacity = 4;
+  AdmissionService service(*d.topology, config);
+  std::size_t submitted = 0;
+  const auto sub = [&](const svc::TaskRequest& r) {
+    ++submitted;
+    return service.submit(r);
+  };
+  (void)sub(task_req(0.0, 5.0, {flow_req(d.left[0], d.right[0], 1.0)}, 1));
+  (void)sub(task_req(0.1, 5.0, {}));                                         // malformed
+  (void)sub(task_req(0.05, 5.0, {flow_req(d.left[1], d.right[1], 1.0)}));    // out of order
+  (void)sub(task_req(0.2, 5.0, {flow_req(d.left[1], d.right[1], 1.0)}, 1));  // duplicate
+  const svc::Seq gone = sub(task_req(0.3, 5.0, {flow_req(d.left[2], d.right[2], 1.0)}));
+  EXPECT_TRUE(service.abandon(gone));
+  (void)sub(task_req(0.4, 5.0, {flow_req(d.left[3], d.right[3], 1.0)}));
+  (void)sub(task_req(0.5, 5.0, {flow_req(d.left[4], d.right[4], 1.0)}));
+  (void)sub(task_req(0.6, 5.0, {flow_req(d.left[5], d.right[5], 1.0)}));  // queue full
+  service.pump();
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.submitted, submitted);
+  EXPECT_EQ(stats.responses, submitted);
+  std::size_t tallied = 0;
+  for (const std::size_t n : stats.by_reason) tallied += n;
+  EXPECT_EQ(tallied, submitted);
+  EXPECT_EQ(service.take_responses().size(), submitted);
+  EXPECT_EQ(service.audit(), std::nullopt);
+}
+
+}  // namespace
+}  // namespace taps::test

@@ -1,0 +1,165 @@
+// Shared helpers for the admission-service test suites: request builders,
+// seeded pod-local fat-tree workloads, service runners (pumped inline or
+// started with threads), and response/fingerprint comparison.
+//
+// The suites use a power-of-two link capacity (kPow2Capacity) so byte <->
+// slice-measure conversions (remaining = capacity * measure and need =
+// remaining / capacity) are exact in double precision — partial-progress
+// bookkeeping then carries no rounding of its own, which keeps the audit's
+// remaining-vs-occupancy cross-check tight. Bitwise run-vs-run equivalence
+// does not depend on it (compared runs perform identical arithmetic); see
+// docs/CONTROLLER.md.
+#pragma once
+
+#include <algorithm>
+#include <optional>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "svc/service.hpp"
+#include "svc/service_metrics.hpp"
+#include "topo/fattree.hpp"
+#include "util/rng.hpp"
+
+namespace taps::svc {
+
+// Printers so the property-test kit can show shrunk counterexamples.
+inline std::ostream& operator<<(std::ostream& os, const TaskRequest& r) {
+  os << "{t=" << r.arrival << " d=" << r.deadline << " flows=[";
+  for (const FlowRequest& f : r.flows) {
+    os << "(" << f.src << "->" << f.dst << " " << f.size << ")";
+  }
+  return os << "] tag=" << r.client_tag << "}";
+}
+
+}  // namespace taps::svc
+
+namespace taps::test {
+
+/// 2^30 bytes/second — within 8% of the paper's 1 Gbps, but exact under
+/// doubles' multiply/divide round-trip (see header comment).
+inline constexpr double kPow2Capacity = 1073741824.0;
+
+inline svc::TaskRequest task_req(double arrival, double deadline,
+                                 std::vector<svc::FlowRequest> flows,
+                                 std::uint64_t tag = 0) {
+  svc::TaskRequest r;
+  r.arrival = arrival;
+  r.deadline = deadline;
+  r.flows = std::move(flows);
+  r.client_tag = tag;
+  return r;
+}
+
+inline svc::FlowRequest flow_req(topo::NodeId src, topo::NodeId dst, double size) {
+  svc::FlowRequest f;
+  f.src = src;
+  f.dst = dst;
+  f.size = size;
+  return f;
+}
+
+struct WorkloadKnobs {
+  std::size_t tasks = 20;
+  double mean_gap = 0.01;       // seconds between arrivals (exponential)
+  double mean_transfer = 0.02;  // seconds of transmission per flow
+  double slack_lo = 1.2;        // deadline = arrival + slack * sum(transfer)
+  double slack_hi = 4.0;
+  std::size_t max_flows = 3;
+};
+
+/// Seeded workload whose tasks each stay inside one fat-tree pod (so every
+/// sharded run classifies them identically). Arrivals strictly increase.
+inline std::vector<svc::TaskRequest> pod_local_workload(const topo::FatTree& ft,
+                                                        util::Rng& rng,
+                                                        const WorkloadKnobs& knobs = {}) {
+  const int half = ft.k() / 2;
+  const double capacity = ft.graph().links().front().capacity;
+  std::vector<svc::TaskRequest> out;
+  out.reserve(knobs.tasks);
+  double arrival = 0.0;
+  for (std::size_t i = 0; i < knobs.tasks; ++i) {
+    arrival += rng.exponential(knobs.mean_gap) + 1e-7;
+    const int pod = static_cast<int>(rng.uniform_int(0, ft.k() - 1));
+    const std::size_t flows =
+        static_cast<std::size_t>(rng.uniform_int(1, static_cast<std::int64_t>(knobs.max_flows)));
+    std::vector<svc::FlowRequest> fs;
+    double total_transfer = 0.0;
+    for (std::size_t f = 0; f < flows; ++f) {
+      const topo::NodeId src = ft.host(pod, static_cast<int>(rng.uniform_int(0, half - 1)),
+                                       static_cast<int>(rng.uniform_int(0, half - 1)));
+      topo::NodeId dst = src;
+      while (dst == src) {
+        dst = ft.host(pod, static_cast<int>(rng.uniform_int(0, half - 1)),
+                      static_cast<int>(rng.uniform_int(0, half - 1)));
+      }
+      const double transfer = rng.uniform_real(0.25, 1.0) * knobs.mean_transfer;
+      total_transfer += transfer;
+      fs.push_back(flow_req(src, dst, transfer * capacity));
+    }
+    const double slack = rng.uniform_real(knobs.slack_lo, knobs.slack_hi);
+    out.push_back(task_req(arrival, arrival + slack * total_transfer, std::move(fs)));
+  }
+  return out;
+}
+
+struct SvcRun {
+  std::vector<svc::TaskResponse> responses;  // sorted by seq
+  std::vector<std::string> fingerprints;     // one per shard
+  svc::ServiceStats stats;
+  std::vector<svc::ShardStats> shards;
+  std::optional<std::string> audit;
+};
+
+/// Run `requests` through a service. `started` = dispatcher + worker pool;
+/// otherwise pump mode (inline, single-threaded). Queue capacity is raised
+/// to hold the whole workload so results never depend on drain timing.
+inline SvcRun run_service(const topo::Topology& topology,
+                          const std::vector<svc::TaskRequest>& requests,
+                          svc::ServiceConfig config, bool started) {
+  config.queue_capacity = std::max(config.queue_capacity, requests.size() + 1);
+  svc::AdmissionService service(topology, config);
+  if (started) service.start();
+  for (const svc::TaskRequest& r : requests) (void)service.submit(r);
+  if (started) {
+    service.wait_idle();
+  } else {
+    service.pump();
+  }
+  SvcRun run;
+  run.responses = service.take_responses();
+  std::sort(run.responses.begin(), run.responses.end(),
+            [](const svc::TaskResponse& a, const svc::TaskResponse& b) { return a.seq < b.seq; });
+  run.stats = service.stats();
+  run.shards = svc::shard_stats(service);
+  run.audit = service.audit();
+  run.fingerprints.reserve(service.shard_count());
+  for (std::size_t i = 0; i < service.shard_count(); ++i) {
+    run.fingerprints.push_back(service.shard(i).fingerprint());
+  }
+  return run;
+}
+
+/// First difference between two response streams (bitwise: reason, grants
+/// with paths and slices, preempted seqs), or nullopt.
+inline std::optional<std::string> compare_responses(const std::vector<svc::TaskResponse>& a,
+                                                    const std::vector<svc::TaskResponse>& b) {
+  if (a.size() != b.size()) {
+    return "response counts differ: " + std::to_string(a.size()) + " vs " +
+           std::to_string(b.size());
+  }
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] == b[i]) continue;
+    std::ostringstream os;
+    os << "responses for seq " << a[i].seq << " differ: " << svc::to_string(a[i].reason)
+       << " (" << a[i].grants.size() << " grants, " << a[i].preempted.size()
+       << " preempted) vs " << svc::to_string(b[i].reason) << " (" << b[i].grants.size()
+       << " grants, " << b[i].preempted.size() << " preempted)";
+    return os.str();
+  }
+  return std::nullopt;
+}
+
+}  // namespace taps::test
