@@ -27,8 +27,9 @@ struct CommonOptions {
   std::size_t repeats = 3;
   std::size_t threads = 0;  // 0 = all cores
   bool json = false;
-  std::string json_out;  // "" = BENCH_<name>.json in the current directory
-  std::string csv;       // "" = no CSV output
+  std::string json_out;      // "" = BENCH_<name>.json in the current directory
+  std::string csv;           // "" = no CSV output
+  std::string timeline_dir;  // "" = no timeline capture
 };
 
 /// Every bench binary takes the same option set so automation can drive them
@@ -43,6 +44,10 @@ inline void add_common_options(util::Cli& cli) {
   cli.add_option("csv", "also write the results to this CSV file", "");
   cli.add_flag("json", "write machine-readable BENCH_<name>.json (regression gate input)");
   cli.add_option("json-out", "override the --json output path", "");
+  cli.add_option("timeline-dir",
+                 "write per-cell taps-timeline binaries (.tlbin) into this directory "
+                 "(render with scripts/render_gantt.py)",
+                 "");
 }
 
 inline CommonOptions read_common_options(const util::Cli& cli) {
@@ -54,6 +59,7 @@ inline CommonOptions read_common_options(const util::Cli& cli) {
   o.json = cli.flag("json") || !cli.str("json-out").empty();
   o.json_out = cli.str("json-out");
   o.csv = cli.str("csv");
+  o.timeline_dir = cli.str("timeline-dir");
   return o;
 }
 

@@ -30,7 +30,8 @@ int main(int argc, char** argv) {
     points.push_back(exp::SweepPoint{static_cast<double>(kb), s});
   }
 
-  const auto result = exp::run_sweep(points, exp::all_schedulers(), o.threads, o.repeats);
+  const auto result =
+      exp::run_sweep(points, exp::all_schedulers(), o.threads, o.repeats, o.timeline_dir);
   std::cout << "Flow completion ratio (task == flow: identical to task ratio here)\n";
   exp::print_metric_table(std::cout, "size-KB", points, exp::all_schedulers(), result,
                           bench::flow_ratio);

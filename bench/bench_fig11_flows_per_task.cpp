@@ -23,7 +23,8 @@ int main(int argc, char** argv) {
     points.push_back(exp::SweepPoint{flows, s});
   }
 
-  const auto result = exp::run_sweep(points, exp::all_schedulers(), o.threads, o.repeats);
+  const auto result =
+      exp::run_sweep(points, exp::all_schedulers(), o.threads, o.repeats, o.timeline_dir);
   std::cout << "Task completion ratio\n";
   exp::print_metric_table(std::cout, "flows/task", points, exp::all_schedulers(), result,
                           bench::task_ratio);

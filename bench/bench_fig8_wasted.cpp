@@ -20,7 +20,8 @@ int main(int argc, char** argv) {
     points.push_back(exp::SweepPoint{static_cast<double>(ms), s});
   }
 
-  const auto result = exp::run_sweep(points, exp::all_schedulers(), o.threads, o.repeats);
+  const auto result =
+      exp::run_sweep(points, exp::all_schedulers(), o.threads, o.repeats, o.timeline_dir);
 
   std::cout << "(a) Wasted bandwidth ratio, all schedulers\n";
   exp::print_metric_table(std::cout, "deadline-ms", points, exp::all_schedulers(), result,

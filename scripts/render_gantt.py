@@ -1,0 +1,416 @@
+#!/usr/bin/env python3
+"""Render taps-timeline-v1 streams as per-link Gantt charts (SVG).
+
+Inputs are the timeline artifacts written by the simulator's
+sim::TimelineRecorder — either the text dump (`taps-timeline-v1` header) or
+the binary `.tlbin` form (magic `TAPSTL01`); the format is autodetected per
+file (docs/TIMELINE.md has the full spec). The renderer replays the grant
+stream the same way the golden/property tests do: a re-grant or preemption
+clips the previous plan at the decision instant, so the drawn rectangles are
+the slices that were actually executed, not every plan that was ever
+committed.
+
+Rows are links by default (`--rows flows` draws one row per flow instead;
+decision-free streams such as fair-sharing runs fall back to flow rows built
+from transmit events). Preemptions are drawn as red markers, deadline misses
+as hollow ones. When a chart would exceed --max-rects rectangles it switches
+to an aggregated per-row utilization heat strip and says so in the chart
+subtitle — large sweeps degrade explicitly, never silently.
+
+Usage:
+    scripts/render_gantt.py TIMELINE... [--out-dir DIR] [--out FILE.svg]
+        [--rows links|flows] [--max-rects 4000]
+
+Exit codes: 0 ok, 2 usage or input error. Stdlib only (no pip).
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import struct
+import sys
+from dataclasses import dataclass, field
+
+HEADER = "taps-timeline-v1"
+MAGIC = b"TAPSTL01"
+VERSION = 1
+KINDS = (
+    "arrive",
+    "admit",
+    "reject",
+    "preempt",
+    "grant",
+    "complete",
+    "miss",
+    "transmit",
+    "end",
+)
+
+
+class TimelineError(Exception):
+    """Malformed timeline input."""
+
+
+@dataclass
+class Event:
+    kind: str
+    time: float
+    a: int = -1
+    b: int = -1
+    x0: float = 0.0
+    x1: float = 0.0
+    links: list = field(default_factory=list)
+    slices: list = field(default_factory=list)  # [(lo, hi), ...]
+
+
+# ---------------------------------------------------------------- parsing
+
+
+def parse_binary(data: bytes) -> list[Event]:
+    if data[:8] != MAGIC:
+        raise TimelineError("bad magic (not a taps-timeline binary)")
+    off = 8
+
+    def take(fmt: str):
+        nonlocal off
+        size = struct.calcsize(fmt)
+        if off + size > len(data):
+            raise TimelineError("truncated stream")
+        out = struct.unpack_from(fmt, data, off)
+        off += size
+        return out
+
+    (version,) = take("<I")
+    if version != VERSION:
+        raise TimelineError(f"unsupported version {version}")
+    (count,) = take("<Q")
+    events: list[Event] = []
+    for _ in range(count):
+        kind_code, time, a, b = take("<Bdii")
+        if kind_code >= len(KINDS):
+            raise TimelineError(f"unknown event kind {kind_code}")
+        e = Event(KINDS[kind_code], time, a, b)
+        if e.kind == "grant":
+            nl, ns = take("<II")
+            e.links = list(take(f"<{nl}i")) if nl else []
+            flat = take(f"<{2 * ns}d") if ns else ()
+            e.slices = [(flat[i], flat[i + 1]) for i in range(0, len(flat), 2)]
+        elif e.kind == "transmit":
+            e.x0, e.x1 = take("<dd")
+        events.append(e)
+    return events
+
+
+def _fields(parts: list[str]) -> dict:
+    out = {}
+    for p in parts:
+        key, _, value = p.partition("=")
+        out[key] = value
+    return out
+
+
+def parse_text(text: str) -> list[Event]:
+    lines = text.splitlines()
+    if not lines or lines[0] != HEADER:
+        raise TimelineError(f"missing {HEADER} header")
+    events: list[Event] = []
+    for lineno, line in enumerate(lines[1:], start=2):
+        parts = line.split()
+        if not parts:
+            continue
+        kind = parts[0]
+        if kind not in KINDS and kind != "end":
+            raise TimelineError(f"line {lineno}: unknown event {kind!r}")
+        f = _fields(parts[1:])
+        try:
+            t = float(f["t"])
+            if kind == "preempt":
+                e = Event(kind, t, int(f["victim"]), int(f["by"]))
+            elif kind in ("arrive", "admit", "reject"):
+                e = Event(kind, t, int(f["task"]))
+            elif kind == "end":
+                e = Event(kind, t)
+            else:
+                e = Event(kind, t, int(f["flow"]), int(f["task"]))
+                if kind == "grant":
+                    if f["links"] != "-":
+                        e.links = [int(x) for x in f["links"].split(",")]
+                    if f["slices"] != "-":
+                        e.slices = [
+                            tuple(float(x) for x in s.split(":"))
+                            for s in f["slices"].split(",")
+                        ]
+                elif kind == "transmit":
+                    e.x0 = float(f["until"])
+                    e.x1 = float(f["bytes"])
+        except (KeyError, ValueError) as err:
+            raise TimelineError(f"line {lineno}: {err}") from err
+        events.append(e)
+    return events
+
+
+def load(path: pathlib.Path) -> list[Event]:
+    data = path.read_bytes()
+    if data[:8] == MAGIC:
+        return parse_binary(data)
+    try:
+        return parse_text(data.decode("utf-8"))
+    except UnicodeDecodeError as err:
+        raise TimelineError("neither a timeline binary nor utf-8 text") from err
+
+
+# ---------------------------------------------------------------- replay
+
+
+@dataclass
+class Segment:
+    row: int  # link id (rows=links) or flow id (rows=flows)
+    flow: int
+    task: int
+    lo: float
+    hi: float
+
+
+def _clip(slices: list, t: float) -> list:
+    """The executed part of a plan cut off at decision instant `t`."""
+    return [(lo, min(hi, t)) for lo, hi in slices if lo < t]
+
+
+def replay(events: list[Event], rows: str) -> tuple[list[Segment], list[Event]]:
+    """Turn the stream into drawable segments plus the marker events.
+
+    Mirrors the replay contract pinned by tests/timeline/: each flow's live
+    grant is clipped at the next re-grant/preempt/finish instant, so only
+    executed slice portions are drawn.
+    """
+    live: dict[int, Event] = {}  # flow -> its current grant
+    segments: list[Segment] = []
+    markers: list[Event] = []
+
+    def finalize(flow: int, t: float) -> None:
+        grant = live.pop(flow, None)
+        if grant is None:
+            return
+        for lo, hi in _clip(grant.slices, t):
+            if hi <= lo:
+                continue
+            if rows == "flows":
+                segments.append(Segment(flow, flow, grant.b, lo, hi))
+            else:
+                for link in grant.links:
+                    segments.append(Segment(link, flow, grant.b, lo, hi))
+
+    for e in events:
+        if e.kind == "grant":
+            finalize(e.a, e.time)
+            live[e.a] = e
+        elif e.kind == "preempt":
+            for flow, grant in list(live.items()):
+                if grant.b == e.a:
+                    finalize(flow, e.time)
+            markers.append(e)
+        elif e.kind in ("complete", "miss"):
+            # A completed flow's slices all end by e.time; clip past the
+            # instant so the final slice is kept whole.
+            finalize(e.a, e.time + 1e-12)
+            if e.kind == "miss":
+                markers.append(e)
+        elif e.kind == "end":
+            for flow in list(live):
+                finalize(flow, e.time)
+
+    if not segments and rows == "links":
+        # Decision-free stream (e.g. fair sharing): fall back to flow rows
+        # built from transmit records.
+        for e in events:
+            if e.kind == "transmit" and e.x0 > e.time:
+                segments.append(Segment(e.a, e.a, e.b, e.time, e.x0))
+    return segments, markers
+
+
+# ---------------------------------------------------------------- drawing
+
+LEFT = 88
+ROW_H = 20
+ROW_GAP = 5
+TOP = 52
+WIDTH = 960
+BOTTOM = 34
+
+
+def color(flow: int) -> str:
+    hue = (flow * 137.508) % 360.0  # golden-angle walk: adjacent ids differ
+    return f"hsl({hue:.1f},70%,55%)"
+
+
+def _esc(s: str) -> str:
+    return s.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+
+
+def render_svg(
+    segments: list[Segment],
+    markers: list[Event],
+    title: str,
+    row_kind: str,
+    max_rects: int,
+) -> str:
+    rows = sorted({s.row for s in segments})
+    t_lo = min((s.lo for s in segments), default=0.0)
+    t_hi = max((s.hi for s in segments), default=1.0)
+    for m in markers:
+        t_hi = max(t_hi, m.time)
+    if t_hi <= t_lo:
+        t_hi = t_lo + 1.0
+    span = t_hi - t_lo
+    chart_w = WIDTH - LEFT - 16
+
+    def x(t: float) -> float:
+        return LEFT + (t - t_lo) / span * chart_w
+
+    aggregated = len(segments) > max_rects
+    height = TOP + len(rows) * (ROW_H + ROW_GAP) + BOTTOM
+    out = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" '
+        f'height="{height}" font-family="monospace" font-size="11">',
+        f'<rect width="{WIDTH}" height="{height}" fill="white"/>',
+        f'<text x="{LEFT}" y="18" font-size="14">{_esc(title)}</text>',
+    ]
+    subtitle = f"{len(segments)} slices, {len(rows)} {row_kind}"
+    if aggregated:
+        subtitle += (
+            f" — aggregated to per-row utilization ({len(segments)} rects"
+            f" > --max-rects {max_rects})"
+        )
+    out.append(f'<text x="{LEFT}" y="34" fill="#555">{_esc(subtitle)}</text>')
+
+    row_y = {r: TOP + i * (ROW_H + ROW_GAP) for i, r in enumerate(rows)}
+    prefix = "link" if row_kind == "links" else "flow"
+    for r, y in row_y.items():
+        out.append(
+            f'<text x="{LEFT - 8}" y="{y + ROW_H - 6}" text-anchor="end">'
+            f"{prefix} {r}</text>"
+        )
+        out.append(
+            f'<line x1="{LEFT}" y1="{y + ROW_H}" x2="{LEFT + chart_w}" '
+            f'y2="{y + ROW_H}" stroke="#ddd"/>'
+        )
+
+    if aggregated:
+        buckets = 400
+        for r, y in row_y.items():
+            busy = [0.0] * buckets
+            for s in (s for s in segments if s.row == r):
+                b0 = int((s.lo - t_lo) / span * buckets)
+                b1 = int((s.hi - t_lo) / span * buckets)
+                for b in range(max(b0, 0), min(b1 + 1, buckets)):
+                    blo = t_lo + b * span / buckets
+                    bhi = blo + span / buckets
+                    busy[b] += max(0.0, min(s.hi, bhi) - max(s.lo, blo))
+            w = chart_w / buckets
+            for b, occupied in enumerate(busy):
+                frac = min(1.0, occupied / (span / buckets))
+                if frac <= 0.0:
+                    continue
+                shade = int(255 - 195 * frac)
+                out.append(
+                    f'<rect x="{LEFT + b * w:.2f}" y="{y}" width="{w:.2f}" '
+                    f'height="{ROW_H}" fill="rgb({shade},{shade},255)"/>'
+                )
+    else:
+        for s in segments:
+            out.append(
+                f'<rect x="{x(s.lo):.2f}" y="{row_y[s.row]}" '
+                f'width="{max(x(s.hi) - x(s.lo), 0.75):.2f}" height="{ROW_H}" '
+                f'fill="{color(s.flow)}" stroke="#333" stroke-width="0.5">'
+                f"<title>flow {s.flow} (task {s.task}) "
+                f"[{s.lo:g}, {s.hi:g})</title></rect>"
+            )
+
+    for m in markers:
+        mx = x(m.time)
+        if m.kind == "preempt":
+            out.append(
+                f'<line x1="{mx:.2f}" y1="{TOP - 6}" x2="{mx:.2f}" '
+                f'y2="{height - BOTTOM}" stroke="red" stroke-dasharray="4,3">'
+                f"<title>preempt task {m.a} by task {m.b} at t={m.time:g}"
+                f"</title></line>"
+            )
+        else:  # miss
+            out.append(
+                f'<circle cx="{mx:.2f}" cy="{TOP - 8}" r="4" fill="none" '
+                f'stroke="red"><title>miss flow {m.a} at t={m.time:g}'
+                f"</title></circle>"
+            )
+
+    ticks = 8
+    axis_y = height - BOTTOM + 4
+    for i in range(ticks + 1):
+        t = t_lo + span * i / ticks
+        out.append(
+            f'<text x="{x(t):.2f}" y="{axis_y + 12}" text-anchor="middle" '
+            f'fill="#555">{t:g}</text>'
+        )
+        out.append(
+            f'<line x1="{x(t):.2f}" y1="{TOP}" x2="{x(t):.2f}" '
+            f'y2="{axis_y}" stroke="#eee"/>'
+        )
+    out.append("</svg>")
+    return "\n".join(out) + "\n"
+
+
+# ------------------------------------------------------------------- main
+
+
+def main(argv: list[str]) -> int:
+    ap = argparse.ArgumentParser(
+        description="Render taps-timeline-v1 streams as Gantt SVGs."
+    )
+    ap.add_argument("inputs", nargs="+", metavar="TIMELINE", help=".tlbin or text dump")
+    ap.add_argument("--out", help="output SVG path (single input only)")
+    ap.add_argument("--out-dir", help="write <input-stem>.svg files here")
+    ap.add_argument(
+        "--rows",
+        choices=("links", "flows"),
+        default="links",
+        help="one chart row per link (default) or per flow",
+    )
+    ap.add_argument(
+        "--max-rects",
+        type=int,
+        default=4000,
+        metavar="N",
+        help="above N rectangles, aggregate rows into utilization strips",
+    )
+    args = ap.parse_args(argv)
+    if args.out and len(args.inputs) > 1:
+        ap.error("--out is for a single input; use --out-dir for several")
+
+    for name in args.inputs:
+        path = pathlib.Path(name)
+        try:
+            events = load(path)
+        except (OSError, TimelineError) as err:
+            print(f"error: {path}: {err}", file=sys.stderr)
+            return 2
+        segments, markers = replay(events, args.rows)
+        row_kind = args.rows
+        if row_kind == "links" and segments and all(s.row == s.flow for s in segments):
+            # transmit-only fallback renders flow rows; label them honestly
+            row_kind = "flows" if not any(e.kind == "grant" for e in events) else "links"
+        svg = render_svg(segments, markers, path.name, row_kind, args.max_rects)
+        if args.out:
+            out_path = pathlib.Path(args.out)
+        elif args.out_dir:
+            out_dir = pathlib.Path(args.out_dir)
+            out_dir.mkdir(parents=True, exist_ok=True)
+            out_path = out_dir / (path.stem + ".svg")
+        else:
+            out_path = path.with_suffix(".svg")
+        out_path.write_text(svg, encoding="utf-8")
+        print(f"{path} -> {out_path} ({len(segments)} slices)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "sched/schedule_observer.hpp"
 #include "util/logging.hpp"
 
 namespace taps::core {
@@ -152,7 +153,7 @@ TapsScheduler::PlanAttempt TapsScheduler::try_plan(std::vector<FlowId> order, do
   return attempt;
 }
 
-void TapsScheduler::commit(PlanAttempt&& attempt) {
+void TapsScheduler::commit(PlanAttempt&& attempt, double now) {
   assert(attempt.fully_feasible);
   std::swap(occ_, attempt.occ);
   release_occupancy(std::move(attempt.occ));  // the retired committed map
@@ -163,17 +164,31 @@ void TapsScheduler::commit(PlanAttempt&& attempt) {
   session_retired_.clear();
   committed_order_.clear();
   committed_order_.reserve(attempt.plans.size());
+  sched::ScheduleObserver* obs = schedule_observer();
+  std::vector<sched::CommittedFlowView> view;
+  if (obs != nullptr) view.reserve(attempt.plans.size());
   for (auto& plan : attempt.plans) {
     Flow& f = net_->flow(plan.flow);
+    const auto i = static_cast<std::size_t>(plan.flow);
+    // A full replan recomputes every entry; entries it reproduced verbatim
+    // are not re-grants. The incremental path flags the identical set (its
+    // adopted prefix is exactly the entries a full replan reproduces).
+    const bool regranted = f.path.links != plan.path.links || slices_[i] != plan.slices;
+    if (regranted) ++counters_.slice_grants;
     f.path = std::move(plan.path);
-    slices_[static_cast<std::size_t>(plan.flow)] = std::move(plan.slices);
+    slices_[i] = std::move(plan.slices);
     committed_order_.push_back(plan.flow);
-    committed_remaining_[static_cast<std::size_t>(plan.flow)] = f.remaining;
+    committed_remaining_[i] = f.remaining;
+    if (obs != nullptr) {
+      view.push_back({plan.flow, f.task(), regranted, &f.path, &slices_[i]});
+    }
   }
+  ++counters_.plan_commits;
   cross_arrival_valid_ = true;
+  if (obs != nullptr) obs->on_plan_committed(now, view);
 }
 
-void TapsScheduler::admit(TaskId id, const std::vector<FlowId>& wave) {
+void TapsScheduler::admit(TaskId id, const std::vector<FlowId>& wave, double now) {
   net::Task& t = net_->task(id);
   if (t.state == TaskState::kPending) t.state = TaskState::kAdmitted;
   ++counters_.tasks_accepted;
@@ -184,6 +199,8 @@ void TapsScheduler::admit(TaskId id, const std::vector<FlowId>& wave) {
       active_.push_back(fid);
     }
   }
+  sched::ScheduleObserver* obs = schedule_observer();
+  if (obs != nullptr) obs->on_task_admitted(id, now);
 }
 
 void TapsScheduler::maybe_trim(double now) {
@@ -200,6 +217,9 @@ void TapsScheduler::maybe_trim(double now) {
 }
 
 void TapsScheduler::on_task_arrival(TaskId id, double now) {
+  if (sched::ScheduleObserver* obs = schedule_observer(); obs != nullptr) {
+    obs->on_task_seen(id, now);
+  }
   // Flows may be registered after bind() (SDN usage registers tasks as
   // probes arrive; Network::extend_task adds waves): grow the slice table.
   if (slices_.size() < net_->flows().size()) slices_.resize(net_->flows().size());
@@ -251,8 +271,8 @@ void TapsScheduler::on_task_arrival(TaskId id, double now) {
       apply_reject_rule(*net_, id, trial.plans, config_.preempt_policy);
   switch (outcome.decision) {
     case Decision::kAccept:
-      admit(id, wave);
-      commit(std::move(trial));
+      admit(id, wave, now);
+      commit(std::move(trial), now);
       return;
 
     case Decision::kPreemptVictim: {
@@ -274,8 +294,11 @@ void TapsScheduler::on_task_arrival(TaskId id, double now) {
         release_occupancy(std::move(trial.occ));
         net_->reject_task(outcome.victim);
         ++counters_.tasks_preempted;
-        admit(id, wave);
-        commit(std::move(attempt));
+        if (sched::ScheduleObserver* obs = schedule_observer(); obs != nullptr) {
+          obs->on_task_preempted(outcome.victim, id, now);
+        }
+        admit(id, wave, now);
+        commit(std::move(attempt), now);
         return;
       }
       // Preemption would strand a survivor: fall through to rejecting the
@@ -296,12 +319,15 @@ void TapsScheduler::on_task_arrival(TaskId id, double now) {
   // so its future part is still valid — remains in force.
   net_->reject_task(id);
   ++counters_.tasks_rejected;
+  if (sched::ScheduleObserver* obs = schedule_observer(); obs != nullptr) {
+    obs->on_task_rejected(id, now);
+  }
   std::vector<FlowId> incumbents = unfinished_admitted();
   const std::size_t incumbents_sorted = incumbents.size();
   PlanAttempt compacted = try_plan(std::move(incumbents), now, incumbents_sorted);
   ++counters_.replans;
   if (compacted.fully_feasible) {
-    commit(std::move(compacted));
+    commit(std::move(compacted), now);
   } else {
     release_occupancy(std::move(compacted.occ));
     ++counters_.replan_reverts;
@@ -409,27 +435,40 @@ void TapsScheduler::resume_session(const std::vector<FlowId>& target, double now
   plan_tail(target, now);
 }
 
-void TapsScheduler::commit_session() {
+void TapsScheduler::commit_session(double now) {
   assert(session_infeasible_ == 0);
   for (const FlowId fid : session_retired_) slices_[static_cast<std::size_t>(fid)].clear();
   session_retired_.clear();
   committed_order_.clear();
   committed_order_.reserve(session_order_.size());
+  sched::ScheduleObserver* obs = schedule_observer();
+  std::vector<sched::CommittedFlowView> view;
+  if (obs != nullptr) view.reserve(session_order_.size());
   for (std::size_t k = 0; k < session_order_.size(); ++k) {
     const FlowId fid = session_order_[k];
+    const auto i = static_cast<std::size_t>(fid);
     Flow& f = net_->flow(fid);
+    bool regranted = false;
     if (k >= session_adopted_) {
       FlowPlan& plan = session_plans_[k];
+      // Adopted entries are, by construction, exactly what a full replan
+      // would have reproduced verbatim — so comparing only the replanned
+      // tail flags the same re-grant set as the full-replan commit().
+      regranted = f.path.links != plan.path.links || slices_[i] != plan.slices;
+      if (regranted) ++counters_.slice_grants;
       f.path = std::move(plan.path);
-      slices_[static_cast<std::size_t>(fid)] = std::move(plan.slices);
+      slices_[i] = std::move(plan.slices);
     }
     committed_order_.push_back(fid);
-    committed_remaining_[static_cast<std::size_t>(fid)] = f.remaining;
+    committed_remaining_[i] = f.remaining;
+    if (obs != nullptr) view.push_back({fid, f.task(), regranted, &f.path, &slices_[i]});
   }
+  ++counters_.plan_commits;
   // occ_ already holds exactly the committed occupancy; the journal's undo
   // history is no longer needed.
   journal_.clear();
   cross_arrival_valid_ = true;
+  if (obs != nullptr) obs->on_plan_committed(now, view);
 }
 
 void TapsScheduler::abandon_session() {
@@ -457,8 +496,8 @@ void TapsScheduler::on_task_arrival_incremental(TaskId id, double now,
       apply_reject_rule(*net_, id, session_plans_, config_.preempt_policy);
   switch (outcome.decision) {
     case Decision::kAccept:
-      admit(id, wave);
-      commit_session();
+      admit(id, wave, now);
+      commit_session(now);
       return;
 
     case Decision::kPreemptVictim: {
@@ -475,8 +514,11 @@ void TapsScheduler::on_task_arrival_incremental(TaskId id, double now,
       if (session_infeasible_ == 0) {
         net_->reject_task(outcome.victim);
         ++counters_.tasks_preempted;
-        admit(id, wave);
-        commit_session();
+        if (sched::ScheduleObserver* obs = schedule_observer(); obs != nullptr) {
+          obs->on_task_preempted(outcome.victim, id, now);
+        }
+        admit(id, wave, now);
+        commit_session(now);
         return;
       }
       break;
@@ -491,6 +533,9 @@ void TapsScheduler::on_task_arrival_incremental(TaskId id, double now,
   // survives dropping the newcomer's flows.
   net_->reject_task(id);
   ++counters_.tasks_rejected;
+  if (sched::ScheduleObserver* obs = schedule_observer(); obs != nullptr) {
+    obs->on_task_rejected(id, now);
+  }
   std::vector<FlowId> incumbents;
   incumbents.reserve(trial_order.size());
   for (const FlowId fid : trial_order) {
@@ -499,7 +544,7 @@ void TapsScheduler::on_task_arrival_incremental(TaskId id, double now,
   resume_session(incumbents, now);
   ++counters_.replans;
   if (session_infeasible_ == 0) {
-    commit_session();
+    commit_session(now);
   } else {
     abandon_session();
     ++counters_.replan_reverts;

@@ -84,6 +84,15 @@ struct TapsCounters {
   std::size_t session_restarts = 0;
   /// Periodic occupancy/slice trims (TapsConfig::trim_interval).
   std::size_t occupancy_trims = 0;
+  /// Plans committed (arrivals that changed the schedule: admissions plus
+  /// successful compacting replans). Mode-independent: both replan paths
+  /// commit at the same decision points.
+  std::size_t plan_commits = 0;
+  /// Per-flow (re)grants: committed entries whose path or slices changed
+  /// relative to the previous commit. Exactly the grant events a
+  /// sim::TimelineRecorder would record (docs/TIMELINE.md), counted whether
+  /// or not one is attached — so sweep CSVs stay byte-identical either way.
+  std::size_t slice_grants = 0;
 };
 
 class TapsScheduler : public sched::BaseScheduler {
@@ -146,8 +155,8 @@ class TapsScheduler : public sched::BaseScheduler {
   /// route yields the identical unique ordering.
   [[nodiscard]] PlanAttempt try_plan(std::vector<net::FlowId> order, double now,
                                      std::size_t sorted_prefix);
-  void commit(PlanAttempt&& attempt);
-  void admit(net::TaskId id, const std::vector<net::FlowId>& wave);
+  void commit(PlanAttempt&& attempt, double now);
+  void admit(net::TaskId id, const std::vector<net::FlowId>& wave, double now);
 
   /// Sort `order` EDF+SJF. The first `sorted_prefix` entries are known to be
   /// in committed order (modulo remaining-size drift on deadline ties, which
@@ -185,7 +194,7 @@ class TapsScheduler : public sched::BaseScheduler {
   /// Install the session as the committed plan: move planned paths/slices
   /// into the network, refresh the cross-arrival validity tokens, drop the
   /// journal (occ_ already holds the planned occupancy).
-  void commit_session();
+  void commit_session(double now);
   /// Roll occ_ back to the session start, restoring the committed state
   /// bitwise.
   void abandon_session();

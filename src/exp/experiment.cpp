@@ -10,9 +10,45 @@
 #include "sched/fair_sharing.hpp"
 #include "sched/pdq.hpp"
 #include "sched/varys.hpp"
+#include "sim/timeline.hpp"
 #include "workload/task_generator.hpp"
 
 namespace taps::exp {
+
+namespace {
+
+/// Fans the simulator's single observer slot out to two observers, for runs
+/// that want both a caller-supplied observer and a timeline recorder.
+class TeeObserver final : public sim::TransmitObserver {
+ public:
+  TeeObserver(sim::TransmitObserver* a, sim::TransmitObserver* b) : a_(a), b_(b) {}
+  void on_transmit(const net::Flow& f, double t0, double t1, double bytes) override {
+    a_->on_transmit(f, t0, t1, bytes);
+    b_->on_transmit(f, t0, t1, bytes);
+  }
+  void on_task_arrival(const net::Task& t, double now) override {
+    a_->on_task_arrival(t, now);
+    b_->on_task_arrival(t, now);
+  }
+  void on_event(double now) override {
+    a_->on_event(now);
+    b_->on_event(now);
+  }
+  void on_flow_finished(const net::Flow& f, double now) override {
+    a_->on_flow_finished(f, now);
+    b_->on_flow_finished(f, now);
+  }
+  void on_run_complete(const net::Network& net, double end_time) override {
+    a_->on_run_complete(net, end_time);
+    b_->on_run_complete(net, end_time);
+  }
+
+ private:
+  sim::TransmitObserver* a_;
+  sim::TransmitObserver* b_;
+};
+
+}  // namespace
 
 const char* to_string(SchedulerKind k) {
   switch (k) {
@@ -86,7 +122,8 @@ std::unique_ptr<sim::Scheduler> make_scheduler(SchedulerKind kind, std::size_t m
 }
 
 ExperimentRun run_experiment_full(const workload::Scenario& scenario, SchedulerKind kind,
-                                  sim::TransmitObserver* observer) {
+                                  sim::TransmitObserver* observer,
+                                  sim::TimelineRecorder* timeline) {
   ExperimentRun run;
   run.topology = workload::make_topology(scenario);
   run.network = std::make_unique<net::Network>(*run.topology);
@@ -98,7 +135,22 @@ ExperimentRun run_experiment_full(const workload::Scenario& scenario, SchedulerK
   run.scheduler = make_scheduler(kind, scenario.max_paths);
 
   sim::FluidSimulator simulator(*run.network, *run.scheduler);
-  if (observer != nullptr) simulator.set_observer(observer);
+  TeeObserver tee(observer, timeline);
+  if (observer != nullptr && timeline != nullptr) {
+    simulator.set_observer(&tee);
+  } else if (timeline != nullptr) {
+    simulator.set_observer(timeline);
+  } else if (observer != nullptr) {
+    simulator.set_observer(observer);
+  }
+  if (timeline != nullptr) {
+    // Decision hooks (admits, rejects, preemptions, grants) exist only for
+    // schedulers built on sched::BaseScheduler; others record data-plane
+    // events alone.
+    if (auto* base = dynamic_cast<sched::BaseScheduler*>(run.scheduler.get())) {
+      base->set_schedule_observer(timeline);
+    }
+  }
 
   // taps-lint: allow(wall-clock) -- measures host wall time for reporting
   const auto start = std::chrono::steady_clock::now();
@@ -117,6 +169,9 @@ ExperimentRun run_experiment_full(const workload::Scenario& scenario, SchedulerK
         static_cast<double>(m.prefix_reuse_flows) + static_cast<double>(m.flows_planned);
     m.prefix_reuse_ratio =
         denom > 0.0 ? static_cast<double>(m.prefix_reuse_flows) / denom : 0.0;
+    m.plan_commits = c.plan_commits;
+    m.preemptions = c.tasks_preempted;
+    m.slice_grants = c.slice_grants;
   }
   return run;
 }

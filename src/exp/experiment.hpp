@@ -10,6 +10,10 @@
 #include "sim/simulator.hpp"
 #include "workload/scenario.hpp"
 
+namespace taps::sim {
+class TimelineRecorder;
+}  // namespace taps::sim
+
 namespace taps::exp {
 
 enum class SchedulerKind { kFairSharing, kD3, kPdq, kBaraat, kVarys, kTaps, kD2Tcp };
@@ -42,10 +46,15 @@ struct ExperimentRun {
 };
 
 /// Build the scenario's topology + workload (seeded from the scenario) and
-/// run it under `kind`, optionally recording transmissions.
+/// run it under `kind`, optionally recording transmissions. A non-null
+/// `timeline` recorder is attached to both the simulator (data-plane events;
+/// tee'd with `observer` when both are given) and, for schedulers that emit
+/// decision hooks, the scheduler (grants/preemptions) — recording is pure,
+/// so results are bit-identical with or without it.
 [[nodiscard]] ExperimentRun run_experiment_full(const workload::Scenario& scenario,
                                                 SchedulerKind kind,
-                                                sim::TransmitObserver* observer = nullptr);
+                                                sim::TransmitObserver* observer = nullptr,
+                                                sim::TimelineRecorder* timeline = nullptr);
 
 /// Convenience wrapper returning just the result.
 [[nodiscard]] ExperimentResult run_experiment(const workload::Scenario& scenario,

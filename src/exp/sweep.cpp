@@ -1,10 +1,12 @@
 #include "exp/sweep.hpp"
 
+#include <filesystem>
 #include <fstream>
 #include <ostream>
 #include <stdexcept>
 
 #include "metrics/report.hpp"
+#include "sim/timeline.hpp"
 #include "util/annotations.hpp"
 #include "util/csv.hpp"
 #include "util/logging.hpp"
@@ -44,6 +46,9 @@ metrics::RunMetrics average(const std::vector<metrics::RunMetrics>& ms) {
     avg.flows_planned += m.flows_planned;
     avg.prefix_reuse_flows += m.prefix_reuse_flows;
     avg.prefix_reuse_ratio += m.prefix_reuse_ratio;
+    avg.plan_commits += m.plan_commits;
+    avg.preemptions += m.preemptions;
+    avg.slice_grants += m.slice_grants;
   }
   const auto n = static_cast<double>(ms.size());
   avg.task_completion_ratio /= n;
@@ -59,9 +64,10 @@ metrics::RunMetrics average(const std::vector<metrics::RunMetrics>& ms) {
 
 SweepResult run_sweep(const std::vector<SweepPoint>& points,
                       const std::vector<SchedulerKind>& schedulers, std::size_t threads,
-                      std::size_t repeats) {
+                      std::size_t repeats, const std::string& timeline_dir) {
   SweepResult out;
   out.cells.resize(points.size() * schedulers.size());
+  if (!timeline_dir.empty()) std::filesystem::create_directories(timeline_dir);
 
   util::ThreadPool pool(threads);
   SweepProgress progress;
@@ -81,7 +87,18 @@ SweepResult run_sweep(const std::vector<SweepPoint>& points,
     for (std::size_t r = 0; r < repeats; ++r) {
       workload::Scenario s = points[pi].scenario;
       s.seed = util::hash_combine(s.seed, r);
-      const ExperimentResult res = run_experiment(s, schedulers[si]);
+      ExperimentResult res;
+      if (r == 0 && !timeline_dir.empty()) {
+        // Record the first repeat's timeline. Pure observation — res (and
+        // therefore the CSV) is byte-identical to the recorder-less run
+        // (pinned by tests/timeline/timeline_identity_test.cpp).
+        sim::TimelineRecorder recorder(sim::TimelineConfig{.record_transmissions = true});
+        res = run_experiment_full(s, schedulers[si], nullptr, &recorder).result;
+        recorder.save_binary(timeline_dir + "/timeline_p" + std::to_string(pi) + "_" +
+                             to_string(schedulers[si]) + ".tlbin");
+      } else {
+        res = run_experiment(s, schedulers[si]);
+      }
       reps.push_back(res.metrics);
       stats = res.stats;
       wall += res.wall_seconds;
@@ -130,12 +147,14 @@ void write_sweep_csv(const std::string& path, const std::string& x_label,
     csv.row(x_label, "scheduler", "task_completion_ratio", "flow_completion_ratio",
             "app_throughput", "task_size_ratio", "wasted_bandwidth_ratio", "tasks_total",
             "tasks_completed", "flows_total", "flows_completed", "replans", "flows_planned",
-            "prefix_reuse_flows", "prefix_reuse_ratio", "wall_seconds");
+            "prefix_reuse_flows", "prefix_reuse_ratio", "plan_commits", "preemptions",
+            "slice_grants", "wall_seconds");
   } else {
     csv.row(x_label, "scheduler", "task_completion_ratio", "flow_completion_ratio",
             "app_throughput", "task_size_ratio", "wasted_bandwidth_ratio", "tasks_total",
             "tasks_completed", "flows_total", "flows_completed", "replans", "flows_planned",
-            "prefix_reuse_flows", "prefix_reuse_ratio");
+            "prefix_reuse_flows", "prefix_reuse_ratio", "plan_commits", "preemptions",
+            "slice_grants");
   }
   for (std::size_t pi = 0; pi < points.size(); ++pi) {
     for (std::size_t si = 0; si < schedulers.size(); ++si) {
@@ -146,13 +165,14 @@ void write_sweep_csv(const std::string& path, const std::string& x_label,
                 m.flow_completion_ratio, m.app_throughput, m.task_size_ratio,
                 m.wasted_bandwidth_ratio, m.tasks_total, m.tasks_completed, m.flows_total,
                 m.flows_completed, m.replans, m.flows_planned, m.prefix_reuse_flows,
-                m.prefix_reuse_ratio, cell.result.wall_seconds);
+                m.prefix_reuse_ratio, m.plan_commits, m.preemptions, m.slice_grants,
+                cell.result.wall_seconds);
       } else {
         csv.row(cell.x, to_string(cell.scheduler), m.task_completion_ratio,
                 m.flow_completion_ratio, m.app_throughput, m.task_size_ratio,
                 m.wasted_bandwidth_ratio, m.tasks_total, m.tasks_completed, m.flows_total,
                 m.flows_completed, m.replans, m.flows_planned, m.prefix_reuse_flows,
-                m.prefix_reuse_ratio);
+                m.prefix_reuse_ratio, m.plan_commits, m.preemptions, m.slice_grants);
       }
     }
   }

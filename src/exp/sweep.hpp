@@ -34,10 +34,16 @@ struct SweepResult {
 };
 
 /// Run all (point × scheduler) combinations; `threads == 0` uses all cores,
-/// `repeats > 1` averages metrics over that many seeds per cell.
+/// `repeats > 1` averages metrics over that many seeds per cell. When
+/// `timeline_dir` is non-empty it is created and each cell's first repeat
+/// runs with a sim::TimelineRecorder attached (transmissions included),
+/// writing `timeline_p<point>_<scheduler>.tlbin` there — render with
+/// scripts/render_gantt.py. Recording is pure, so results (and the CSV
+/// below) are byte-identical with or without it.
 [[nodiscard]] SweepResult run_sweep(const std::vector<SweepPoint>& points,
                                     const std::vector<SchedulerKind>& schedulers,
-                                    std::size_t threads = 0, std::size_t repeats = 1);
+                                    std::size_t threads = 0, std::size_t repeats = 1,
+                                    const std::string& timeline_dir = {});
 
 /// Print one table: rows = points, one column per scheduler, values taken
 /// from `select(metrics)` (e.g. task completion ratio).

@@ -13,11 +13,20 @@ namespace taps::sched {
 /// have hundreds of equal-cost paths; see DESIGN.md).
 inline constexpr std::size_t kDefaultMaxPaths = 16;
 
+class ScheduleObserver;
+
 class BaseScheduler : public sim::Scheduler {
  public:
   void bind(net::Network& net) override;
 
   void on_flow_finished(net::FlowId id, double now) override;
+
+  /// Attach a decision observer (see sched/schedule_observer.hpp), e.g.
+  /// sim::TimelineRecorder. Survives bind(), so it can be set once before a
+  /// run. Pure observation: decisions are bit-identical with or without one
+  /// attached. Pass nullptr to detach.
+  void set_schedule_observer(ScheduleObserver* observer) { schedule_observer_ = observer; }
+  [[nodiscard]] ScheduleObserver* schedule_observer() const { return schedule_observer_; }
 
  protected:
   /// Admit the task's currently-arriving flows (those still kPending with
@@ -56,6 +65,7 @@ class BaseScheduler : public sim::Scheduler {
 
  private:
   std::size_t max_paths_ = kDefaultMaxPaths;
+  ScheduleObserver* schedule_observer_ = nullptr;
 };
 
 }  // namespace taps::sched

@@ -79,6 +79,7 @@ SimStats FluidSimulator::run() {
 
     while (next_arrival < waves.size() && waves[next_arrival].time <= now_ + kTimeEpsilon) {
       const TaskId tid = waves[next_arrival++].task;
+      if (observer_ != nullptr) observer_->on_task_arrival(net_->task(tid), now_);
       scheduler_->on_task_arrival(tid, now_);
       for (const FlowId fid : net_->task(tid).spec.flows) {
         auto& flag = enlisted[static_cast<std::size_t>(fid)];

@@ -61,6 +61,11 @@ class TransmitObserver {
   virtual ~TransmitObserver() = default;
   /// Flow `f` transmitted `bytes` uniformly over [t0, t1).
   virtual void on_transmit(const net::Flow& f, double t0, double t1, double bytes) = 0;
+  /// Task `t` (one wave of it) is about to be announced to the scheduler at
+  /// `now`. Fires for every scheduler kind — the scheduler-side
+  /// sched::ScheduleObserver::on_task_seen only fires for schedulers that
+  /// implement decision hooks (sim::TimelineRecorder dedupes the pair).
+  virtual void on_task_arrival(const net::Task& /*t*/, double /*now*/) {}
   /// The event loop is about to process the event at time `now` (called once
   /// per iteration, with non-decreasing `now`).
   virtual void on_event(double /*now*/) {}

@@ -1,0 +1,429 @@
+#include "sim/timeline.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <charconv>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <string_view>
+
+#include "net/task.hpp"
+
+namespace taps::sim {
+
+namespace {
+
+constexpr std::string_view kTextHeader = "taps-timeline-v1";
+constexpr char kBinaryMagic[8] = {'T', 'A', 'P', 'S', 'T', 'L', '0', '1'};
+constexpr std::uint32_t kBinaryVersion = 1;
+/// Sanity bound on per-grant link/slice counts when deserializing: far above
+/// any real path length or slice list, small enough to reject garbage counts
+/// before they turn into multi-gigabyte allocations.
+constexpr std::uint32_t kMaxGrantPayload = 1u << 20;
+
+// ---- text helpers ---------------------------------------------------------
+
+/// Shortest round-trip decimal form (std::to_chars general): byte-stable for
+/// a given bit pattern on every platform, and parseable by Python's float().
+void append_double(std::string& out, double v) {
+  char buf[32];
+  const std::to_chars_result r =
+      std::to_chars(buf, buf + sizeof(buf), v, std::chars_format::general);
+  out.append(buf, r.ptr);
+}
+
+void append_int(std::string& out, std::int64_t v) { out += std::to_string(v); }
+
+// ---- binary helpers (explicit little-endian, host-endianness agnostic) ----
+
+void put_u8(std::ostream& os, std::uint8_t v) {
+  os.put(static_cast<char>(v));
+}
+
+void put_u32(std::ostream& os, std::uint32_t v) {
+  char b[4];
+  for (int i = 0; i < 4; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xffu);
+  os.write(b, 4);
+}
+
+void put_u64(std::ostream& os, std::uint64_t v) {
+  char b[8];
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xffu);
+  os.write(b, 8);
+}
+
+void put_i32(std::ostream& os, std::int32_t v) { put_u32(os, static_cast<std::uint32_t>(v)); }
+
+void put_f64(std::ostream& os, double v) { put_u64(os, std::bit_cast<std::uint64_t>(v)); }
+
+[[noreturn]] void truncated() { throw std::runtime_error("taps-timeline: truncated binary input"); }
+
+std::uint8_t get_u8(std::istream& is) {
+  const int c = is.get();
+  if (c < 0) truncated();
+  return static_cast<std::uint8_t>(c);
+}
+
+std::uint32_t get_u32(std::istream& is) {
+  char b[4];
+  if (!is.read(b, 4)) truncated();
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(static_cast<unsigned char>(b[i])) << (8 * i);
+  }
+  return v;
+}
+
+std::uint64_t get_u64(std::istream& is) {
+  char b[8];
+  if (!is.read(b, 8)) truncated();
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(b[i])) << (8 * i);
+  }
+  return v;
+}
+
+std::int32_t get_i32(std::istream& is) { return static_cast<std::int32_t>(get_u32(is)); }
+
+double get_f64(std::istream& is) { return std::bit_cast<double>(get_u64(is)); }
+
+std::vector<std::string_view> split_lines(const std::string& s) {
+  std::vector<std::string_view> lines;
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    std::size_t nl = s.find('\n', pos);
+    if (nl == std::string::npos) nl = s.size();
+    lines.push_back(std::string_view(s).substr(pos, nl - pos));
+    pos = nl + 1;
+  }
+  return lines;
+}
+
+}  // namespace
+
+const char* to_string(TimelineEventKind k) {
+  switch (k) {
+    case TimelineEventKind::kArrive:
+      return "arrive";
+    case TimelineEventKind::kAdmit:
+      return "admit";
+    case TimelineEventKind::kReject:
+      return "reject";
+    case TimelineEventKind::kPreempt:
+      return "preempt";
+    case TimelineEventKind::kGrant:
+      return "grant";
+    case TimelineEventKind::kComplete:
+      return "complete";
+    case TimelineEventKind::kMiss:
+      return "miss";
+    case TimelineEventKind::kTransmit:
+      return "transmit";
+    case TimelineEventKind::kRunEnd:
+      return "end";
+  }
+  return "?";
+}
+
+// ---- TimelineRecorder -----------------------------------------------------
+
+TimelineEvent& TimelineRecorder::push(TimelineEventKind kind, double time, std::int32_t a,
+                                      std::int32_t b) {
+  TimelineEvent e;
+  e.kind = kind;
+  e.time = time;
+  e.a = a;
+  e.b = b;
+  timeline_.events.push_back(e);
+  return timeline_.events.back();
+}
+
+void TimelineRecorder::record_arrival(net::TaskId id, double now) {
+  push(TimelineEventKind::kArrive, now, id, -1);
+  last_arrival_task_ = id;
+  last_arrival_time_ = now;
+  has_last_arrival_ = true;
+}
+
+void TimelineRecorder::on_task_arrival(const net::Task& t, double now) {
+  record_arrival(t.id(), now);
+}
+
+void TimelineRecorder::on_task_seen(net::TaskId id, double now) {
+  // The simulator announces the arrival just before handing it to the
+  // scheduler, which announces it again through this hook — keep one event.
+  // Under a scheduler-only attachment (svc shards) this is the only arrival
+  // signal, so it records.
+  if (has_last_arrival_ && last_arrival_task_ == id && last_arrival_time_ == now) return;
+  record_arrival(id, now);
+}
+
+void TimelineRecorder::on_transmit(const net::Flow& f, double t0, double t1, double bytes) {
+  if (!config_.record_transmissions) return;
+  TimelineEvent& e = push(TimelineEventKind::kTransmit, t0, f.id(), f.task());
+  e.x0 = t1;
+  e.x1 = bytes;
+}
+
+void TimelineRecorder::on_flow_finished(const net::Flow& f, double now) {
+  const TimelineEventKind kind = f.state == net::FlowState::kCompleted
+                                     ? TimelineEventKind::kComplete
+                                     : TimelineEventKind::kMiss;
+  push(kind, now, f.id(), f.task());
+}
+
+void TimelineRecorder::on_run_complete(const net::Network& /*net*/, double end_time) {
+  push(TimelineEventKind::kRunEnd, end_time, -1, -1);
+}
+
+void TimelineRecorder::on_task_admitted(net::TaskId id, double now) {
+  push(TimelineEventKind::kAdmit, now, id, -1);
+}
+
+void TimelineRecorder::on_task_rejected(net::TaskId id, double now) {
+  push(TimelineEventKind::kReject, now, id, -1);
+}
+
+void TimelineRecorder::on_task_preempted(net::TaskId victim, net::TaskId by, double now) {
+  push(TimelineEventKind::kPreempt, now, victim, by);
+}
+
+void TimelineRecorder::on_plan_committed(double now,
+                                         std::span<const sched::CommittedFlowView> plan) {
+  for (const sched::CommittedFlowView& v : plan) {
+    if (!v.regranted) continue;  // carried over verbatim — no new grant
+    TimelineEvent& e = push(TimelineEventKind::kGrant, now, v.flow, v.task);
+    e.links_offset = static_cast<std::uint32_t>(timeline_.links.size());
+    e.links_count = static_cast<std::uint32_t>(v.path->links.size());
+    timeline_.links.insert(timeline_.links.end(), v.path->links.begin(), v.path->links.end());
+    const std::vector<util::Interval>& slices = v.slices->intervals();
+    e.slices_offset = static_cast<std::uint32_t>(timeline_.slices.size());
+    e.slices_count = static_cast<std::uint32_t>(slices.size());
+    timeline_.slices.insert(timeline_.slices.end(), slices.begin(), slices.end());
+  }
+}
+
+std::size_t TimelineRecorder::count(TimelineEventKind kind) const {
+  return static_cast<std::size_t>(
+      std::count_if(timeline_.events.begin(), timeline_.events.end(),
+                    [kind](const TimelineEvent& e) { return e.kind == kind; }));
+}
+
+void TimelineRecorder::clear() {
+  timeline_ = Timeline{};
+  last_arrival_task_ = net::kInvalidTask;
+  last_arrival_time_ = 0.0;
+  has_last_arrival_ = false;
+}
+
+std::string TimelineRecorder::text() const {
+  std::ostringstream os;
+  write_timeline_text(os, timeline_);
+  return std::move(os).str();
+}
+
+void TimelineRecorder::save_text(const std::string& path) const {
+  std::ofstream os(path, std::ios::binary);  // binary: no newline translation
+  if (!os) throw std::runtime_error("taps-timeline: cannot open " + path);
+  write_timeline_text(os, timeline_);
+  if (!os) throw std::runtime_error("taps-timeline: write failed: " + path);
+}
+
+void TimelineRecorder::save_binary(const std::string& path) const {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error("taps-timeline: cannot open " + path);
+  write_timeline_binary(os, timeline_);
+  if (!os) throw std::runtime_error("taps-timeline: write failed: " + path);
+}
+
+// ---- text serialization ---------------------------------------------------
+
+void write_timeline_text(std::ostream& os, const Timeline& timeline) {
+  std::string out;
+  out.reserve(timeline.events.size() * 40 + 32);
+  out += kTextHeader;
+  out += '\n';
+  for (const TimelineEvent& e : timeline.events) {
+    out += to_string(e.kind);
+    out += " t=";
+    append_double(out, e.time);
+    switch (e.kind) {
+      case TimelineEventKind::kArrive:
+      case TimelineEventKind::kAdmit:
+      case TimelineEventKind::kReject:
+        out += " task=";
+        append_int(out, e.a);
+        break;
+      case TimelineEventKind::kPreempt:
+        out += " victim=";
+        append_int(out, e.a);
+        out += " by=";
+        append_int(out, e.b);
+        break;
+      case TimelineEventKind::kGrant: {
+        out += " flow=";
+        append_int(out, e.a);
+        out += " task=";
+        append_int(out, e.b);
+        out += " links=";
+        if (e.links_count == 0) out += '-';
+        for (std::uint32_t i = 0; i < e.links_count; ++i) {
+          if (i != 0) out += ',';
+          append_int(out, timeline.links[e.links_offset + i]);
+        }
+        out += " slices=";
+        if (e.slices_count == 0) out += '-';
+        for (std::uint32_t i = 0; i < e.slices_count; ++i) {
+          const util::Interval& iv = timeline.slices[e.slices_offset + i];
+          if (i != 0) out += ',';
+          append_double(out, iv.lo);
+          out += ':';
+          append_double(out, iv.hi);
+        }
+        break;
+      }
+      case TimelineEventKind::kComplete:
+      case TimelineEventKind::kMiss:
+        out += " flow=";
+        append_int(out, e.a);
+        out += " task=";
+        append_int(out, e.b);
+        break;
+      case TimelineEventKind::kTransmit:
+        out += " flow=";
+        append_int(out, e.a);
+        out += " task=";
+        append_int(out, e.b);
+        out += " until=";
+        append_double(out, e.x0);
+        out += " bytes=";
+        append_double(out, e.x1);
+        break;
+      case TimelineEventKind::kRunEnd:
+        out += " events=";
+        append_int(out, static_cast<std::int64_t>(timeline.events.size()));
+        break;
+    }
+    out += '\n';
+  }
+  os.write(out.data(), static_cast<std::streamsize>(out.size()));
+}
+
+// ---- binary serialization -------------------------------------------------
+
+void write_timeline_binary(std::ostream& os, const Timeline& timeline) {
+  os.write(kBinaryMagic, sizeof(kBinaryMagic));
+  put_u32(os, kBinaryVersion);
+  put_u64(os, timeline.events.size());
+  for (const TimelineEvent& e : timeline.events) {
+    put_u8(os, static_cast<std::uint8_t>(e.kind));
+    put_f64(os, e.time);
+    put_i32(os, e.a);
+    put_i32(os, e.b);
+    if (e.kind == TimelineEventKind::kGrant) {
+      put_u32(os, e.links_count);
+      put_u32(os, e.slices_count);
+      for (std::uint32_t i = 0; i < e.links_count; ++i) {
+        put_i32(os, timeline.links[e.links_offset + i]);
+      }
+      for (std::uint32_t i = 0; i < e.slices_count; ++i) {
+        const util::Interval& iv = timeline.slices[e.slices_offset + i];
+        put_f64(os, iv.lo);
+        put_f64(os, iv.hi);
+      }
+    } else if (e.kind == TimelineEventKind::kTransmit) {
+      put_f64(os, e.x0);
+      put_f64(os, e.x1);
+    }
+  }
+}
+
+Timeline read_timeline_binary(std::istream& is) {
+  char magic[8];
+  if (!is.read(magic, sizeof(magic))) truncated();
+  if (std::memcmp(magic, kBinaryMagic, sizeof(magic)) != 0) {
+    throw std::runtime_error("taps-timeline: bad magic (not a taps-timeline binary)");
+  }
+  const std::uint32_t version = get_u32(is);
+  if (version != kBinaryVersion) {
+    throw std::runtime_error("taps-timeline: unsupported version " + std::to_string(version));
+  }
+  const std::uint64_t count = get_u64(is);
+  Timeline tl;
+  // Reserve lazily-bounded: a hostile/corrupt count must not allocate first.
+  tl.events.reserve(static_cast<std::size_t>(std::min<std::uint64_t>(count, 1u << 16)));
+  for (std::uint64_t n = 0; n < count; ++n) {
+    const std::uint8_t kind_raw = get_u8(is);
+    if (kind_raw > static_cast<std::uint8_t>(TimelineEventKind::kRunEnd)) {
+      throw std::runtime_error("taps-timeline: unknown event kind " + std::to_string(kind_raw));
+    }
+    TimelineEvent e;
+    e.kind = static_cast<TimelineEventKind>(kind_raw);
+    e.time = get_f64(is);
+    e.a = get_i32(is);
+    e.b = get_i32(is);
+    if (e.kind == TimelineEventKind::kGrant) {
+      const std::uint32_t nlinks = get_u32(is);
+      const std::uint32_t nslices = get_u32(is);
+      if (nlinks > kMaxGrantPayload || nslices > kMaxGrantPayload) {
+        throw std::runtime_error("taps-timeline: implausible grant payload size");
+      }
+      e.links_offset = static_cast<std::uint32_t>(tl.links.size());
+      e.links_count = nlinks;
+      for (std::uint32_t i = 0; i < nlinks; ++i) tl.links.push_back(get_i32(is));
+      e.slices_offset = static_cast<std::uint32_t>(tl.slices.size());
+      e.slices_count = nslices;
+      for (std::uint32_t i = 0; i < nslices; ++i) {
+        const double lo = get_f64(is);
+        const double hi = get_f64(is);
+        tl.slices.push_back(util::Interval{lo, hi});
+      }
+    } else if (e.kind == TimelineEventKind::kTransmit) {
+      e.x0 = get_f64(is);
+      e.x1 = get_f64(is);
+    }
+    tl.events.push_back(e);
+  }
+  return tl;
+}
+
+// ---- diff -----------------------------------------------------------------
+
+std::string diff_timeline_text(const std::string& expected, const std::string& actual,
+                               std::size_t context) {
+  const std::vector<std::string_view> el = split_lines(expected);
+  const std::vector<std::string_view> al = split_lines(actual);
+  const std::size_t common = std::min(el.size(), al.size());
+  std::size_t i = 0;
+  while (i < common && el[i] == al[i]) ++i;
+  if (i == common && el.size() == al.size()) return {};
+
+  std::string out = "timeline mismatch at line " + std::to_string(i + 1) + " (expected " +
+                    std::to_string(el.size()) + " lines, actual " + std::to_string(al.size()) +
+                    "):\n";
+  const std::size_t begin = i > context ? i - context : 0;
+  for (std::size_t k = begin; k < i; ++k) {
+    out += "      ";
+    out += el[k];
+    out += '\n';
+  }
+  out += "  - expected: ";
+  out += i < el.size() ? el[i] : std::string_view("<end of stream>");
+  out += '\n';
+  out += "  + actual:   ";
+  out += i < al.size() ? al[i] : std::string_view("<end of stream>");
+  out += '\n';
+  for (std::size_t k = i + 1; k < al.size() && k <= i + context; ++k) {
+    out += "      ";
+    out += al[k];
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace taps::sim

@@ -1,0 +1,152 @@
+// Timeline capture: the `taps-timeline-v1` event stream.
+//
+// A TimelineRecorder folds both observation channels of a run — the data
+// plane (sim::TransmitObserver: arrivals, transmissions, completions,
+// misses) and the control plane (sched::ScheduleObserver: admits, rejects,
+// preemptions with victim ids, per-link time-slice grants) — into one
+// compact, deterministic, versioned event stream. The stream serializes to
+// a byte-stable text dump (golden-timeline regression tests diff it
+// verbatim) and a compact binary form (what sweeps/benches write per cell;
+// scripts/render_gantt.py reads both and renders per-link Gantt SVGs).
+//
+// Determinism: event payload doubles are emitted via std::to_chars shortest
+// round-trip formatting (text) or raw IEEE-754 bits little-endian (binary),
+// so two bit-identical runs produce byte-identical streams on any platform.
+// Recording is strictly pure — attaching a recorder never changes a
+// schedule, fingerprint, or metric (tests/timeline/timeline_identity_test).
+//
+// See docs/TIMELINE.md for the full format specification.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sched/schedule_observer.hpp"
+#include "sim/simulator.hpp"
+
+namespace taps::sim {
+
+enum class TimelineEventKind : std::uint8_t {
+  kArrive = 0,    // a task wave reached the scheduler       (a = task)
+  kAdmit = 1,     // the arriving task was admitted          (a = task)
+  kReject = 2,    // the arriving task was rejected          (a = task)
+  kPreempt = 3,   // an incumbent was revoked                (a = victim, b = by)
+  kGrant = 4,     // a flow's committed route/slices changed (a = flow, b = task)
+  kComplete = 5,  // a flow delivered all bytes              (a = flow, b = task)
+  kMiss = 6,      // a flow missed its deadline              (a = flow, b = task)
+  kTransmit = 7,  // bytes moved over [time, x0)             (a = flow, b = task)
+  kRunEnd = 8,    // the run reached quiescence
+};
+
+[[nodiscard]] const char* to_string(TimelineEventKind k);
+
+/// One timeline event. Grant events reference `links_count` link ids and
+/// `slices_count` intervals in the owning Timeline's arenas (offset/count
+/// into Timeline::links / Timeline::slices); all other kinds carry counts of
+/// zero. `x0`/`x1` are only meaningful for kTransmit (end time and bytes).
+struct TimelineEvent {
+  TimelineEventKind kind = TimelineEventKind::kRunEnd;
+  double time = 0.0;
+  std::int32_t a = -1;
+  std::int32_t b = -1;
+  double x0 = 0.0;
+  double x1 = 0.0;
+  std::uint32_t links_offset = 0;
+  std::uint32_t links_count = 0;
+  std::uint32_t slices_offset = 0;
+  std::uint32_t slices_count = 0;
+
+  friend bool operator==(const TimelineEvent&, const TimelineEvent&) = default;
+};
+
+/// A recorded (or deserialized) event stream plus the shared arenas its
+/// grant events index into.
+struct Timeline {
+  std::vector<TimelineEvent> events;
+  std::vector<topo::LinkId> links;     // grant link-id arena
+  std::vector<util::Interval> slices;  // grant slice arena
+
+  friend bool operator==(const Timeline&, const Timeline&) = default;
+};
+
+struct TimelineConfig {
+  /// Also record one kTransmit event per contiguous transmission segment.
+  /// Off by default (grants already describe TAPS schedules exactly); turn
+  /// on to capture per-flow activity of schedulers that do not pre-allocate
+  /// slices (fair sharing, PDQ, ...) or to cross-check grants against what
+  /// the data plane actually did.
+  bool record_transmissions = false;
+};
+
+/// Records a run's timeline. Attach to the simulator with set_observer()
+/// AND to the scheduler with sched::BaseScheduler::set_schedule_observer()
+/// (or svc::Shard::set_schedule_observer for service shards; scheduler-only
+/// attachment works too and simply lacks arrival/completion/transmit
+/// events, as does simulator-only attachment for grant/decision events).
+class TimelineRecorder final : public TransmitObserver, public sched::ScheduleObserver {
+ public:
+  TimelineRecorder() = default;
+  explicit TimelineRecorder(const TimelineConfig& config) : config_(config) {}
+
+  // ---- TransmitObserver (data plane) ----
+  void on_task_arrival(const net::Task& t, double now) override;
+  void on_transmit(const net::Flow& f, double t0, double t1, double bytes) override;
+  void on_flow_finished(const net::Flow& f, double now) override;
+  void on_run_complete(const net::Network& net, double end_time) override;
+
+  // ---- sched::ScheduleObserver (control plane) ----
+  void on_task_seen(net::TaskId id, double now) override;
+  void on_task_admitted(net::TaskId id, double now) override;
+  void on_task_rejected(net::TaskId id, double now) override;
+  void on_task_preempted(net::TaskId victim, net::TaskId by, double now) override;
+  void on_plan_committed(double now, std::span<const sched::CommittedFlowView> plan) override;
+
+  [[nodiscard]] const Timeline& timeline() const { return timeline_; }
+  [[nodiscard]] const std::vector<TimelineEvent>& events() const { return timeline_.events; }
+  [[nodiscard]] std::size_t count(TimelineEventKind kind) const;
+
+  /// Reset to an empty stream (config and attachments unchanged).
+  void clear();
+
+  /// Serialization conveniences over the free functions below.
+  [[nodiscard]] std::string text() const;
+  void save_text(const std::string& path) const;
+  void save_binary(const std::string& path) const;
+
+ private:
+  void record_arrival(net::TaskId id, double now);
+  TimelineEvent& push(TimelineEventKind kind, double time, std::int32_t a, std::int32_t b);
+
+  TimelineConfig config_;
+  Timeline timeline_;
+  // Arrival dedupe: the simulator-side and scheduler-side hooks both
+  // announce the same (task, time) back to back; record it once.
+  net::TaskId last_arrival_task_ = net::kInvalidTask;
+  double last_arrival_time_ = 0.0;
+  bool has_last_arrival_ = false;
+};
+
+/// Text form: a `taps-timeline-v1` header line, one line per event, a
+/// trailing `end` line. Byte-stable across platforms (shortest round-trip
+/// double formatting); this is what golden files commit.
+void write_timeline_text(std::ostream& os, const Timeline& timeline);
+
+/// Binary form: "TAPSTL01" magic, little-endian fixed-width fields. Compact
+/// enough to emit per sweep cell; scripts/render_gantt.py parses it.
+void write_timeline_binary(std::ostream& os, const Timeline& timeline);
+
+/// Parse the binary form back (round-trip pinned by the recorder tests).
+/// Throws std::runtime_error on malformed input.
+[[nodiscard]] Timeline read_timeline_binary(std::istream& is);
+
+/// Event-level diff of two text dumps (expected vs actual): reports the
+/// first divergent event line with `context` lines around it, plus any
+/// length mismatch — what the golden-timeline harness prints on failure.
+/// Returns an empty string when the dumps are identical.
+[[nodiscard]] std::string diff_timeline_text(const std::string& expected,
+                                             const std::string& actual,
+                                             std::size_t context = 3);
+
+}  // namespace taps::sim

@@ -122,6 +122,11 @@ class AdmissionService {
 
   [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
   [[nodiscard]] const Shard& shard(std::size_t i) const { return *shards_[i]; }
+  /// Attach a decision observer to shard `i`'s scheduler (quiescent-only;
+  /// see Shard::set_schedule_observer for the purity and id-space notes).
+  void set_shard_schedule_observer(std::size_t i, sched::ScheduleObserver* observer) {
+    shards_[i]->set_schedule_observer(observer);
+  }
   /// Advance every shard's virtual clock (drain completions; testing aid).
   void advance_clock(double t);
   /// First invariant violation across all shards, or nullopt.

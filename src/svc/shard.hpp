@@ -71,6 +71,17 @@ class Shard {
   [[nodiscard]] const net::Network& network() const { return *net_; }
   [[nodiscard]] const core::TapsScheduler& scheduler() const { return sched_; }
 
+  /// Attach a decision observer (e.g. sim::TimelineRecorder) to the shard's
+  /// scheduler. Pure observation — responses, fingerprints and audits stay
+  /// bit-identical (pinned by tests/timeline/timeline_identity_test.cpp).
+  /// Set while the shard is quiescent. Note: event task/flow ids are in the
+  /// shard-local registry id space current at event time; registry
+  /// compaction (compact_interval) renumbers live flows, so timelines that
+  /// span a compaction mix id generations (docs/TIMELINE.md).
+  void set_schedule_observer(sched::ScheduleObserver* observer) {
+    sched_.set_schedule_observer(observer);
+  }
+
   /// Deterministic full-precision (hexfloat) dump of the shard's committed
   /// state: two shards fed the same request sequence compare bitwise equal.
   /// Test/debug aid for the equivalence suites.

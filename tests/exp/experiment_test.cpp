@@ -84,12 +84,20 @@ TEST(Experiment, TapsPlannerEffortCountersSurfaceInMetrics) {
       static_cast<double>(taps.metrics.prefix_reuse_flows) /
           static_cast<double>(taps.metrics.prefix_reuse_flows + taps.metrics.flows_planned));
 
+  // The timeline decision counters surface regardless of any attached
+  // recorder (they come from TapsCounters, not the observer).
+  EXPECT_GT(taps.metrics.plan_commits, 0u);
+  EXPECT_GT(taps.metrics.slice_grants, 0u);
+
   // Schedulers without a global replan report zero effort, not garbage.
   const auto fair = run_experiment(s, SchedulerKind::kFairSharing);
   EXPECT_EQ(fair.metrics.replans, 0u);
   EXPECT_EQ(fair.metrics.flows_planned, 0u);
   EXPECT_EQ(fair.metrics.prefix_reuse_flows, 0u);
   EXPECT_DOUBLE_EQ(fair.metrics.prefix_reuse_ratio, 0.0);
+  EXPECT_EQ(fair.metrics.plan_commits, 0u);
+  EXPECT_EQ(fair.metrics.preemptions, 0u);
+  EXPECT_EQ(fair.metrics.slice_grants, 0u);
 }
 
 TEST(Experiment, ObserverReceivesSegments) {
@@ -160,6 +168,13 @@ TEST(Sweep, CsvRoundTrip) {
   const double reuse = std::stod(rows[2][col("prefix_reuse_ratio")]);
   EXPECT_GE(reuse, 0.0);
   EXPECT_LE(reuse, 1.0);
+  // Timeline decision columns: TAPS commits plans and grants slices;
+  // FairSharing (no decision hooks) reports zeros.
+  EXPECT_GT(std::stoull(rows[2][col("plan_commits")]), 0u);
+  EXPECT_GT(std::stoull(rows[2][col("slice_grants")]), 0u);
+  EXPECT_EQ(std::stoull(rows[1][col("plan_commits")]), 0u);
+  EXPECT_EQ(std::stoull(rows[1][col("preemptions")]), 0u);
+  EXPECT_EQ(std::stoull(rows[1][col("slice_grants")]), 0u);
   std::remove(path.c_str());
 }
 

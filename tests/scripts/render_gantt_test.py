@@ -1,0 +1,195 @@
+"""Tests for scripts/render_gantt.py (the timeline Gantt renderer).
+
+Run from ctest as `python3 -m unittest discover -s tests/scripts` — stdlib
+only, no pytest/pip dependencies. The script is exercised end-to-end as a
+subprocess so the exit-code contract (0 ok / 2 input error) and the file
+outputs are what is actually pinned. The binary fixture is packed here with
+struct against the taps-timeline-v1 layout documented in docs/TIMELINE.md —
+a second, independent encoder keeps the C++ writer honest.
+"""
+
+import pathlib
+import struct
+import subprocess
+import sys
+import tempfile
+import unittest
+
+REPO = pathlib.Path(__file__).resolve().parents[2]
+SCRIPT = REPO / "scripts" / "render_gantt.py"
+
+TEXT_TIMELINE = """taps-timeline-v1
+arrive t=0 task=0
+admit t=0 task=0
+grant t=0 flow=0 task=0 links=2,0,7 slices=0:4
+arrive t=1 task=1
+preempt t=1 victim=0 by=1
+admit t=1 task=1
+grant t=1 flow=1 task=1 links=4,0,9 slices=1:3
+complete t=3 flow=1 task=1
+end t=3 events=9
+"""
+
+
+def pack_binary():
+    """The same stream as TEXT_TIMELINE, packed in the .tlbin layout."""
+    kinds = {
+        "arrive": 0,
+        "admit": 1,
+        "reject": 2,
+        "preempt": 3,
+        "grant": 4,
+        "complete": 5,
+        "miss": 6,
+        "transmit": 7,
+        "end": 8,
+    }
+    out = bytearray(b"TAPSTL01")
+    events = [
+        ("arrive", 0.0, 0, -1),
+        ("admit", 0.0, 0, -1),
+        ("grant", 0.0, 0, 0, [2, 0, 7], [(0.0, 4.0)]),
+        ("arrive", 1.0, 1, -1),
+        ("preempt", 1.0, 0, 1),
+        ("admit", 1.0, 1, -1),
+        ("grant", 1.0, 1, 1, [4, 0, 9], [(1.0, 3.0)]),
+        ("complete", 3.0, 1, 1),
+        ("end", 3.0, -1, -1),
+    ]
+    out += struct.pack("<IQ", 1, len(events))
+    for e in events:
+        kind, t, a, b = e[0], e[1], e[2], e[3]
+        out += struct.pack("<Bdii", kinds[kind], t, a, b)
+        if kind == "grant":
+            links, slices = e[4], e[5]
+            out += struct.pack("<II", len(links), len(slices))
+            out += struct.pack(f"<{len(links)}i", *links)
+            for lo, hi in slices:
+                out += struct.pack("<dd", lo, hi)
+    return bytes(out)
+
+
+def run(*args):
+    return subprocess.run(
+        [sys.executable, str(SCRIPT), *map(str, args)],
+        capture_output=True,
+        text=True,
+        check=False,
+    )
+
+
+class RenderGanttTest(unittest.TestCase):
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+        self.addCleanup(self.tmp.cleanup)
+        self.dir = pathlib.Path(self.tmp.name)
+
+    def write_text(self, name="run.timeline", content=TEXT_TIMELINE):
+        path = self.dir / name
+        path.write_text(content, encoding="utf-8")
+        return path
+
+    def test_renders_text_timeline_to_svg(self):
+        src = self.write_text()
+        out = self.dir / "run.svg"
+        result = run(src, "--out", out)
+        self.assertEqual(result.returncode, 0, result.stderr)
+        svg = out.read_text(encoding="utf-8")
+        self.assertIn("<svg", svg)
+        # Preempted flow 0 is clipped at t=1: links 2, 0, 7 each get one
+        # rect; flow 1 draws on links 4, 0, 9 — six slice rects in all.
+        self.assertEqual(svg.count("<rect"), 6 + 1)  # + background
+        self.assertIn("preempt task 0 by task 1", svg)
+        # Rows are the five distinct links.
+        for link in (0, 2, 4, 7, 9):
+            self.assertIn(f"link {link}", svg)
+
+    def test_binary_and_text_render_identically(self):
+        text_src = self.write_text()
+        bin_src = self.dir / "run.tlbin"
+        bin_src.write_bytes(pack_binary())
+        self.assertEqual(run(text_src, "--out", self.dir / "a.svg").returncode, 0)
+        self.assertEqual(run(bin_src, "--out", self.dir / "b.svg").returncode, 0)
+        a = (self.dir / "a.svg").read_text(encoding="utf-8")
+        b = (self.dir / "b.svg").read_text(encoding="utf-8")
+        # Identical modulo the title line, which carries the input filename.
+        strip = lambda s: [l for l in s.splitlines() if "font-size=\"14\"" not in l]
+        self.assertEqual(strip(a), strip(b))
+
+    def test_flow_rows_mode(self):
+        src = self.write_text()
+        out = self.dir / "flows.svg"
+        result = run(src, "--rows", "flows", "--out", out)
+        self.assertEqual(result.returncode, 0, result.stderr)
+        svg = out.read_text(encoding="utf-8")
+        self.assertIn("flow 0", svg)
+        self.assertIn("flow 1", svg)
+        self.assertEqual(svg.count("<rect"), 2 + 1)  # one per flow + background
+
+    def test_aggregates_above_max_rects(self):
+        src = self.write_text()
+        out = self.dir / "agg.svg"
+        result = run(src, "--max-rects", "2", "--out", out)
+        self.assertEqual(result.returncode, 0, result.stderr)
+        svg = out.read_text(encoding="utf-8")
+        self.assertIn("aggregated to per-row utilization", svg)
+
+    def test_transmit_only_stream_falls_back_to_flow_rows(self):
+        src = self.write_text(
+            content=(
+                "taps-timeline-v1\n"
+                "arrive t=0 task=0\n"
+                "transmit t=0 flow=0 task=0 until=3 bytes=1.5\n"
+                "transmit t=0 flow=1 task=1 until=3 bytes=1.5\n"
+                "miss t=3 flow=0 task=0\n"
+                "miss t=3 flow=1 task=1\n"
+                "end t=3 events=6\n"
+            )
+        )
+        out = self.dir / "fair.svg"
+        result = run(src, "--out", out)
+        self.assertEqual(result.returncode, 0, result.stderr)
+        svg = out.read_text(encoding="utf-8")
+        self.assertEqual(svg.count("<rect"), 2 + 1)
+        self.assertEqual(svg.count("<circle"), 2)  # two miss markers
+
+    def test_out_dir_renders_many_inputs(self):
+        a = self.write_text("a.timeline")
+        b = self.write_text("b.timeline")
+        result = run(a, b, "--out-dir", self.dir / "charts")
+        self.assertEqual(result.returncode, 0, result.stderr)
+        self.assertTrue((self.dir / "charts" / "a.svg").exists())
+        self.assertTrue((self.dir / "charts" / "b.svg").exists())
+
+    def test_out_with_multiple_inputs_is_a_usage_error(self):
+        a = self.write_text("a.timeline")
+        b = self.write_text("b.timeline")
+        result = run(a, b, "--out", self.dir / "x.svg")
+        self.assertEqual(result.returncode, 2)
+
+    def test_rejects_garbage_input(self):
+        src = self.dir / "junk"
+        src.write_bytes(b"\x00\x01garbage not a timeline")
+        result = run(src)
+        self.assertEqual(result.returncode, 2)
+        self.assertIn("error:", result.stderr)
+
+    def test_rejects_truncated_binary(self):
+        src = self.dir / "trunc.tlbin"
+        src.write_bytes(pack_binary()[:30])
+        result = run(src)
+        self.assertEqual(result.returncode, 2)
+        self.assertIn("truncated", result.stderr)
+
+    def test_rejects_unsupported_binary_version(self):
+        data = bytearray(pack_binary())
+        data[8] = 9
+        src = self.dir / "v9.tlbin"
+        src.write_bytes(bytes(data))
+        result = run(src)
+        self.assertEqual(result.returncode, 2)
+        self.assertIn("version", result.stderr)
+
+
+if __name__ == "__main__":
+    unittest.main()

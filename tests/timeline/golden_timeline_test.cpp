@@ -1,0 +1,149 @@
+// Golden-timeline regression harness: four canonical scenarios whose
+// taps-timeline-v1 text dumps are committed under tests/golden/timeline/ and
+// compared byte for byte. A mismatch prints the event-level diff
+// (sim::diff_timeline_text); regenerate intentionally-changed goldens with
+//
+//   TAPS_UPDATE_GOLDENS=1 ctest -L timeline
+//
+// and review the textual diff like any other code change (docs/TIMELINE.md).
+//
+// The scenarios use unit capacities and dyadic sizes/instants, so every
+// simulated time and byte count is exact in binary floating point — the
+// dumps are byte-stable across compilers and optimization levels, not just
+// across runs.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/fixtures.hpp"
+#include "core/taps_scheduler.hpp"
+#include "sched/fair_sharing.hpp"
+#include "sim/timeline.hpp"
+#include "topo/fattree.hpp"
+
+namespace taps::sim {
+namespace {
+
+using test::add_task;
+using test::flow;
+using test::make_dumbbell;
+using test::make_fig3_topology;
+
+std::string golden_path(const std::string& name) {
+  return std::string(TAPS_GOLDEN_DIR) + "/" + name + ".txt";
+}
+
+void run_recorded(net::Network& net, Scheduler& scheduler, TimelineRecorder& rec) {
+  if (auto* base = dynamic_cast<sched::BaseScheduler*>(&scheduler)) {
+    base->set_schedule_observer(&rec);
+  }
+  FluidSimulator simulator(net, scheduler);
+  simulator.set_observer(&rec);
+  (void)simulator.run();
+}
+
+void check_golden(const std::string& name, const TimelineRecorder& rec) {
+  const std::string path = golden_path(name);
+  const std::string actual = rec.text();
+  // taps-lint: allow(wall-clock) -- getenv, not a clock; golden update knob
+  if (std::getenv("TAPS_UPDATE_GOLDENS") != nullptr) {
+    std::ofstream os(path, std::ios::binary);
+    ASSERT_TRUE(os) << "cannot write golden " << path;
+    os << actual;
+    ASSERT_TRUE(os) << "short write to " << path;
+  }
+  std::ifstream is(path, std::ios::binary);
+  ASSERT_TRUE(is) << "missing golden " << path
+                  << " — generate it with TAPS_UPDATE_GOLDENS=1";
+  std::stringstream buf;
+  buf << is.rdbuf();
+  const std::string diff = diff_timeline_text(buf.str(), actual);
+  EXPECT_TRUE(diff.empty()) << "golden timeline mismatch for '" << name << "':\n"
+                            << diff
+                            << "(regenerate intentionally-changed goldens with "
+                               "TAPS_UPDATE_GOLDENS=1)";
+}
+
+// Scenario 1: single-link preemption. Incumbent A ([0,4) on the dumbbell
+// bottleneck, deadline 4.5) is displaced under the schedulability policy by
+// urgent B (needs [1,3), deadline 3): after B's trial plan A's remainder
+// would land at [3,6), past A's deadline, so the reject rule revokes A.
+TEST(GoldenTimeline, SingleLinkPreemption) {
+  auto d = make_dumbbell(2);
+  net::Network net(*d.topology);
+  add_task(net, 0.0, 4.5, {flow(d.left[0], d.right[0], 4.0)});
+  add_task(net, 1.0, 3.0, {flow(d.left[1], d.right[1], 2.0)});
+  core::TapsConfig cfg;
+  cfg.preempt_policy = core::PreemptPolicy::kSchedulable;
+  core::TapsScheduler sched(cfg);
+  TimelineRecorder rec;
+  run_recorded(net, sched, rec);
+
+  EXPECT_EQ(rec.count(TimelineEventKind::kPreempt), 1u);
+  EXPECT_EQ(rec.count(TimelineEventKind::kAdmit), 2u);
+  check_golden("single_link_preemption", rec);
+}
+
+// Scenario 2: multi-task regrant cascade on the paper's Fig. 3 topology.
+// t2's urgent f3 (deadline 5) is planned ahead of t1's incumbents at its
+// arrival, pushing t1's f1 to a later slice (a re-grant without
+// preemption); t3's own flow cannot fit 3 units before its deadline at 4,
+// so it is rejected outright.
+TEST(GoldenTimeline, MultiTaskCascade) {
+  auto t = make_fig3_topology();
+  net::Network net(*t.topology);
+  add_task(net, 0.0, 10.0, {flow(t.h1, t.h2, 3.0), flow(t.h1, t.h4, 4.0)});
+  add_task(net, 1.0, 5.0, {flow(t.h3, t.h2, 2.0)});
+  add_task(net, 2.0, 4.0, {flow(t.h3, t.h4, 3.0)});
+  core::TapsScheduler sched;
+  TimelineRecorder rec;
+  run_recorded(net, sched, rec);
+
+  EXPECT_EQ(rec.count(TimelineEventKind::kAdmit), 2u);
+  EXPECT_EQ(rec.count(TimelineEventKind::kReject), 1u);
+  EXPECT_EQ(rec.count(TimelineEventKind::kPreempt), 0u);
+  check_golden("multi_task_cascade", rec);
+}
+
+// Scenario 3: cross-pod admissions on a k=4 fat-tree — two tasks whose
+// flows traverse core links between distinct pod pairs; no contention, both
+// admit, and the grants pin the centrally chosen core paths.
+TEST(GoldenTimeline, CrossPodAdmit) {
+  topo::FatTree ft(topo::FatTreeConfig{4, 1.0});
+  net::Network net(ft);
+  add_task(net, 0.0, 4.0,
+           {flow(ft.host(0, 0, 0), ft.host(2, 0, 0), 2.0),
+            flow(ft.host(0, 0, 1), ft.host(2, 0, 1), 2.0)});
+  add_task(net, 1.0, 6.0, {flow(ft.host(1, 0, 0), ft.host(3, 0, 0), 4.0)});
+  core::TapsScheduler sched;
+  TimelineRecorder rec;
+  run_recorded(net, sched, rec);
+
+  EXPECT_EQ(rec.count(TimelineEventKind::kAdmit), 2u);
+  EXPECT_EQ(rec.count(TimelineEventKind::kReject), 0u);
+  EXPECT_EQ(rec.count(TimelineEventKind::kComplete), 3u);
+  check_golden("cross_pod_admit", rec);
+}
+
+// Scenario 4: deadline misses under fair sharing (no decision hooks — the
+// timeline is data-plane only, with transmissions recorded). Two equal
+// flows split the bottleneck at rate 1/2 and both miss at t=3.
+TEST(GoldenTimeline, DeadlineMiss) {
+  auto d = make_dumbbell(2);
+  net::Network net(*d.topology);
+  add_task(net, 0.0, 3.0, {flow(d.left[0], d.right[0], 2.0)});
+  add_task(net, 0.0, 3.0, {flow(d.left[1], d.right[1], 2.0)});
+  sched::FairSharing sched;
+  TimelineRecorder rec(TimelineConfig{.record_transmissions = true});
+  run_recorded(net, sched, rec);
+
+  EXPECT_EQ(rec.count(TimelineEventKind::kMiss), 2u);
+  EXPECT_GT(rec.count(TimelineEventKind::kTransmit), 0u);
+  check_golden("deadline_miss", rec);
+}
+
+}  // namespace
+}  // namespace taps::sim

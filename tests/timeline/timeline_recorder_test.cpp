@@ -1,0 +1,249 @@
+// Unit tests for sim::TimelineRecorder and the taps-timeline-v1 formats:
+// event capture across both observer interfaces (with arrival dedupe),
+// counter parity with TapsCounters, the exact text rendering, the binary
+// round trip, malformed-input rejection, and the golden-diff helper.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "common/fixtures.hpp"
+#include "core/taps_scheduler.hpp"
+#include "sched/fair_sharing.hpp"
+#include "sim/timeline.hpp"
+
+namespace taps::sim {
+namespace {
+
+using test::add_task;
+using test::flow;
+using test::make_dumbbell;
+
+/// Attach `rec` to both the simulator and (when supported) the scheduler,
+/// then run to quiescence — the same double attachment the experiment
+/// driver performs.
+void run_recorded(net::Network& net, Scheduler& scheduler, TimelineRecorder& rec) {
+  if (auto* base = dynamic_cast<sched::BaseScheduler*>(&scheduler)) {
+    base->set_schedule_observer(&rec);
+  }
+  FluidSimulator simulator(net, scheduler);
+  simulator.set_observer(&rec);
+  (void)simulator.run();
+}
+
+/// The dumbbell preemption scenario used throughout this suite: under the
+/// schedulability policy the urgent newcomer B displaces the doomed
+/// incumbent A on the shared bottleneck.
+struct PreemptionRun {
+  test::Dumbbell d = make_dumbbell(2);
+  std::unique_ptr<net::Network> net;
+  std::unique_ptr<core::TapsScheduler> sched;
+
+  PreemptionRun() {
+    net = std::make_unique<net::Network>(*d.topology);
+    add_task(*net, 0.0, 4.5, {flow(d.left[0], d.right[0], 4.0)});  // A
+    add_task(*net, 1.0, 3.0, {flow(d.left[1], d.right[1], 2.0)});  // B
+    core::TapsConfig cfg;
+    cfg.preempt_policy = core::PreemptPolicy::kSchedulable;
+    sched = std::make_unique<core::TapsScheduler>(cfg);
+  }
+};
+
+TEST(TimelineRecorder, CapturesDecisionAndDataPlaneEvents) {
+  PreemptionRun r;
+  TimelineRecorder rec;
+  run_recorded(*r.net, *r.sched, rec);
+
+  // Both observer channels announce each arrival; the recorder keeps one.
+  EXPECT_EQ(rec.count(TimelineEventKind::kArrive), 2u);
+  EXPECT_EQ(rec.count(TimelineEventKind::kAdmit), 2u);
+  EXPECT_EQ(rec.count(TimelineEventKind::kPreempt), 1u);
+  EXPECT_EQ(rec.count(TimelineEventKind::kRunEnd), 1u);
+  EXPECT_GE(rec.count(TimelineEventKind::kGrant), 2u);
+  EXPECT_EQ(rec.count(TimelineEventKind::kTransmit), 0u);  // off by default
+
+  // The preempt event names victim and preemptor.
+  for (const TimelineEvent& e : rec.events()) {
+    if (e.kind != TimelineEventKind::kPreempt) continue;
+    EXPECT_EQ(e.a, 0);  // task A (first added) is the victim
+    EXPECT_EQ(e.b, 1);  // displaced by task B
+    EXPECT_EQ(e.time, 1.0);
+  }
+
+  // Timestamps are monotone non-decreasing and grant arena views in range.
+  double prev = 0.0;
+  for (const TimelineEvent& e : rec.events()) {
+    EXPECT_GE(e.time, prev) << rec.text();
+    prev = e.time;
+    EXPECT_LE(std::size_t{e.links_offset} + e.links_count, rec.timeline().links.size());
+    EXPECT_LE(std::size_t{e.slices_offset} + e.slices_count, rec.timeline().slices.size());
+    if (e.kind == TimelineEventKind::kGrant) {
+      EXPECT_GT(e.slices_count, 0u);
+    }
+  }
+}
+
+TEST(TimelineRecorder, GrantAndDecisionCountsMatchTapsCounters) {
+  PreemptionRun r;
+  TimelineRecorder rec;
+  run_recorded(*r.net, *r.sched, rec);
+
+  const core::TapsCounters& c = r.sched->counters();
+  EXPECT_EQ(rec.count(TimelineEventKind::kGrant), c.slice_grants);
+  EXPECT_EQ(rec.count(TimelineEventKind::kAdmit), c.tasks_accepted);
+  EXPECT_EQ(rec.count(TimelineEventKind::kReject), c.tasks_rejected);
+  EXPECT_EQ(rec.count(TimelineEventKind::kPreempt), c.tasks_preempted);
+  EXPECT_GT(c.plan_commits, 0u);
+}
+
+TEST(TimelineRecorder, TransmitEventsOnlyWhenConfigured) {
+  for (const bool record_transmissions : {false, true}) {
+    auto d = make_dumbbell(2);
+    net::Network net(*d.topology);
+    add_task(net, 0.0, 3.0, {flow(d.left[0], d.right[0], 2.0)});
+    add_task(net, 0.0, 3.0, {flow(d.left[1], d.right[1], 2.0)});
+    sched::FairSharing fair;
+    TimelineRecorder rec(TimelineConfig{.record_transmissions = record_transmissions});
+    run_recorded(net, fair, rec);
+
+    // Fair sharing emits no decision hooks: arrivals/completions/misses only.
+    EXPECT_EQ(rec.count(TimelineEventKind::kArrive), 2u);
+    EXPECT_EQ(rec.count(TimelineEventKind::kAdmit), 0u);
+    EXPECT_EQ(rec.count(TimelineEventKind::kGrant), 0u);
+    // Both flows share the bottleneck at rate 1/2 and miss at t=3.
+    EXPECT_EQ(rec.count(TimelineEventKind::kMiss), 2u);
+    if (record_transmissions) {
+      EXPECT_GT(rec.count(TimelineEventKind::kTransmit), 0u);
+    } else {
+      EXPECT_EQ(rec.count(TimelineEventKind::kTransmit), 0u);
+    }
+  }
+}
+
+TEST(TimelineRecorder, ClearResetsTheStream) {
+  PreemptionRun r;
+  TimelineRecorder rec;
+  run_recorded(*r.net, *r.sched, rec);
+  ASSERT_FALSE(rec.events().empty());
+  rec.clear();
+  EXPECT_TRUE(rec.events().empty());
+  EXPECT_TRUE(rec.timeline().links.empty());
+  EXPECT_TRUE(rec.timeline().slices.empty());
+  EXPECT_EQ(rec.text(), "taps-timeline-v1\n");
+}
+
+TEST(TimelineFormat, TextRenderingIsExact) {
+  // One of each event shape, hand-built: pins every field label, the double
+  // rendering (shortest round-trip), and the trailing end line.
+  Timeline tl;
+  tl.links = {1, 5};
+  tl.slices = {util::Interval{0.5, 2.0}};
+  TimelineEvent e;
+  e.kind = TimelineEventKind::kArrive;
+  e.a = 0;
+  tl.events.push_back(e);
+  e.kind = TimelineEventKind::kAdmit;
+  tl.events.push_back(e);
+  e.kind = TimelineEventKind::kGrant;
+  e.b = 0;
+  e.links_count = 2;
+  e.slices_count = 1;
+  tl.events.push_back(e);
+  e = TimelineEvent{};
+  e.kind = TimelineEventKind::kPreempt;
+  e.time = 1.5;
+  e.a = 0;
+  e.b = 1;
+  tl.events.push_back(e);
+  e = TimelineEvent{};
+  e.kind = TimelineEventKind::kTransmit;
+  e.time = 0.5;
+  e.a = 0;
+  e.b = 0;
+  e.x0 = 1.5;
+  e.x1 = 1.0;
+  tl.events.push_back(e);
+  e = TimelineEvent{};
+  e.kind = TimelineEventKind::kComplete;
+  e.time = 2.0;
+  e.a = 0;
+  e.b = 0;
+  tl.events.push_back(e);
+  e = TimelineEvent{};
+  e.kind = TimelineEventKind::kRunEnd;
+  e.time = 2.0;
+  tl.events.push_back(e);
+
+  std::ostringstream os;
+  write_timeline_text(os, tl);
+  EXPECT_EQ(os.str(),
+            "taps-timeline-v1\n"
+            "arrive t=0 task=0\n"
+            "admit t=0 task=0\n"
+            "grant t=0 flow=0 task=0 links=1,5 slices=0.5:2\n"
+            "preempt t=1.5 victim=0 by=1\n"
+            "transmit t=0.5 flow=0 task=0 until=1.5 bytes=1\n"
+            "complete t=2 flow=0 task=0\n"
+            "end t=2 events=7\n");
+}
+
+TEST(TimelineFormat, BinaryRoundTripsLosslessly) {
+  PreemptionRun r;
+  TimelineRecorder rec(TimelineConfig{.record_transmissions = true});
+  run_recorded(*r.net, *r.sched, rec);
+  ASSERT_GT(rec.events().size(), 4u);
+
+  std::stringstream buf;
+  write_timeline_binary(buf, rec.timeline());
+  const Timeline parsed = read_timeline_binary(buf);
+  EXPECT_EQ(parsed, rec.timeline());
+}
+
+TEST(TimelineFormat, BinaryRejectsMalformedInput) {
+  {
+    std::stringstream buf("not a timeline at all......");
+    EXPECT_THROW((void)read_timeline_binary(buf), std::runtime_error);
+  }
+  {
+    std::stringstream buf;  // truncated: magic only
+    buf.write("TAPSTL01", 8);
+    EXPECT_THROW((void)read_timeline_binary(buf), std::runtime_error);
+  }
+  {
+    // Valid header claiming one event, but no event bytes follow.
+    std::stringstream buf;
+    buf.write("TAPSTL01", 8);
+    const char version_and_count[12] = {1, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0};
+    buf.write(version_and_count, sizeof(version_and_count));
+    EXPECT_THROW((void)read_timeline_binary(buf), std::runtime_error);
+  }
+  {
+    // Unsupported version.
+    std::stringstream buf;
+    buf.write("TAPSTL01", 8);
+    const char version_and_count[12] = {9, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0};
+    buf.write(version_and_count, sizeof(version_and_count));
+    EXPECT_THROW((void)read_timeline_binary(buf), std::runtime_error);
+  }
+}
+
+TEST(TimelineFormat, DiffReportsFirstDivergentLine) {
+  const std::string a =
+      "taps-timeline-v1\narrive t=0 task=0\nadmit t=0 task=0\nend t=1 events=3\n";
+  EXPECT_EQ(diff_timeline_text(a, a), "");
+
+  const std::string b =
+      "taps-timeline-v1\narrive t=0 task=0\nreject t=0 task=0\nend t=1 events=3\n";
+  const std::string diff = diff_timeline_text(a, b);
+  EXPECT_NE(diff.find("line 3"), std::string::npos) << diff;
+  EXPECT_NE(diff.find("- expected: admit t=0 task=0"), std::string::npos) << diff;
+  EXPECT_NE(diff.find("+ actual:   reject t=0 task=0"), std::string::npos) << diff;
+
+  // Length mismatch alone is also a divergence.
+  const std::string shorter = "taps-timeline-v1\narrive t=0 task=0\n";
+  EXPECT_NE(diff_timeline_text(a, shorter).find("<end of stream>"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace taps::sim
