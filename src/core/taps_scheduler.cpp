@@ -32,6 +32,11 @@ void TapsScheduler::bind(net::Network& net) {
   committed_remaining_.assign(net.flows().size(), 0.0);
   cross_arrival_valid_ = false;
   arrivals_since_trim_ = 0;
+  rate_heap_ = RateHeap();
+  slice_gen_.assign(net.flows().size(), 0);
+  rate_touched_mark_.assign(net.flows().size(), 0);
+  rate_touched_.clear();
+  rate_fallback_ = false;
 }
 
 void TapsScheduler::migrate(net::Network& fresh, const std::vector<net::FlowId>& flow_map) {
@@ -70,6 +75,13 @@ void TapsScheduler::migrate(net::Network& fresh, const std::vector<net::FlowId>&
   session_retired_.clear();
   session_adopted_ = 0;
   session_infeasible_ = 0;
+  // Flow ids changed wholesale: rebuild the event-driven rate state from the
+  // surviving committed plan (rate_fallback_ deliberately carries over).
+  rate_heap_ = RateHeap();
+  slice_gen_.assign(fresh.flows().size(), 0);
+  rate_touched_mark_.assign(fresh.flows().size(), 0);
+  rate_touched_.clear();
+  for (const FlowId fid : committed_order_) touch_slices(fid);
 }
 
 std::vector<FlowId> TapsScheduler::unfinished_admitted() const {
@@ -160,7 +172,10 @@ void TapsScheduler::commit(PlanAttempt&& attempt, double now) {
   // Spent flows leave the plan here: drop their stale slices (the list was
   // snapshotted at arrival start, exactly when commit_session evaluates it,
   // so both modes clear the same sets on the same arrivals).
-  for (const FlowId fid : session_retired_) slices_[static_cast<std::size_t>(fid)].clear();
+  for (const FlowId fid : session_retired_) {
+    slices_[static_cast<std::size_t>(fid)].clear();
+    touch_slices(fid);
+  }
   session_retired_.clear();
   committed_order_.clear();
   committed_order_.reserve(attempt.plans.size());
@@ -174,7 +189,10 @@ void TapsScheduler::commit(PlanAttempt&& attempt, double now) {
     // are not re-grants. The incremental path flags the identical set (its
     // adopted prefix is exactly the entries a full replan reproduces).
     const bool regranted = f.path.links != plan.path.links || slices_[i] != plan.slices;
-    if (regranted) ++counters_.slice_grants;
+    if (regranted) {
+      ++counters_.slice_grants;
+      touch_slices(plan.flow);
+    }
     f.path = std::move(plan.path);
     slices_[i] = std::move(plan.slices);
     committed_order_.push_back(plan.flow);
@@ -225,6 +243,10 @@ void TapsScheduler::on_task_arrival(TaskId id, double now) {
   if (slices_.size() < net_->flows().size()) slices_.resize(net_->flows().size());
   if (committed_remaining_.size() < net_->flows().size()) {
     committed_remaining_.resize(net_->flows().size(), 0.0);
+  }
+  if (slice_gen_.size() < net_->flows().size()) {
+    slice_gen_.resize(net_->flows().size(), 0);
+    rate_touched_mark_.resize(net_->flows().size(), 0);
   }
 
   net::Task& t = net_->task(id);
@@ -437,7 +459,10 @@ void TapsScheduler::resume_session(const std::vector<FlowId>& target, double now
 
 void TapsScheduler::commit_session(double now) {
   assert(session_infeasible_ == 0);
-  for (const FlowId fid : session_retired_) slices_[static_cast<std::size_t>(fid)].clear();
+  for (const FlowId fid : session_retired_) {
+    slices_[static_cast<std::size_t>(fid)].clear();
+    touch_slices(fid);
+  }
   session_retired_.clear();
   committed_order_.clear();
   committed_order_.reserve(session_order_.size());
@@ -455,7 +480,10 @@ void TapsScheduler::commit_session(double now) {
       // would have reproduced verbatim — so comparing only the replanned
       // tail flags the same re-grant set as the full-replan commit().
       regranted = f.path.links != plan.path.links || slices_[i] != plan.slices;
-      if (regranted) ++counters_.slice_grants;
+      if (regranted) {
+        ++counters_.slice_grants;
+        touch_slices(fid);
+      }
       f.path = std::move(plan.path);
       slices_[i] = std::move(plan.slices);
     }
@@ -572,7 +600,7 @@ void TapsScheduler::on_flow_finished(FlowId id, double now) {
       Flow& s = net_->flow(sibling);
       if (!s.finished()) {
         s.state = FlowState::kRejected;
-        s.rate = 0.0;
+        s.set_rate(0.0);
         slices_[static_cast<std::size_t>(sibling)].clear();
       }
     }
@@ -584,7 +612,84 @@ void TapsScheduler::on_flow_finished(FlowId id, double now) {
   }
 }
 
+void TapsScheduler::touch_slices(FlowId fid) {
+  const auto i = static_cast<std::size_t>(fid);
+  if (i >= slice_gen_.size()) {
+    slice_gen_.resize(slices_.size(), 0);
+    rate_touched_mark_.resize(slices_.size(), 0);
+  }
+  ++slice_gen_[i];
+  if (rate_touched_mark_[i] == 0) {
+    rate_touched_mark_[i] = 1;
+    rate_touched_.push_back(fid);
+  }
+}
+
+bool TapsScheduler::refresh_rate(FlowId fid, double now) {
+  const Flow& f = net_->flow(fid);
+  const auto i = static_cast<std::size_t>(fid);
+  const auto& sl = slices_[i];
+  if (sl.contains(now)) {
+    double rate = sim::kInfinity;
+    for (const topo::LinkId lid : f.path.links) {
+      rate = std::min(rate, net_->link_capacity(lid));
+    }
+    f.set_rate(rate);
+    // In-slice flows always have a boundary after now: the slice's end.
+    rate_heap_.push(RateBoundary{sl.next_boundary(now), fid, slice_gen_[i]});
+    return true;
+  }
+  f.set_rate(0.0);
+  const double boundary = sl.next_boundary(now);
+  if (boundary == sim::kInfinity) return false;  // out of slices, bytes left: makeup
+  rate_heap_.push(RateBoundary{boundary, fid, slice_gen_[i]});
+  return true;
+}
+
 double TapsScheduler::assign_rates(double now) {
+  if (!config_.event_driven_rates || rate_fallback_) return assign_rates_reference(now);
+
+  // 1. Flows whose committed slices changed since the last call.
+  for (const FlowId fid : rate_touched_) {
+    rate_touched_mark_[static_cast<std::size_t>(fid)] = 0;
+    if (!net_->flow(fid).active()) continue;  // invalidated entries drop lazily
+    if (!refresh_rate(fid, now)) rate_fallback_ = true;
+  }
+  rate_touched_.clear();
+
+  // 2. Flows whose boundary arrived: their rate steps at `now`.
+  while (!rate_fallback_ && !rate_heap_.empty() && rate_heap_.top().time <= now) {
+    const RateBoundary top = rate_heap_.top();
+    rate_heap_.pop();
+    if (top.gen != slice_gen_[static_cast<std::size_t>(top.fid)]) continue;  // superseded
+    if (!net_->flow(top.fid).active()) continue;
+    if (!refresh_rate(top.fid, now)) rate_fallback_ = true;
+  }
+  if (rate_fallback_) {
+    // Makeup transmission needed. Every event-driven refresh so far wrote
+    // the same pure per-flow values a rescan computes, so switching to the
+    // full rescan now (and for the rest of the run — makeup grants depend on
+    // cross-flow iteration state) is exact.
+    return assign_rates_reference(now);
+  }
+
+  // 3. Earliest live boundary = the reference loop's return value: every
+  // active flow holds exactly one fresh entry (makeup-less flows always have
+  // a future boundary), and surviving entries were computed at some t <= now
+  // with slices unchanged since, so entry.time == next_boundary(now).
+  while (!rate_heap_.empty()) {
+    const RateBoundary& top = rate_heap_.top();
+    if (top.gen != slice_gen_[static_cast<std::size_t>(top.fid)] ||
+        !net_->flow(top.fid).active()) {
+      rate_heap_.pop();
+      continue;
+    }
+    return top.time;
+  }
+  return sim::kInfinity;
+}
+
+double TapsScheduler::assign_rates_reference(double now) {
   if (makeup_busy_.size() < net_->graph().link_count()) {
     makeup_busy_.assign(net_->graph().link_count(), 0);
   } else {
@@ -601,11 +706,11 @@ double TapsScheduler::assign_rates(double now) {
         rate = std::min(rate, net_->link_capacity(lid));
         makeup_busy_[static_cast<std::size_t>(lid)] = 1;
       }
-      f.rate = rate;
+      f.set_rate(rate);
       next_boundary = std::min(next_boundary, sl.next_boundary(now));
       continue;
     }
-    f.rate = 0.0;
+    f.set_rate(0.0);
     const double flow_boundary = sl.next_boundary(now);
     if (flow_boundary != sim::kInfinity) {
       // A future slice exists: wait for it.
@@ -635,7 +740,7 @@ double TapsScheduler::assign_rates(double now) {
         // The grant lasts only until someone's planned slice begins here.
         next_boundary = std::min(next_boundary, occ_.link(lid).next_boundary(now));
       }
-      f.rate = rate;
+      f.set_rate(rate);
     }
   }
   return next_boundary;

@@ -12,6 +12,9 @@
 // collapsing to the task batch.
 #pragma once
 
+#include <cstdint>
+#include <queue>
+
 #include "core/reject_rule.hpp"
 #include "sched/scheduler.hpp"
 
@@ -50,6 +53,17 @@ struct TapsConfig {
   /// only reads occupancy at or after `now`, so trimming never changes a
   /// schedule.
   std::size_t trim_interval = 64;
+  /// Event-driven rate maintenance: assign_rates refreshes only the flows
+  /// whose slice-boundary heap entry expired plus the flows whose committed
+  /// slices changed since the last call, instead of rescanning every active
+  /// flow. A flow's rate is a pure step function of its committed slices, so
+  /// rates and the returned next-boundary are bit-identical to the rescan
+  /// (pinned by tests/sim/sim_engine_equiv_prop_test.cpp). If a flow ever
+  /// needs makeup transmission (impossible under the fluid engine, common in
+  /// hand-built unit tests), the scheduler permanently falls back to the
+  /// rescan path, which implements it. `false` keeps the rescan
+  /// (assign_rates_reference) as the oracle.
+  bool event_driven_rates = true;
 };
 
 struct TapsCounters {
@@ -201,6 +215,26 @@ class TapsScheduler : public sched::BaseScheduler {
   /// Deterministic trim cadence (identical in both modes).
   void maybe_trim(double now);
 
+  // ---- event-driven rate maintenance (config_.event_driven_rates) ----
+  //
+  // assign_rates keeps a min-heap of per-flow next-boundary times. A heap
+  // entry stays valid while the flow's committed slices are untouched
+  // (per-flow generation counter, bumped by touch_slices at every commit
+  // that re-granted the flow); expired or superseded entries are refreshed
+  // or dropped lazily. Trimming needs no touch: it only removes boundaries
+  // at or before `now`, which next_boundary/contains queries never return.
+  /// Record that `fid`'s committed slices changed: invalidates its heap
+  /// entry and queues a refresh at the next assign_rates call.
+  void touch_slices(net::FlowId fid);
+  /// Recompute `fid`'s rate from its slices at `now` (the reference loop's
+  /// per-flow block verbatim) and push its next boundary. Returns false when
+  /// the flow needs makeup transmission — the caller then falls back to
+  /// assign_rates_reference permanently.
+  bool refresh_rate(net::FlowId fid, double now);
+  /// The original full rescan (and the only implementation of makeup
+  /// transmission), kept as the oracle.
+  double assign_rates_reference(double now);
+
   /// Unfinished flows of all currently admitted tasks, in last-committed
   /// EDF+SJF order (the usually-still-sorted prefix try_plan exploits).
   [[nodiscard]] std::vector<net::FlowId> unfinished_admitted() const;
@@ -238,6 +272,26 @@ class TapsScheduler : public sched::BaseScheduler {
   /// arrival then takes the full-replan path, which re-establishes validity.
   bool cross_arrival_valid_ = false;
   std::size_t arrivals_since_trim_ = 0;
+
+  // Event-driven rate state (see touch_slices/refresh_rate above).
+  struct RateBoundary {
+    double time = 0.0;
+    net::FlowId fid = net::kInvalidFlow;
+    std::uint64_t gen = 0;
+  };
+  struct RateBoundaryAfter {
+    bool operator()(const RateBoundary& a, const RateBoundary& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      if (a.fid != b.fid) return a.fid > b.fid;
+      return a.gen > b.gen;
+    }
+  };
+  using RateHeap = std::priority_queue<RateBoundary, std::vector<RateBoundary>, RateBoundaryAfter>;
+  RateHeap rate_heap_;
+  std::vector<std::uint64_t> slice_gen_;  // per flow; bumped by touch_slices
+  std::vector<char> rate_touched_mark_;   // per flow: pending refresh queued
+  std::vector<net::FlowId> rate_touched_;
+  bool rate_fallback_ = false;  // makeup transmission seen: rescan from now on
 };
 
 }  // namespace taps::core

@@ -123,7 +123,7 @@ std::unique_ptr<sim::Scheduler> make_scheduler(SchedulerKind kind, std::size_t m
 
 ExperimentRun run_experiment_full(const workload::Scenario& scenario, SchedulerKind kind,
                                   sim::TransmitObserver* observer,
-                                  sim::TimelineRecorder* timeline) {
+                                  sim::TimelineRecorder* timeline, sim::SimEngine engine) {
   ExperimentRun run;
   run.topology = workload::make_topology(scenario);
   run.network = std::make_unique<net::Network>(*run.topology);
@@ -134,7 +134,7 @@ ExperimentRun run_experiment_full(const workload::Scenario& scenario, SchedulerK
 
   run.scheduler = make_scheduler(kind, scenario.max_paths);
 
-  sim::FluidSimulator simulator(*run.network, *run.scheduler);
+  sim::FluidSimulator simulator(*run.network, *run.scheduler, engine);
   TeeObserver tee(observer, timeline);
   if (observer != nullptr && timeline != nullptr) {
     simulator.set_observer(&tee);
@@ -159,6 +159,15 @@ ExperimentRun run_experiment_full(const workload::Scenario& scenario, SchedulerK
   const auto stop = std::chrono::steady_clock::now();
   run.result.wall_seconds = std::chrono::duration<double>(stop - start).count();
   run.result.metrics = metrics::collect(*run.network);
+  {
+    const sim::SimStats& s = run.result.stats;
+    metrics::RunMetrics& m = run.result.metrics;
+    m.sim_events = s.events;
+    m.sim_flows_touched = s.effort.flows_touched;
+    m.sim_lazy_skips = s.effort.lazy_skips;
+    m.sim_heap_invalidations = s.effort.heap_invalidations;
+    m.sim_rate_dirty = s.effort.rate_dirty;
+  }
   if (const auto* taps = dynamic_cast<const core::TapsScheduler*>(run.scheduler.get())) {
     const core::TapsCounters& c = taps->counters();
     metrics::RunMetrics& m = run.result.metrics;

@@ -49,6 +49,11 @@ metrics::RunMetrics average(const std::vector<metrics::RunMetrics>& ms) {
     avg.plan_commits += m.plan_commits;
     avg.preemptions += m.preemptions;
     avg.slice_grants += m.slice_grants;
+    avg.sim_events += m.sim_events;
+    avg.sim_flows_touched += m.sim_flows_touched;
+    avg.sim_lazy_skips += m.sim_lazy_skips;
+    avg.sim_heap_invalidations += m.sim_heap_invalidations;
+    avg.sim_rate_dirty += m.sim_rate_dirty;
   }
   const auto n = static_cast<double>(ms.size());
   avg.task_completion_ratio /= n;
@@ -143,18 +148,23 @@ void write_sweep_csv(const std::string& path, const std::string& x_label,
   std::ofstream out(path);
   if (!out) throw std::runtime_error("cannot open CSV output: " + path);
   util::CsvWriter csv(out);
+  // The sim_* effort columns (and wall_seconds) trail all outcome columns:
+  // they are engine-/host-dependent, so engine-equivalence comparisons can
+  // strip trailing columns and compare the outcome prefix byte-for-byte.
   if (include_timing) {
     csv.row(x_label, "scheduler", "task_completion_ratio", "flow_completion_ratio",
             "app_throughput", "task_size_ratio", "wasted_bandwidth_ratio", "tasks_total",
             "tasks_completed", "flows_total", "flows_completed", "replans", "flows_planned",
             "prefix_reuse_flows", "prefix_reuse_ratio", "plan_commits", "preemptions",
-            "slice_grants", "wall_seconds");
+            "slice_grants", "sim_events", "sim_flows_touched", "sim_lazy_skips",
+            "sim_heap_invalidations", "sim_rate_dirty", "wall_seconds");
   } else {
     csv.row(x_label, "scheduler", "task_completion_ratio", "flow_completion_ratio",
             "app_throughput", "task_size_ratio", "wasted_bandwidth_ratio", "tasks_total",
             "tasks_completed", "flows_total", "flows_completed", "replans", "flows_planned",
             "prefix_reuse_flows", "prefix_reuse_ratio", "plan_commits", "preemptions",
-            "slice_grants");
+            "slice_grants", "sim_events", "sim_flows_touched", "sim_lazy_skips",
+            "sim_heap_invalidations", "sim_rate_dirty");
   }
   for (std::size_t pi = 0; pi < points.size(); ++pi) {
     for (std::size_t si = 0; si < schedulers.size(); ++si) {
@@ -166,13 +176,16 @@ void write_sweep_csv(const std::string& path, const std::string& x_label,
                 m.wasted_bandwidth_ratio, m.tasks_total, m.tasks_completed, m.flows_total,
                 m.flows_completed, m.replans, m.flows_planned, m.prefix_reuse_flows,
                 m.prefix_reuse_ratio, m.plan_commits, m.preemptions, m.slice_grants,
-                cell.result.wall_seconds);
+                m.sim_events, m.sim_flows_touched, m.sim_lazy_skips, m.sim_heap_invalidations,
+                m.sim_rate_dirty, cell.result.wall_seconds);
       } else {
         csv.row(cell.x, to_string(cell.scheduler), m.task_completion_ratio,
                 m.flow_completion_ratio, m.app_throughput, m.task_size_ratio,
                 m.wasted_bandwidth_ratio, m.tasks_total, m.tasks_completed, m.flows_total,
                 m.flows_completed, m.replans, m.flows_planned, m.prefix_reuse_flows,
-                m.prefix_reuse_ratio, m.plan_commits, m.preemptions, m.slice_grants);
+                m.prefix_reuse_ratio, m.plan_commits, m.preemptions, m.slice_grants,
+                m.sim_events, m.sim_flows_touched, m.sim_lazy_skips, m.sim_heap_invalidations,
+                m.sim_rate_dirty);
       }
     }
   }

@@ -45,6 +45,17 @@ struct RunMetrics {
   std::size_t plan_commits = 0;  // arrivals that changed the committed schedule
   std::size_t preemptions = 0;   // admitted tasks revoked to admit a newcomer
   std::size_t slice_grants = 0;  // per-flow (re)grants across all commits
+
+  // Simulation-engine effort, copied from sim::SimStats by the experiment
+  // driver (collect() never fills them). Unlike everything above, these are
+  // engine-dependent by design — sim_events is the shared event count, the
+  // rest mirror sim::SimEffort — so engine-equivalence checks must ignore
+  // them (sweep CSVs place them in trailing columns for exactly that reason).
+  std::size_t sim_events = 0;              // event-loop iterations
+  std::size_t sim_flows_touched = 0;       // per-flow visits in the hot loops
+  std::size_t sim_lazy_skips = 0;          // active-flow visits avoided vs a rescan
+  std::size_t sim_heap_invalidations = 0;  // stale deadline-heap entries dropped
+  std::size_t sim_rate_dirty = 0;          // rate-dirty entries drained from the arena
 };
 
 [[nodiscard]] RunMetrics collect(const net::Network& net);

@@ -4,25 +4,10 @@
 
 #include <cstdint>
 
+#include "net/flow_arena.hpp"
 #include "topo/graph.hpp"
 
 namespace taps::net {
-
-using FlowId = std::int32_t;
-using TaskId = std::int32_t;
-
-inline constexpr FlowId kInvalidFlow = -1;
-inline constexpr TaskId kInvalidTask = -1;
-
-enum class FlowState : std::uint8_t {
-  kPending,    // not yet arrived or not yet admitted
-  kActive,     // admitted, transmitting (or waiting for its time slices)
-  kCompleted,  // all bytes delivered before the deadline
-  kMissed,     // deadline passed with bytes remaining
-  kRejected,   // never admitted (its task was rejected/preempted)
-};
-
-[[nodiscard]] const char* to_string(FlowState s);
 
 /// Immutable description of a flow (what the workload generator produces and
 /// what the sender's probe packet carries to the controller).
@@ -37,17 +22,35 @@ struct FlowSpec {
 };
 
 /// Mutable runtime state of a flow during a simulation run.
+///
+/// The state itself lives in the Network's FlowStateArena (structure of
+/// arrays, slot index == spec.id); a Flow is a view binding references into
+/// that slot, so existing field access (`f.remaining`, `f.state`, ...) keeps
+/// working. `rate` is read-only through the view: writes go through
+/// set_rate() so the arena can track which flows a scheduler actually
+/// re-rated (the indexed simulation engine consumes that dirty set).
 struct Flow {
   FlowSpec spec;
 
-  FlowState state = FlowState::kPending;
-  double remaining = 0.0;    // bytes left to send
-  double rate = 0.0;         // currently assigned rate, bytes/second
-  double bytes_sent = 0.0;   // total bytes put on the wire so far
-  double completion_time = -1.0;  // set when state becomes kCompleted
+  FlowState& state;          // NOLINT(cppcoreguidelines-avoid-const-or-ref-data-members)
+  double& remaining;         // bytes left to send
+  const double& rate;        // currently assigned rate, bytes/second
+  double& bytes_sent;        // total bytes put on the wire so far
+  double& completion_time;   // set when state becomes kCompleted
   topo::Path path;           // assigned route (empty until routed)
 
-  explicit Flow(const FlowSpec& s) : spec(s), remaining(s.size) {}
+  /// Binds the view to arena slot `s.id`; the slot must already exist
+  /// (Network::add_task pushes it before constructing the view).
+  Flow(const FlowSpec& s, FlowStateArena& arena)
+      : spec(s),
+        state(arena.state(static_cast<std::size_t>(s.id))),
+        remaining(arena.remaining(static_cast<std::size_t>(s.id))),
+        rate(arena.rate(static_cast<std::size_t>(s.id))),
+        bytes_sent(arena.bytes_sent(static_cast<std::size_t>(s.id))),
+        completion_time(arena.completion_time(static_cast<std::size_t>(s.id))),
+        arena_(&arena) {}
+
+  void set_rate(double r) const { arena_->set_rate(static_cast<std::size_t>(spec.id), r); }
 
   [[nodiscard]] FlowId id() const { return spec.id; }
   [[nodiscard]] TaskId task() const { return spec.task; }
@@ -62,6 +65,9 @@ struct Flow {
 
   /// Time to deadline from `now` (can be negative).
   [[nodiscard]] double time_to_deadline(double now) const { return spec.deadline - now; }
+
+ private:
+  FlowStateArena* arena_;
 };
 
 }  // namespace taps::net

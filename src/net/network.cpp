@@ -20,7 +20,8 @@ TaskId Network::add_task(double arrival, double deadline, std::span<const FlowSp
     assert(spec.src != spec.dst);
     assert(spec.size > 0.0);
     tspec.flows.push_back(spec.id);
-    flows_.emplace_back(spec);
+    arena_.push(spec.size);
+    flows_.emplace_back(spec, arena_);
   }
   tasks_.emplace_back(std::move(tspec));
   return tid;
@@ -39,7 +40,8 @@ void Network::extend_task(TaskId id, double arrival, std::span<const FlowSpec> f
     assert(spec.src != spec.dst);
     assert(spec.size > 0.0);
     t.spec.flows.push_back(spec.id);
-    flows_.emplace_back(spec);
+    arena_.push(spec.size);
+    flows_.emplace_back(spec, arena_);
     if (dead) flows_.back().state = FlowState::kRejected;
   }
   if (t.state == TaskState::kCompleted) t.state = TaskState::kAdmitted;
@@ -60,7 +62,7 @@ void Network::on_flow_completed(FlowId id, double now) {
   assert(!f.finished());
   f.state = FlowState::kCompleted;
   f.remaining = 0.0;
-  f.rate = 0.0;
+  f.set_rate(0.0);
   f.completion_time = now;
   Task& t = task(f.task());
   ++t.completed_flows;
@@ -73,7 +75,7 @@ void Network::on_flow_missed(FlowId id) {
   Flow& f = flow(id);
   assert(!f.finished());
   f.state = FlowState::kMissed;
-  f.rate = 0.0;
+  f.set_rate(0.0);
   Task& t = task(f.task());
   if (t.state == TaskState::kAdmitted || t.state == TaskState::kPending) {
     t.state = TaskState::kFailed;
@@ -87,7 +89,7 @@ void Network::reject_task(TaskId id) {
     Flow& f = flow(fid);
     if (!f.finished()) {
       f.state = FlowState::kRejected;
-      f.rate = 0.0;
+      f.set_rate(0.0);
     }
   }
 }

@@ -5,6 +5,7 @@
 #include <span>
 #include <vector>
 
+#include "net/flow_arena.hpp"
 #include "net/task.hpp"
 #include "topo/paths.hpp"
 
@@ -14,6 +15,14 @@ class Network {
  public:
   /// The topology must outlive the Network.
   explicit Network(const topo::Topology& topology) : topo_(&topology) {}
+
+  // Flow views borrow slots in arena_; copying or moving the Network would
+  // leave them bound to the old object's arena.
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+  Network(Network&&) = delete;
+  Network& operator=(Network&&) = delete;
+  ~Network() = default;
 
   /// Register a task and its flows. Flow ids and the task id are assigned
   /// here (contiguous, in registration order) and written back into the
@@ -41,6 +50,11 @@ class Network {
   [[nodiscard]] std::vector<Task>& tasks() { return tasks_; }
   [[nodiscard]] const std::vector<Task>& tasks() const { return tasks_; }
 
+  /// Structure-of-arrays backing store for the mutable flow state. The
+  /// indexed simulation engine drains its rate-dirty list; everything else
+  /// reaches the same state through the Flow views.
+  [[nodiscard]] FlowStateArena& flow_state() { return arena_; }
+
   [[nodiscard]] double link_capacity(topo::LinkId id) const { return graph().link(id).capacity; }
 
   /// Uniform capacity check: the paper assumes all links have equal
@@ -58,6 +72,7 @@ class Network {
 
  private:
   const topo::Topology* topo_;
+  FlowStateArena arena_;  // declared before flows_: the views borrow its slots
   std::vector<Flow> flows_;
   std::vector<Task> tasks_;
 };

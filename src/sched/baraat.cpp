@@ -46,9 +46,9 @@ double Baraat::assign_rates(double /*now*/) {
         rate = std::min(rate, net_->link_capacity(lid));
         link_busy_[static_cast<std::size_t>(lid)] = 1;
       }
-      f.rate = rate;
+      f.set_rate(rate);
     } else {
-      f.rate = 0.0;
+      f.set_rate(0.0);
     }
   }
   return sim::kInfinity;

@@ -46,7 +46,7 @@ double D2Tcp::assign_rates(double now) {
     }
     weights_[static_cast<std::size_t>(fid)] =
         std::clamp(d, config_.min_urgency, config_.max_urgency);
-    f.rate = 0.0;
+    f.set_rate(0.0);
   }
 
   progressive_fill_weighted(flows, residual_, weights_);

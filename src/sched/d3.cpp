@@ -36,7 +36,7 @@ double D3::assign_rates(double now) {
       grant = std::min(grant, residual_[static_cast<std::size_t>(lid)]);
     }
     grant = std::max(grant, 0.0);
-    f.rate = grant;
+    f.set_rate(grant);
     for (const topo::LinkId lid : f.path.links) {
       residual_[static_cast<std::size_t>(lid)] -= grant;
     }

@@ -6,7 +6,7 @@ void FairSharing::on_task_arrival(net::TaskId id, double now) { admit_all_ecmp(i
 
 double FairSharing::assign_rates(double /*now*/) {
   auto& flows = active_flows();
-  for (const net::FlowId fid : flows) net_->flow(fid).rate = 0.0;
+  for (const net::FlowId fid : flows) net_->flow(fid).set_rate(0.0);
   for (const auto& l : net_->graph().links()) {
     residual_[static_cast<std::size_t>(l.id)] = l.capacity;
   }

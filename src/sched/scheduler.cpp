@@ -21,8 +21,10 @@ void BaseScheduler::bind(net::Network& net) {
   link_weight_.assign(net.graph().link_count(), 0.0);
 }
 
-void BaseScheduler::on_flow_finished(net::FlowId id, double /*now*/) {
-  std::erase(active_, id);
+void BaseScheduler::on_flow_finished(net::FlowId /*id*/, double /*now*/) {
+  // Finished flows are pruned lazily by active_flows() at the next
+  // assign_rates call; an eager std::erase here is O(active) per completion
+  // (O(n^2) over a run) and bought nothing the prune doesn't.
 }
 
 std::vector<FlowId> BaseScheduler::pending_wave(TaskId id, double now) const {
@@ -100,8 +102,9 @@ void BaseScheduler::progressive_fill(const std::vector<FlowId>& flows,
     share = std::max(share, 0.0);
 
     for (const FlowId fid : alive) {
-      net_->flow(fid).rate += share;
-      for (const topo::LinkId lid : net_->flow(fid).path.links) {
+      const Flow& f = net_->flow(fid);
+      f.set_rate(f.rate + share);
+      for (const topo::LinkId lid : f.path.links) {
         residual[static_cast<std::size_t>(lid)] -= share;
       }
     }
@@ -175,8 +178,9 @@ void BaseScheduler::progressive_fill_weighted(const std::vector<FlowId>& flows,
 
     for (const FlowId fid : alive) {
       const double inc = unit * weights[static_cast<std::size_t>(fid)];
-      net_->flow(fid).rate += inc;
-      for (const topo::LinkId lid : net_->flow(fid).path.links) {
+      const Flow& f = net_->flow(fid);
+      f.set_rate(f.rate + inc);
+      for (const topo::LinkId lid : f.path.links) {
         residual[static_cast<std::size_t>(lid)] -= inc;
       }
     }

@@ -114,7 +114,7 @@ double Varys::assign_rates(double /*now*/) {
   for (const FlowId fid : flows) {
     Flow& f = net_->flow(fid);
     const double r = flow_reserve_[static_cast<std::size_t>(fid)];
-    f.rate = r;
+    f.set_rate(r);
     for (const topo::LinkId lid : f.path.links) {
       residual_[static_cast<std::size_t>(lid)] =
           std::max(0.0, residual_[static_cast<std::size_t>(lid)] - r);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <functional>
 #include <stdexcept>
 
 namespace taps::sim {
@@ -9,7 +10,8 @@ namespace taps::sim {
 EventId EventQueue::schedule(double at, Callback cb) {
   if (at < now_) throw std::invalid_argument("EventQueue::schedule in the past");
   const EventId id = next_id_++;
-  heap_.push(Entry{at, next_seq_++, id});
+  heap_.push_back(Entry{at, next_seq_++, id});
+  std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
   callbacks_.emplace(id, std::move(cb));
   ++live_count_;
   return id;
@@ -17,36 +19,48 @@ EventId EventQueue::schedule(double at, Callback cb) {
 
 bool EventQueue::cancel(EventId id) {
   const auto erased = callbacks_.erase(id);
-  if (erased > 0) {
-    --live_count_;
-    return true;
-  }
-  return false;
+  if (erased == 0) return false;
+  --live_count_;
+  maybe_compact();
+  return true;
+}
+
+void EventQueue::maybe_compact() {
+  const std::size_t stale = heap_.size() - live_count_;
+  if (stale <= 2 * live_count_) return;
+  std::erase_if(heap_, [this](const Entry& e) {
+    return callbacks_.find(e.id) == callbacks_.end();
+  });
+  std::make_heap(heap_.begin(), heap_.end(), std::greater<>{});
+  assert(heap_.size() == live_count_);
 }
 
 void EventQueue::drop_stale() const {
-  while (!heap_.empty() && callbacks_.find(heap_.top().id) == callbacks_.end()) {
-    // const_cast-free: heap_ is mutable for exactly this lazily-cleaning read.
-    heap_.pop();
+  while (!heap_.empty() && callbacks_.find(heap_.front().id) == callbacks_.end()) {
+    // heap_ is mutable for exactly this lazily-cleaning read.
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+    heap_.pop_back();
   }
 }
 
 double EventQueue::peek_time() const {
   drop_stale();
   assert(!heap_.empty());
-  return heap_.top().time;
+  return heap_.front().time;
 }
 
 void EventQueue::run_next() {
   drop_stale();
   assert(!heap_.empty());
-  const Entry e = heap_.top();
-  heap_.pop();
+  std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+  const Entry e = heap_.back();
+  heap_.pop_back();
   auto it = callbacks_.find(e.id);
   assert(it != callbacks_.end());
   Callback cb = std::move(it->second);
   callbacks_.erase(it);
   --live_count_;
+  maybe_compact();  // popping live entries can also tip the stale ratio
   now_ = e.time;
   cb(now_);
 }

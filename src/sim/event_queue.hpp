@@ -1,11 +1,17 @@
 // Generic discrete-event queue: time-ordered callbacks with stable FIFO
 // tie-breaking and O(log n) cancellation. Used by the SDN testbed emulator;
 // the fluid simulator computes its next-event times directly.
+//
+// Cancellation is lazy: cancel() only erases the callback, leaving a stale
+// entry in the heap to be dropped when it surfaces. To bound memory under
+// cancel-heavy workloads (timer wheels that re-arm, preemption storms), the
+// heap is compacted in place whenever stale entries outnumber live ones by
+// more than 2x — so heap_size() <= 3 * size() always holds between calls,
+// and the rebuild amortises to O(1) per cancel.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <unordered_map>
 #include <vector>
 
@@ -25,6 +31,8 @@ class EventQueue {
 
   [[nodiscard]] bool empty() const { return live_count_ == 0; }
   [[nodiscard]] std::size_t size() const { return live_count_; }
+  /// Heap entries including stale (cancelled) ones; bounded by 3 * size().
+  [[nodiscard]] std::size_t heap_size() const { return heap_.size(); }
   [[nodiscard]] double now() const { return now_; }
 
   /// Time of the next pending event (requires !empty()).
@@ -41,6 +49,7 @@ class EventQueue {
     double time = 0.0;
     std::uint64_t seq = 0;
     EventId id = 0;
+    /// Min-heap order: earliest time first, FIFO within a time.
     bool operator>(const Entry& o) const {
       if (time != o.time) return time > o.time;
       return seq > o.seq;
@@ -49,8 +58,12 @@ class EventQueue {
 
   /// Pop heap entries whose id is no longer in callbacks_ (cancelled).
   void drop_stale() const;
+  /// Rebuild the heap without stale entries once they exceed 2x the live
+  /// count. O(heap) but amortised O(1) per cancel.
+  void maybe_compact();
 
-  mutable std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  // heap_ is mutable so the lazily-cleaning reads (peek_time) stay const.
+  mutable std::vector<Entry> heap_;
   std::unordered_map<EventId, Callback> callbacks_;
   std::uint64_t next_id_ = 1;
   std::uint64_t next_seq_ = 0;

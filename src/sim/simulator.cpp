@@ -11,20 +11,21 @@ using net::FlowId;
 using net::FlowState;
 using net::TaskId;
 
-SimStats FluidSimulator::run() {
-  scheduler_->bind(*net_);
-  stats_ = SimStats{};
-  now_ = 0.0;
-  active_.clear();
+const char* to_string(SimEngine e) {
+  switch (e) {
+    case SimEngine::kIndexed:
+      return "indexed";
+    case SimEngine::kReference:
+      return "reference";
+  }
+  return "?";
+}
 
-  // Arrival events: one per (task, wave arrival time). A plain task is one
-  // wave; tasks extended with later flows (Network::extend_task) produce one
-  // event per distinct flow arrival, re-announcing the task to the scheduler
-  // each time new flows become available.
-  struct Wave {
-    double time = 0.0;
-    TaskId task = 0;
-  };
+// Arrival events: one per (task, wave arrival time). A plain task is one
+// wave; tasks extended with later flows (Network::extend_task) produce one
+// event per distinct flow arrival, re-announcing the task to the scheduler
+// each time new flows become available.
+std::vector<FluidSimulator::Wave> FluidSimulator::build_waves() const {
   std::vector<Wave> waves;
   waves.reserve(net_->tasks().size());
   for (const auto& t : net_->tasks()) {
@@ -42,11 +43,36 @@ SimStats FluidSimulator::run() {
     if (a.time != b.time) return a.time < b.time;
     return a.task < b.task;
   });
+  return waves;
+}
+
+SimStats FluidSimulator::finish_run() {
+  stats_.end_time = now_;
+  for (const auto& f : net_->flows()) {
+    if (f.state == FlowState::kCompleted) ++stats_.completions;
+    if (f.state == FlowState::kMissed) ++stats_.misses;
+  }
+  if (observer_ != nullptr) observer_->on_run_complete(*net_, now_);
+  return stats_;
+}
+
+SimStats FluidSimulator::run() {
+  return engine_ == SimEngine::kReference ? run_reference() : run_indexed();
+}
+
+constexpr std::size_t kMaxIterations = 200'000'000;
+
+SimStats FluidSimulator::run_reference() {
+  scheduler_->bind(*net_);
+  stats_ = SimStats{};
+  now_ = 0.0;
+  active_.clear();
+
+  const std::vector<Wave> waves = build_waves();
   std::size_t next_arrival = 0;
   double next_rate_change = kInfinity;
   std::vector<char> enlisted(net_->flows().size(), 0);
 
-  constexpr std::size_t kMaxIterations = 200'000'000;
   while (true) {
     if (++stats_.events > kMaxIterations) {
       throw std::runtime_error("FluidSimulator: event budget exceeded (livelock?)");
@@ -59,6 +85,7 @@ SimStats FluidSimulator::run() {
     double t_next = next_arrival < waves.size() ? waves[next_arrival].time : kInfinity;
     for (const FlowId fid : active_) {
       const Flow& f = net_->flow(fid);
+      ++stats_.effort.flows_touched;
       if (f.rate > 0.0 && f.remaining > kByteEpsilon) {
         t_next = std::min(t_next, now_ + f.remaining / f.rate);
       }
@@ -81,6 +108,9 @@ SimStats FluidSimulator::run() {
       const TaskId tid = waves[next_arrival++].task;
       if (observer_ != nullptr) observer_->on_task_arrival(net_->task(tid), now_);
       scheduler_->on_task_arrival(tid, now_);
+      // The observer or scheduler may have registered new flows mid-run
+      // (Network::extend_task): grow the flag array before indexing it.
+      if (enlisted.size() < net_->flows().size()) enlisted.resize(net_->flows().size(), 0);
       for (const FlowId fid : net_->task(tid).spec.flows) {
         auto& flag = enlisted[static_cast<std::size_t>(fid)];
         if (flag == 0 && net_->flow(fid).state == FlowState::kActive) {
@@ -95,13 +125,7 @@ SimStats FluidSimulator::run() {
     // task/flow states are already final; the active list is pruned lazily.
   }
 
-  stats_.end_time = now_;
-  for (const auto& f : net_->flows()) {
-    if (f.state == FlowState::kCompleted) ++stats_.completions;
-    if (f.state == FlowState::kMissed) ++stats_.misses;
-  }
-  if (observer_ != nullptr) observer_->on_run_complete(*net_, now_);
-  return stats_;
+  return finish_run();
 }
 
 void FluidSimulator::advance_to(double t) {
@@ -141,6 +165,226 @@ void FluidSimulator::settle(double now) {
       if (observer_ != nullptr) observer_->on_flow_finished(f, now);
     }
   }
+}
+
+// The indexed engine replays the reference loop with sub-O(active) data
+// structures. Every floating-point expression that feeds a decision or an
+// observer is kept literally identical to the reference engine's, and all
+// per-flow processing runs in enlist-sequence order (== the reference
+// active_-list order), so runs are bit-identical — pinned by
+// tests/sim/sim_engine_equiv_prop_test.cpp and the golden timelines.
+//
+// Correctness of the completion-candidate set (drained_ + finish_watch_)
+// rests on the settle induction documented in DESIGN.md: after every settle,
+// all unfinished enlisted flows have remaining > kByteEpsilon, so the next
+// settle's completions can only come from flows advance just drained or
+// flows enlisted at/below the epsilon since.
+SimStats FluidSimulator::run_indexed() {
+  scheduler_->bind(*net_);
+  stats_ = SimStats{};
+  now_ = 0.0;
+
+  const std::vector<Wave> waves = build_waves();
+  std::size_t next_arrival = 0;
+  double next_rate_change = kInfinity;
+
+  seq_of_.assign(net_->flows().size(), -1);
+  in_running_.assign(net_->flows().size(), 0);
+  retired_.assign(net_->flows().size(), 0);
+  running_.clear();
+  deadline_heap_ = DeadlineHeap();
+  overdue_.clear();
+  finish_watch_.clear();
+  active_count_ = 0;
+  next_seq_ = 0;
+  bool running_unsorted = false;
+  // Discard rate writes from before the run: flows only matter once
+  // enlisted, and enlistment classifies by the rate it observes directly.
+  net_->flow_state().drain_dirty(dirty_scratch_);
+
+  // Decrement active_count_ exactly once per flow observed finished,
+  // wherever the engine first notices (settle, compaction, stale heap pop).
+  const auto retire = [this](FlowId fid) {
+    auto& mark = retired_[static_cast<std::size_t>(fid)];
+    if (mark == 0) {
+      mark = 1;
+      --active_count_;
+    }
+  };
+  const auto by_seq = [](const SeqFlow& a, const SeqFlow& b) { return a.seq < b.seq; };
+
+  while (true) {
+    if (++stats_.events > kMaxIterations) {
+      throw std::runtime_error("FluidSimulator: event budget exceeded (livelock?)");
+    }
+    if (running_unsorted) {
+      std::sort(running_.begin(), running_.end(), by_seq);
+      running_unsorted = false;
+    }
+
+    // Next event time: arrival, completion (projected over the running set
+    // only — paused flows cannot complete), deadline (heap top), or
+    // scheduler-internal rate change. The same pass compacts entries whose
+    // flow finished or was paused since the last event.
+    double t_next = next_arrival < waves.size() ? waves[next_arrival].time : kInfinity;
+    std::size_t kept = 0;
+    for (const SeqFlow e : running_) {
+      const Flow& f = net_->flow(e.fid);
+      if (f.finished() || f.rate <= 0.0) {
+        in_running_[static_cast<std::size_t>(e.fid)] = 0;
+        if (f.finished()) retire(e.fid);
+        continue;
+      }
+      running_[kept++] = e;
+      ++stats_.effort.flows_touched;
+      if (f.remaining > kByteEpsilon) {
+        t_next = std::min(t_next, now_ + f.remaining / f.rate);
+      }
+    }
+    running_.resize(kept);
+    stats_.effort.lazy_skips += active_count_ - std::min(active_count_, kept);
+
+    // Deadline candidate: the heap top, skipping entries whose flow finished
+    // and parking entries already behind now_ (they contribute no candidate
+    // — same as the reference's `deadline >= now_` filter — but must still
+    // be miss-settled later; see overdue_ in the settle below).
+    while (!deadline_heap_.empty()) {
+      const DeadlineEntry top = deadline_heap_.top();
+      if (net_->flow(top.fid).finished()) {
+        retire(top.fid);
+        ++stats_.effort.heap_invalidations;
+        deadline_heap_.pop();
+        continue;
+      }
+      if (top.deadline < now_) {
+        overdue_.push_back(SeqFlow{top.seq, top.fid});
+        deadline_heap_.pop();
+        continue;
+      }
+      t_next = std::min(t_next, top.deadline);
+      break;
+    }
+
+    if (next_rate_change > now_) t_next = std::min(t_next, next_rate_change);
+
+    if (t_next == kInfinity) break;
+    t_next = std::max(t_next, now_);
+
+    if (observer_ != nullptr) observer_->on_event(t_next);
+
+    // advance_to(t_next), restricted to the running set: every skipped flow
+    // would have been a no-op visit in the reference loop (rate <= 0).
+    assert(t_next >= now_ - kTimeEpsilon);
+    drained_.clear();
+    const double dt = t_next - now_;
+    if (dt > 0.0) {
+      for (const SeqFlow e : running_) {
+        Flow& f = net_->flow(e.fid);
+        if (f.finished() || f.rate <= 0.0 || f.remaining <= 0.0) continue;
+        double bytes = f.rate * dt;
+        if (bytes > f.remaining) bytes = f.remaining;  // absorb rounding
+        f.remaining -= bytes;
+        f.bytes_sent += bytes;
+        ++stats_.effort.flows_touched;
+        if (observer_ != nullptr) observer_->on_transmit(f, now_, t_next, bytes);
+        if (f.remaining <= kByteEpsilon) drained_.push_back(e);
+      }
+    }
+    now_ = t_next;
+
+    // settle(t_next), completions first. drained_ is already in seq order;
+    // merging the finish-watch requires a (rare, tiny) re-sort.
+    if (!finish_watch_.empty()) {
+      drained_.insert(drained_.end(), finish_watch_.begin(), finish_watch_.end());
+      finish_watch_.clear();
+      std::sort(drained_.begin(), drained_.end(), by_seq);
+    }
+    for (const SeqFlow e : drained_) {
+      Flow& f = net_->flow(e.fid);
+      if (f.finished()) continue;
+      if (f.remaining <= kByteEpsilon) {
+        net_->on_flow_completed(e.fid, now_);
+        scheduler_->on_flow_finished(e.fid, now_);
+        if (observer_ != nullptr) observer_->on_flow_finished(f, now_);
+        retire(e.fid);
+      }
+    }
+
+    // Misses: pop every deadline at/before now_ (the pop predicate is the
+    // reference's miss condition verbatim), add the parked overdue entries,
+    // and process in enlist order so scheduler/observer callbacks fire in
+    // the reference sequence, not heap order.
+    miss_scratch_.clear();
+    miss_scratch_.swap(overdue_);
+    while (!deadline_heap_.empty() && now_ >= deadline_heap_.top().deadline - kTimeEpsilon) {
+      const DeadlineEntry top = deadline_heap_.top();
+      deadline_heap_.pop();
+      if (net_->flow(top.fid).finished()) {
+        retire(top.fid);
+        ++stats_.effort.heap_invalidations;
+        continue;
+      }
+      miss_scratch_.push_back(SeqFlow{top.seq, top.fid});
+    }
+    std::sort(miss_scratch_.begin(), miss_scratch_.end(), by_seq);
+    for (const SeqFlow e : miss_scratch_) {
+      Flow& f = net_->flow(e.fid);
+      if (f.finished()) continue;  // e.g. rejected as a sibling just above
+      if (now_ >= f.spec.deadline - kTimeEpsilon) {
+        net_->on_flow_missed(e.fid);
+        scheduler_->on_flow_finished(e.fid, now_);
+        if (observer_ != nullptr) observer_->on_flow_finished(f, now_);
+        retire(e.fid);
+      }
+    }
+
+    while (next_arrival < waves.size() && waves[next_arrival].time <= now_ + kTimeEpsilon) {
+      const TaskId tid = waves[next_arrival++].task;
+      if (observer_ != nullptr) observer_->on_task_arrival(net_->task(tid), now_);
+      scheduler_->on_task_arrival(tid, now_);
+      // The observer or scheduler may have registered new flows mid-run
+      // (Network::extend_task): grow the per-flow indexes before use.
+      if (seq_of_.size() < net_->flows().size()) {
+        seq_of_.resize(net_->flows().size(), -1);
+        in_running_.resize(net_->flows().size(), 0);
+        retired_.resize(net_->flows().size(), 0);
+      }
+      for (const FlowId fid : net_->task(tid).spec.flows) {
+        const auto i = static_cast<std::size_t>(fid);
+        if (seq_of_[i] >= 0) continue;
+        const Flow& f = net_->flow(fid);
+        if (f.state != FlowState::kActive) continue;
+        seq_of_[i] = next_seq_++;
+        ++active_count_;
+        deadline_heap_.push(DeadlineEntry{f.spec.deadline, seq_of_[i], fid});
+        if (f.rate > 0.0) {
+          running_.push_back(SeqFlow{seq_of_[i], fid});
+          in_running_[i] = 1;
+          running_unsorted = true;
+        }
+        // Zero-size admissions complete without ever transmitting; watch
+        // them so the next settle picks them up.
+        if (f.remaining <= kByteEpsilon) finish_watch_.push_back(SeqFlow{seq_of_[i], fid});
+      }
+    }
+
+    next_rate_change = scheduler_->assign_rates(now_);
+    // Reclassify only the flows whose rate actually moved (the arena's
+    // dirty set) instead of rescanning every active flow.
+    net_->flow_state().drain_dirty(dirty_scratch_);
+    stats_.effort.rate_dirty += dirty_scratch_.size();
+    for (const FlowId fid : dirty_scratch_) {
+      const auto i = static_cast<std::size_t>(fid);
+      if (i >= seq_of_.size() || seq_of_[i] < 0 || in_running_[i] != 0) continue;
+      const Flow& f = net_->flow(fid);
+      if (f.finished() || f.rate <= 0.0) continue;
+      running_.push_back(SeqFlow{seq_of_[i], fid});
+      in_running_[i] = 1;
+      running_unsorted = true;
+    }
+  }
+
+  return finish_run();
 }
 
 }  // namespace taps::sim

@@ -5,10 +5,26 @@
 // arrivals, flow completions, flow deadlines, and scheduler-internal rate
 // changes (TAPS time-slice boundaries). This engine drives any Scheduler
 // over a Network and keeps byte accounting exact.
+//
+// Two engines produce bit-identical runs (pinned by
+// tests/sim/sim_engine_equiv_prop_test.cpp and the golden timelines):
+//
+//  - SimEngine::kIndexed (default): per-event work scales with the flows
+//    that are actually transmitting or changing, not with every active flow.
+//    A compacting "running" list (flows with rate > 0, ordered by enlist
+//    sequence) feeds the completion projection; a deadline min-heap is
+//    populated once per admission; the rate-dirty set drained from the
+//    Network's FlowStateArena reclassifies only flows whose rate moved in
+//    assign_rates. See DESIGN.md "Simulation engine".
+//  - SimEngine::kReference: the original O(active)-per-event rescan loop,
+//    kept as the oracle.
 #pragma once
 
+#include <cstdint>
 #include <limits>
+#include <queue>
 #include <string>
+#include <vector>
 
 #include "net/network.hpp"
 
@@ -40,7 +56,7 @@ class Scheduler {
   /// The flow's final state is already recorded in the Network.
   virtual void on_flow_finished(net::FlowId id, double now) = 0;
 
-  /// Recompute rates of all active flows at `now` (writes Flow::rate).
+  /// Recompute rates of all active flows at `now` (via Flow::set_rate).
   /// May proactively terminate doomed flows (PDQ Early Termination) via
   /// Network::on_flow_missed. Returns the earliest future time at which
   /// rates will change even without an arrival/completion/deadline
@@ -76,19 +92,45 @@ class TransmitObserver {
   virtual void on_run_complete(const net::Network& /*net*/, double /*end_time*/) {}
 };
 
+/// Which event-loop implementation FluidSimulator::run uses. Both produce
+/// bit-identical schedules, timelines, and SimStats outcome fields; only the
+/// SimEffort work counters differ.
+enum class SimEngine : std::uint8_t {
+  kIndexed,    // indexed next-event structures (default)
+  kReference,  // original per-event O(active) rescan, kept as the oracle
+};
+
+[[nodiscard]] const char* to_string(SimEngine e);
+
+/// How much work the engine did, as opposed to what it computed. These are
+/// engine-dependent by design (the indexed engine exists to shrink them) and
+/// are excluded from engine-equivalence comparisons — the same convention as
+/// TapsCounters, which Shard::fingerprint excludes. Deterministic for a
+/// given engine and workload.
+struct SimEffort {
+  std::size_t flows_touched = 0;       // per-flow visits in the hot loops
+  std::size_t lazy_skips = 0;          // active-flow visits avoided vs a full rescan
+  std::size_t heap_invalidations = 0;  // stale deadline-heap entries dropped
+  std::size_t rate_dirty = 0;          // rate-dirty entries drained from the arena
+};
+
 struct SimStats {
   double end_time = 0.0;        // time of the last event processed
   std::size_t events = 0;       // event-loop iterations
   std::size_t completions = 0;  // flows completed
   std::size_t misses = 0;       // flows that missed their deadline
+  SimEffort effort;             // engine work counters (engine-dependent)
 };
 
 class FluidSimulator {
  public:
-  FluidSimulator(net::Network& net, Scheduler& scheduler)
-      : net_(&net), scheduler_(&scheduler) {}
+  FluidSimulator(net::Network& net, Scheduler& scheduler,
+                 SimEngine engine = SimEngine::kIndexed)
+      : net_(&net), scheduler_(&scheduler), engine_(engine) {}
 
   void set_observer(TransmitObserver* observer) { observer_ = observer; }
+  void set_engine(SimEngine engine) { engine_ = engine; }
+  [[nodiscard]] SimEngine engine() const { return engine_; }
 
   /// Run to quiescence: all tasks arrived and no active flow remains.
   SimStats run();
@@ -96,6 +138,38 @@ class FluidSimulator {
   [[nodiscard]] double now() const { return now_; }
 
  private:
+  struct Wave {
+    double time = 0.0;
+    net::TaskId task = 0;
+  };
+  /// (enlist sequence, flow): the indexed engine keys all processing order
+  /// on the sequence a flow entered the active set, which is exactly the
+  /// reference engine's active_-list order.
+  struct SeqFlow {
+    std::int64_t seq = 0;
+    net::FlowId fid = net::kInvalidFlow;
+  };
+  struct DeadlineEntry {
+    double deadline = 0.0;
+    std::int64_t seq = 0;
+    net::FlowId fid = net::kInvalidFlow;
+  };
+  struct DeadlineAfter {
+    bool operator()(const DeadlineEntry& a, const DeadlineEntry& b) const {
+      if (a.deadline != b.deadline) return a.deadline > b.deadline;
+      return a.seq > b.seq;
+    }
+  };
+  using DeadlineHeap =
+      std::priority_queue<DeadlineEntry, std::vector<DeadlineEntry>, DeadlineAfter>;
+
+  [[nodiscard]] std::vector<Wave> build_waves() const;
+  SimStats run_reference();
+  SimStats run_indexed();
+  /// Shared tail: final state census, on_run_complete.
+  SimStats finish_run();
+
+  // Reference-engine helpers.
   /// Advance all active flows from now_ to `t` at their current rates.
   void advance_to(double t);
   /// Mark finished flows (completed / missed) and notify the scheduler.
@@ -104,9 +178,27 @@ class FluidSimulator {
   net::Network* net_;
   Scheduler* scheduler_;
   TransmitObserver* observer_ = nullptr;
-  std::vector<net::FlowId> active_;
+  SimEngine engine_ = SimEngine::kIndexed;
   double now_ = 0.0;
   SimStats stats_;
+
+  // Reference engine: the flat active list.
+  std::vector<net::FlowId> active_;
+
+  // Indexed engine state (reset per run).
+  std::vector<std::int64_t> seq_of_;      // per flow; -1 = never enlisted
+  std::vector<std::uint8_t> in_running_;  // per flow: has a running_ entry
+  std::vector<std::uint8_t> retired_;     // per flow: active_count_ already decremented
+  std::vector<SeqFlow> running_;          // flows with rate > 0, sorted by seq
+  DeadlineHeap deadline_heap_;
+  std::vector<SeqFlow> overdue_;       // enlisted past their deadline; settled, never a candidate
+  std::vector<SeqFlow> finish_watch_;  // enlisted at/below kByteEpsilon remaining
+  std::size_t active_count_ = 0;       // unfinished enlisted flows (drives lazy_skips)
+  std::int64_t next_seq_ = 0;
+  // Scratch buffers (reused across events to avoid per-event allocation).
+  std::vector<SeqFlow> drained_;
+  std::vector<SeqFlow> miss_scratch_;
+  std::vector<net::FlowId> dirty_scratch_;
 };
 
 }  // namespace taps::sim

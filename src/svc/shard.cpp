@@ -152,7 +152,7 @@ void Shard::maybe_compact() {
       Flow& nf = fresh->flow(nt.spec.flows[k]);
       nf.state = of.state;
       nf.remaining = of.remaining;
-      nf.rate = of.rate;
+      nf.set_rate(of.rate);
       nf.bytes_sent = of.bytes_sent;
       nf.completion_time = of.completion_time;
       nf.path = of.path;

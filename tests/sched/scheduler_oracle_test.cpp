@@ -161,7 +161,7 @@ class OverdriveScheduler final : public BaseScheduler {
       for (const topo::LinkId lid : f.path.links) {
         capacity = std::min(capacity, net_->link_capacity(lid));
       }
-      f.rate = 2.0 * capacity;
+      f.set_rate(2.0 * capacity);
     }
     return sim::kInfinity;
   }

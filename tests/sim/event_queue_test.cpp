@@ -94,5 +94,63 @@ TEST(EventQueue, PeekTimeSkipsCancelled) {
   EXPECT_DOUBLE_EQ(q.peek_time(), 2.0);
 }
 
+TEST(EventQueue, CompactionBoundsStaleEntries) {
+  // Timer-wheel pattern: every event is re-armed (cancel + schedule) many
+  // times before it fires. Without compaction the heap accumulates one stale
+  // entry per cancel — O(cancelled) — and only sheds the ones that happen to
+  // surface at the top. The compaction pass keeps heap_size() <= 3 * size()
+  // after every operation.
+  EventQueue q;
+  constexpr int kTimers = 64;
+  constexpr int kRearms = 200;
+  std::vector<EventId> ids;
+  ids.reserve(kTimers);
+  for (int i = 0; i < kTimers; ++i) {
+    ids.push_back(q.schedule(1000.0 + i, [](double) {}));
+  }
+  std::size_t peak_heap = q.heap_size();
+  for (int round = 0; round < kRearms; ++round) {
+    for (int i = 0; i < kTimers; ++i) {
+      ASSERT_TRUE(q.cancel(ids[static_cast<std::size_t>(i)]));
+      ASSERT_LE(q.heap_size(), 3 * q.size() + 3);  // slack only while live dips
+      ids[static_cast<std::size_t>(i)] =
+          q.schedule(1000.0 + i + round, [](double) {});
+    }
+    peak_heap = std::max(peak_heap, q.heap_size());
+    ASSERT_EQ(q.size(), static_cast<std::size_t>(kTimers));
+    ASSERT_LE(q.heap_size(), 3 * q.size());
+  }
+  // 64 live timers, 12800 cancels: the heap never grew past the 3x bound.
+  EXPECT_LE(peak_heap, 3u * kTimers);
+  EXPECT_GT(peak_heap, static_cast<std::size_t>(kTimers));  // laziness did buy something
+
+  // Draining to empty leaves no stale residue behind.
+  for (const EventId id : ids) q.cancel(id);
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_EQ(q.heap_size(), 0u);
+}
+
+TEST(EventQueue, CompactionPreservesOrderAndCallbacks) {
+  // Interleave schedules and cancels so several compactions fire, then check
+  // the surviving events still run in time order with FIFO tie-breaking.
+  EventQueue q;
+  std::vector<int> order;
+  std::vector<EventId> doomed;
+  for (int i = 0; i < 100; ++i) {
+    if (i % 3 == 0) {
+      q.schedule(static_cast<double>(100 - i), [&order, i](double) { order.push_back(i); });
+    } else {
+      doomed.push_back(q.schedule(static_cast<double>(i), [](double) {}));
+    }
+  }
+  for (const EventId id : doomed) ASSERT_TRUE(q.cancel(id));
+  EXPECT_LE(q.heap_size(), 3 * q.size());
+  while (!q.empty()) q.run_next();
+  // Survivors were scheduled at times 100, 97, ..., 1: reverse of insertion.
+  std::vector<int> expected;
+  for (int i = 99; i >= 0; i -= 3) expected.push_back(i);
+  EXPECT_EQ(order, expected);
+}
+
 }  // namespace
 }  // namespace taps::sim

@@ -20,11 +20,14 @@ class FixedRateScheduler final : public Scheduler {
   explicit FixedRateScheduler(double rate) : rate_(rate) {}
   [[nodiscard]] std::string name() const override { return "fixed"; }
 
-  void on_task_arrival(net::TaskId id, double) override {
+  void on_task_arrival(net::TaskId id, double now) override {
     net::Task& t = net_->task(id);
     t.state = net::TaskState::kAdmitted;
     for (const net::FlowId fid : t.spec.flows) {
       net::Flow& f = net_->flow(fid);
+      if (f.state != net::FlowState::kPending || f.spec.arrival > now + kTimeEpsilon) {
+        continue;  // later waves are admitted when their arrival fires
+      }
       f.path = net_->topology().paths(f.spec.src, f.spec.dst, 1).at(0);
       f.state = net::FlowState::kActive;
     }
@@ -32,7 +35,7 @@ class FixedRateScheduler final : public Scheduler {
   void on_flow_finished(net::FlowId, double) override {}
   double assign_rates(double) override {
     for (auto& f : net_->flows()) {
-      if (f.active()) f.rate = rate_;
+      if (f.active()) f.set_rate(rate_);
     }
     return kInfinity;
   }
@@ -148,6 +151,54 @@ TEST(FluidSimulator, ZeroRateFlowMissesAtDeadline) {
   EXPECT_DOUBLE_EQ(net.flows()[0].bytes_sent, 0.0);
 }
 
+TEST(FluidSimulator, MidRunTaskExtensionIsPickedUpByBothEngines) {
+  // Regression: the per-flow bookkeeping arrays used to be sized once before
+  // the event loop, so a flow registered mid-run via Network::extend_task
+  // indexed past their end (caught by ASan). The extension happens inside an
+  // observer callback at the first wave, adding a flow to a wave the
+  // simulator has already scheduled.
+  class Extender final : public TransmitObserver {
+   public:
+    Extender(net::TaskId task, net::FlowSpec spec) : task_(task), spec_(spec) {}
+    void on_transmit(const net::Flow&, double, double, double) override {}
+    void on_task_arrival(const net::Task& t, double now) override {
+      if (t.id() == task_ && now == 0.0 && !extended_) {
+        extended_ = true;
+        net_->extend_task(task_, 1.0, {&spec_, 1});
+      }
+    }
+    net::Network* net_ = nullptr;
+
+   private:
+    net::TaskId task_;
+    net::FlowSpec spec_;
+    bool extended_ = false;
+  };
+
+  for (const SimEngine engine : {SimEngine::kReference, SimEngine::kIndexed}) {
+    auto d = make_dumbbell();
+    net::Network net(*d.topology);
+    // Task 0 already has two waves (t=0 and t=1), so the wave list contains
+    // the t=1 entry the extension flow will ride on.
+    const net::TaskId tid = add_task(net, 0.0, 10.0, {flow(d.left[0], d.right[0], 2.0)});
+    net.extend_task(tid, 1.0, std::vector<net::FlowSpec>{flow(d.left[1], d.right[1], 1.0)});
+    Extender extender(tid, flow(d.left[2], d.right[2], 1.5));
+    extender.net_ = &net;
+    FixedRateScheduler sched(1.0);
+    FluidSimulator simulator(net, sched, engine);
+    simulator.set_observer(&extender);
+    const SimStats stats = simulator.run();
+
+    ASSERT_EQ(net.flows().size(), 3u) << to_string(engine);
+    EXPECT_EQ(stats.completions, 3u) << to_string(engine);
+    const net::Flow& added = net.flows()[2];
+    EXPECT_EQ(added.state, net::FlowState::kCompleted) << to_string(engine);
+    EXPECT_DOUBLE_EQ(added.spec.arrival, 1.0);
+    EXPECT_NEAR(added.completion_time, 2.5, 1e-9) << to_string(engine);
+    EXPECT_NEAR(added.bytes_sent, 1.5, 1e-9) << to_string(engine);
+  }
+}
+
 TEST(FluidSimulator, RateChangeHookDrivesProgress) {
   // A scheduler that transmits only in [1,2): rate changes must be honored
   // through the assign_rates return value.
@@ -167,7 +218,7 @@ TEST(FluidSimulator, RateChangeHookDrivesProgress) {
     double assign_rates(double now) override {
       for (auto& f : net_->flows()) {
         if (!f.active()) continue;
-        f.rate = (now >= 1.0 && now < 2.0) ? 1.0 : 0.0;
+        f.set_rate((now >= 1.0 && now < 2.0) ? 1.0 : 0.0);
       }
       if (now < 1.0) return 1.0;
       if (now < 2.0) return 2.0;
