@@ -9,12 +9,22 @@
 //   - admit/sharded8_threads4: shards=8, dispatcher + 4 workers, batches of
 //                             64 (the full service: submit-all then
 //                             wait_idle).
-// One sample = one fresh service admitting the whole stream; construction
-// is untimed. Derived metrics record admissions/sec per configuration and
-// the sharded and threaded speedups over the global sequential baseline.
+// A second, mixed stream (~30% of tasks span two pods) measures
+// hierarchical cross-pod admission through the same three operating points
+// (admit_mixed/...), plus the retired classification for reference
+// (admit_mixed/legacy_sharded8_seq: cross_pod=false, spanning tasks
+// rejected kCrossShard).
 //
-// `--quick` shrinks the stream to CI-smoke scale. With `--json` the run
+// One sample = one fresh service admitting the whole stream; construction
+// is untimed. Derived metrics record admissions/sec, the accept ratio and
+// the kCrossShard reject share per configuration, the sharded and threaded
+// speedups over the global sequential baseline, and — on the mixed stream —
+// the sharded service's accept-ratio agreement with the unsharded global
+// controller (the admission-quality cost of going hierarchical).
+//
+// `--quick` shrinks the streams to CI-smoke scale. With `--json` the run
 // writes BENCH_svc_admission.json for scripts/bench_compare.py.
+#include <algorithm>
 #include <chrono>
 #include <cstddef>
 #include <iostream>
@@ -62,9 +72,48 @@ std::vector<taps::svc::TaskRequest> pod_local_stream(const taps::topo::FatTree& 
   return out;
 }
 
+/// Mixed arrival stream: same shape as pod_local_stream, but ~30% of tasks
+/// span two pods — the traffic the sharded service used to reject
+/// kCrossShard unconditionally and now admits on its global domain under
+/// the per-pod uplink budget.
+std::vector<taps::svc::TaskRequest> mixed_stream(const taps::topo::FatTree& ft,
+                                                 std::size_t n, std::uint64_t seed) {
+  const int half = ft.k() / 2;
+  const double capacity = ft.graph().links().front().capacity;
+  taps::util::Rng rng(seed);
+  std::vector<taps::svc::TaskRequest> out;
+  out.reserve(n);
+  double arrival = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    arrival += rng.exponential(0.01) + 1e-7;
+    const int src_pod = static_cast<int>(rng.uniform_int(0, ft.k() - 1));
+    int dst_pod = src_pod;
+    if (rng.bernoulli(0.3)) {
+      while (dst_pod == src_pod) {
+        dst_pod = static_cast<int>(rng.uniform_int(0, ft.k() - 1));
+      }
+    }
+    const auto host = [&](int pod) {
+      return ft.host(pod, static_cast<int>(rng.uniform_int(0, half - 1)),
+                     static_cast<int>(rng.uniform_int(0, half - 1)));
+    };
+    const taps::topo::NodeId src = host(src_pod);
+    taps::topo::NodeId dst = src;
+    while (dst == src) dst = host(dst_pod);
+    const double transfer = rng.uniform_real(0.002, 0.02);
+    taps::svc::TaskRequest req;
+    req.arrival = arrival;
+    req.deadline = arrival + rng.uniform_real(1.2, 3.0) * transfer;
+    req.flows.push_back({src, dst, transfer * capacity});
+    out.push_back(std::move(req));
+  }
+  return out;
+}
+
 struct RunOutcome {
   double seconds = 0.0;
   std::size_t accepted = 0;
+  std::size_t cross_shard = 0;  // Reason::kCrossShard rejects
 };
 
 /// One timed admission run: fresh service (untimed), then submit the whole
@@ -88,24 +137,33 @@ RunOutcome run_stream(const taps::topo::FatTree& ft,
     std::cerr << "bench_svc_admission: response count mismatch ("
               << stats.responses << " != " << requests.size() << ")\n";
   }
-  return {std::chrono::duration<double>(t1 - t0).count(), stats.accepted};
+  const std::size_t cross_shard =
+      stats.by_reason[static_cast<std::size_t>(taps::svc::Reason::kCrossShard)];
+  return {std::chrono::duration<double>(t1 - t0).count(), stats.accepted, cross_shard};
 }
 
+struct ConfigResult {
+  double median = 0.0;
+  std::size_t accepted = 0;
+};
+
 /// Time `repeats` runs of one configuration and record samples plus the
-/// derived admissions/sec and accept-ratio metrics. Returns the median.
-double bench_config(BenchRunner& runner, const std::string& name,
-                    const taps::topo::FatTree& ft,
-                    const std::vector<taps::svc::TaskRequest>& requests,
-                    const taps::svc::ServiceConfig& config, bool started) {
+/// derived admissions/sec, accept-ratio and kCrossShard-share metrics.
+ConfigResult bench_config(BenchRunner& runner, const std::string& name,
+                          const taps::topo::FatTree& ft,
+                          const std::vector<taps::svc::TaskRequest>& requests,
+                          const taps::svc::ServiceConfig& config, bool started) {
   const std::size_t repeats = runner.options().repeats;
   std::vector<double> samples;
   samples.reserve(repeats);
   std::size_t accepted = 0;
+  std::size_t cross_shard = 0;
   (void)run_stream(ft, requests, config, started);  // warmup, untimed
   for (std::size_t r = 0; r < repeats; ++r) {
     const RunOutcome out = run_stream(ft, requests, config, started);
     samples.push_back(out.seconds);
     accepted = out.accepted;
+    cross_shard = out.cross_shard;
   }
   const double median = runner.add_samples(name, std::move(samples)).median;
   runner.add_metric(name + "/admissions_per_sec",
@@ -113,16 +171,20 @@ double bench_config(BenchRunner& runner, const std::string& name,
   runner.add_metric(name + "/accept_ratio",
                     static_cast<double>(accepted) /
                         static_cast<double>(requests.size()));
-  return median;
+  runner.add_metric(name + "/cross_shard_share",
+                    static_cast<double>(cross_shard) /
+                        static_cast<double>(requests.size()));
+  return {median, accepted};
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   taps::util::Cli cli("bench_svc_admission",
-                      "admission-service throughput: a pod-local arrival stream "
-                      "through the global sequential controller, the pod-sharded "
-                      "controller, and the batched+threaded service");
+                      "admission-service throughput: pod-local and mixed cross-pod "
+                      "arrival streams through the global sequential controller, the "
+                      "pod-sharded hierarchical controller, and the batched+threaded "
+                      "service");
   taps::bench::add_common_options(cli);
   cli.add_flag("quick", "tiny CI-smoke scale (shorter arrival stream)");
   if (!cli.parse(argc, argv)) return 1;
@@ -145,20 +207,54 @@ int main(int argc, char** argv) {
 
   config.shards = 1;
   config.threads = 0;
-  const double global_seq =
+  const ConfigResult global_seq =
       bench_config(runner, "admit/global_seq", ft, requests, config, /*started=*/false);
 
   config.shards = 8;
-  const double sharded_seq =
+  const ConfigResult sharded_seq =
       bench_config(runner, "admit/sharded8_seq", ft, requests, config, /*started=*/false);
 
   config.threads = 4;
   config.max_batch = 64;
-  const double sharded_threaded = bench_config(runner, "admit/sharded8_threads4", ft,
-                                               requests, config, /*started=*/true);
+  const ConfigResult sharded_threaded = bench_config(runner, "admit/sharded8_threads4", ft,
+                                                     requests, config, /*started=*/true);
 
-  runner.add_metric("admit/sharded_speedup", global_seq / sharded_seq);
-  runner.add_metric("admit/threaded_speedup", global_seq / sharded_threaded);
+  runner.add_metric("admit/sharded_speedup", global_seq.median / sharded_seq.median);
+  runner.add_metric("admit/threaded_speedup", global_seq.median / sharded_threaded.median);
+
+  // Hierarchical cross-pod admission: the mixed stream through the same
+  // operating points. Spanning tasks ride the dedicated global domain
+  // (local reserve -> global commit); legacy_sharded8_seq keeps the old
+  // classification for reference, so its cross_shard_share metric records
+  // exactly the traffic the hierarchical path recovers.
+  const std::vector<taps::svc::TaskRequest> mixed = mixed_stream(ft, n, o.seed + 1);
+  config.shards = 1;
+  config.threads = 0;
+  const ConfigResult mixed_global =
+      bench_config(runner, "admit_mixed/global_seq", ft, mixed, config, /*started=*/false);
+
+  config.shards = 8;
+  const ConfigResult mixed_sharded =
+      bench_config(runner, "admit_mixed/sharded8_seq", ft, mixed, config, /*started=*/false);
+
+  config.threads = 4;
+  const ConfigResult mixed_threaded = bench_config(runner, "admit_mixed/sharded8_threads4",
+                                                   ft, mixed, config, /*started=*/true);
+
+  config.threads = 0;
+  config.cross_pod = false;
+  (void)bench_config(runner, "admit_mixed/legacy_sharded8_seq", ft, mixed, config,
+                     /*started=*/false);
+  config.cross_pod = true;
+
+  runner.add_metric("admit_mixed/sharded_speedup", mixed_global.median / mixed_sharded.median);
+  runner.add_metric("admit_mixed/threaded_speedup",
+                    mixed_global.median / mixed_threaded.median);
+  // Admission-quality agreement with the unsharded controller: 1.0 means
+  // hierarchical admission accepted exactly as much of the mixed stream.
+  runner.add_metric("admit_mixed/accept_agreement",
+                    static_cast<double>(mixed_sharded.accepted) /
+                        static_cast<double>(std::max<std::size_t>(1, mixed_global.accepted)));
 
   for (const auto& [name, value] : runner.metrics()) {
     std::cout << "metric  " << name << " = " << value << "\n";

@@ -12,14 +12,19 @@ committed.
 
 Rows are links by default (`--rows flows` draws one row per flow instead;
 decision-free streams such as fair-sharing runs fall back to flow rows built
-from transmit events). Preemptions are drawn as red markers, deadline misses
-as hollow ones. When a chart would exceed --max-rects rectangles it switches
-to an aggregated per-row utilization heat strip and says so in the chart
-subtitle — large sweeps degrade explicitly, never silently.
+from transmit events). For fat-tree runs, `--pods K` (K = the fat-tree
+arity) groups the link rows by pod — link ids are mapped to pods by
+mirroring the C++ topology construction order — with a labeled separator
+band above each pod block, so hierarchical-admission behaviour (pod-local
+traffic vs core crossings) reads directly off the chart. Preemptions are
+drawn as red markers, deadline misses as hollow ones. When a chart would
+exceed --max-rects rectangles it switches to an aggregated per-row
+utilization heat strip and says so in the chart subtitle — large sweeps
+degrade explicitly, never silently.
 
 Usage:
     scripts/render_gantt.py TIMELINE... [--out-dir DIR] [--out FILE.svg]
-        [--rows links|flows] [--max-rects 4000]
+        [--rows links|flows] [--pods K] [--max-rects 4000]
 
 Exit codes: 0 ok, 2 usage or input error. Stdlib only (no pip).
 """
@@ -229,11 +234,30 @@ def replay(events: list[Event], rows: str) -> tuple[list[Segment], list[Event]]:
     return segments, markers
 
 
+def fattree_link_pods(k: int) -> list[int]:
+    """Pod of every link id on the k-ary fat-tree.
+
+    Mirrors the construction order of src/topo/fattree.cpp: core switches
+    first (nodes only — no links yet), then per pod each aggregation switch
+    is duplex-linked to its k/2 cores, then each edge switch is duplex-linked
+    to the pod's aggs and its k/2 hosts. Every duplex pair therefore lands in
+    its pod's contiguous link-id block, the agg<->core uplinks included —
+    the same convention the C++ PodMap uses for pod uplink/downlink budgets.
+    """
+    if k < 2 or k % 2:
+        raise ValueError("fat-tree arity k must be even and >= 2")
+    half = k // 2
+    # Per pod: 2h^2 agg<->core + h * (2h edge<->agg + 2h host<->edge).
+    per_pod = 6 * half * half
+    return [p for p in range(k) for _ in range(per_pod)]
+
+
 # ---------------------------------------------------------------- drawing
 
 LEFT = 88
 ROW_H = 20
 ROW_GAP = 5
+GROUP_H = 16  # pod separator band height (--pods)
 TOP = 52
 WIDTH = 960
 BOTTOM = 34
@@ -254,8 +278,11 @@ def render_svg(
     title: str,
     row_kind: str,
     max_rects: int,
+    groups: dict | None = None,
 ) -> str:
     rows = sorted({s.row for s in segments})
+    if groups is not None:
+        rows.sort(key=lambda r: (groups[r], r))
     t_lo = min((s.lo for s in segments), default=0.0)
     t_hi = max((s.hi for s in segments), default=1.0)
     for m in markers:
@@ -269,7 +296,20 @@ def render_svg(
         return LEFT + (t - t_lo) / span * chart_w
 
     aggregated = len(segments) > max_rects
-    height = TOP + len(rows) * (ROW_H + ROW_GAP) + BOTTOM
+    # Row layout: contiguous rows, with a labeled separator band above each
+    # pod block when grouping is on.
+    row_y: dict = {}
+    group_bands: list = []  # (label, band y)
+    y_cursor = TOP
+    prev_group = None
+    for r in rows:
+        if groups is not None and groups[r] != prev_group:
+            prev_group = groups[r]
+            group_bands.append((f"pod {prev_group}", y_cursor))
+            y_cursor += GROUP_H
+        row_y[r] = y_cursor
+        y_cursor += ROW_H + ROW_GAP
+    height = y_cursor + BOTTOM
     out = [
         f'<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" '
         f'height="{height}" font-family="monospace" font-size="11">',
@@ -277,6 +317,8 @@ def render_svg(
         f'<text x="{LEFT}" y="18" font-size="14">{_esc(title)}</text>',
     ]
     subtitle = f"{len(segments)} slices, {len(rows)} {row_kind}"
+    if groups is not None:
+        subtitle += f", grouped into {len(group_bands)} pods"
     if aggregated:
         subtitle += (
             f" — aggregated to per-row utilization ({len(segments)} rects"
@@ -284,7 +326,16 @@ def render_svg(
         )
     out.append(f'<text x="{LEFT}" y="34" fill="#555">{_esc(subtitle)}</text>')
 
-    row_y = {r: TOP + i * (ROW_H + ROW_GAP) for i, r in enumerate(rows)}
+    for label, gy in group_bands:
+        out.append(
+            f'<line x1="{LEFT}" y1="{gy + 2}" x2="{LEFT + chart_w}" '
+            f'y2="{gy + 2}" stroke="#999"/>'
+        )
+        out.append(
+            f'<text x="{LEFT - 8}" y="{gy + GROUP_H - 3}" text-anchor="end" '
+            f'font-weight="bold">{_esc(label)}</text>'
+        )
+
     prefix = "link" if row_kind == "links" else "flow"
     for r, y in row_y.items():
         out.append(
@@ -376,6 +427,13 @@ def main(argv: list[str]) -> int:
         help="one chart row per link (default) or per flow",
     )
     ap.add_argument(
+        "--pods",
+        type=int,
+        metavar="K",
+        help="group link rows by fat-tree pod (K = the fat-tree arity; "
+        "link rows only)",
+    )
+    ap.add_argument(
         "--max-rects",
         type=int,
         default=4000,
@@ -385,6 +443,14 @@ def main(argv: list[str]) -> int:
     args = ap.parse_args(argv)
     if args.out and len(args.inputs) > 1:
         ap.error("--out is for a single input; use --out-dir for several")
+    pod_of_link = None
+    if args.pods is not None:
+        if args.rows != "links":
+            ap.error("--pods applies to link rows (--rows links)")
+        try:
+            pod_of_link = fattree_link_pods(args.pods)
+        except ValueError as err:
+            ap.error(str(err))
 
     for name in args.inputs:
         path = pathlib.Path(name)
@@ -398,7 +464,18 @@ def main(argv: list[str]) -> int:
         if row_kind == "links" and segments and all(s.row == s.flow for s in segments):
             # transmit-only fallback renders flow rows; label them honestly
             row_kind = "flows" if not any(e.kind == "grant" for e in events) else "links"
-        svg = render_svg(segments, markers, path.name, row_kind, args.max_rects)
+        groups = None
+        if pod_of_link is not None and row_kind == "links":
+            bad = [s.row for s in segments if not 0 <= s.row < len(pod_of_link)]
+            if bad:
+                print(
+                    f"error: {path}: link {bad[0]} is outside a k={args.pods} "
+                    f"fat-tree ({len(pod_of_link)} links)",
+                    file=sys.stderr,
+                )
+                return 2
+            groups = {s.row: pod_of_link[s.row] for s in segments}
+        svg = render_svg(segments, markers, path.name, row_kind, args.max_rects, groups)
         if args.out:
             out_path = pathlib.Path(args.out)
         elif args.out_dir:

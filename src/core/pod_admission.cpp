@@ -1,0 +1,259 @@
+#include "core/pod_admission.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "sim/simulator.hpp"
+
+namespace taps::core {
+
+using net::Flow;
+using net::FlowId;
+using topo::kInvalidLink;
+using topo::kNoPod;
+using topo::LinkId;
+
+namespace {
+
+/// Same liveness condition unfinished_admitted() applies to committed flows.
+[[nodiscard]] bool live(const Flow& f) {
+  return f.active() && f.remaining > sim::kByteEpsilon;
+}
+
+}  // namespace
+
+void PodAdmissionIndex::bind(const topo::PodMap* pods, std::size_t flow_capacity) {
+  pods_ = pods;
+  for (const LinkId lid : dirty_links_) by_link_[static_cast<std::size_t>(lid)].clear();
+  dirty_links_.clear();
+  registered_.assign(flow_capacity, 0);
+  summaries_.clear();
+  if (pods_ != nullptr) {
+    summaries_.resize(static_cast<std::size_t>(pods_->pod_count()));
+  } else {
+    by_link_.clear();
+  }
+  disarm();
+}
+
+void PodAdmissionIndex::begin_commit() {
+  if (pods_ == nullptr) return;
+  commit_front_ = std::numeric_limits<double>::infinity();
+  commit_open_ = true;
+}
+
+void PodAdmissionIndex::register_anchor(LinkId link, FlowId fid) {
+  const auto i = static_cast<std::size_t>(link);
+  if (by_link_.size() <= i) by_link_.resize(i + 1);
+  if (by_link_[i].empty()) dirty_links_.push_back(link);
+  by_link_[i].push_back(fid);
+}
+
+void PodAdmissionIndex::observe_commit_entry(const net::Network& net, const Flow& f,
+                                             const util::IntervalSet& slices,
+                                             std::size_t& budget_reservations) {
+  if (pods_ == nullptr || !commit_open_) return;
+  // Gate accumulator: the precheck is only sound while no committed flow can
+  // have transmitted, i.e. while now <= every committed slice start.
+  if (slices.empty()) {
+    commit_front_ = -std::numeric_limits<double>::infinity();
+  } else {
+    commit_front_ = std::min(commit_front_, slices.front_start());
+  }
+
+  const auto fi = static_cast<std::size_t>(f.id());
+  if (registered_.size() <= fi) registered_.resize(fi + 1, 0);
+  if (registered_[fi] != 0) return;
+  registered_[fi] = 1;
+
+  const LinkId up = pods_->host_uplink(f.spec.src);
+  const LinkId down = pods_->host_downlink(f.spec.dst);
+  const int ps = pods_->pod_of(f.spec.src);
+  const int pd = pods_->pod_of(f.spec.dst);
+  const std::int64_t w = window_of(f.spec.deadline);
+  // Each valid anchor side contributes registry membership AND summary mass
+  // together, so a zero summary reading certifies empty registries (the
+  // precheck's early-out leans on that pairing).
+  if (up != kInvalidLink && ps != kNoPod) {
+    register_anchor(up, f.id());
+    PodBusySummary& s = summaries_[static_cast<std::size_t>(ps)];
+    const double mass = f.remaining / net.link_capacity(up);
+    s.window_mass[w] += mass;
+    s.total_mass += mass;
+  }
+  if (down != kInvalidLink && pd != kNoPod) {
+    register_anchor(down, f.id());
+    PodBusySummary& s = summaries_[static_cast<std::size_t>(pd)];
+    const double mass = f.remaining / net.link_capacity(down);
+    s.window_mass[w] += mass;
+    s.total_mass += mass;
+  }
+  // Cross-pod flows additionally anchor on the pod uplink/downlink their
+  // committed path takes — the budgeted reservation against the pod's
+  // aggregate uplink capacity.
+  if (ps != kNoPod && pd != kNoPod && ps != pd) {
+    for (const LinkId lid : f.path.links) {
+      const int lsp = pods_->pod_of_link_src(lid);
+      const int ldp = pods_->pod_of(net.graph().link(lid).dst);
+      if (lsp == ps && ldp == kNoPod && up != kInvalidLink) {
+        register_anchor(lid, f.id());
+        ++budget_reservations;
+      } else if (lsp == kNoPod && ldp == pd && down != kInvalidLink) {
+        register_anchor(lid, f.id());
+      }
+    }
+  }
+}
+
+void PodAdmissionIndex::end_commit() {
+  if (pods_ == nullptr || !commit_open_) return;
+  commit_open_ = false;
+  gate_front_ = commit_front_;
+  // An empty commit leaves gate_front_ at +infinity: trivially armed (no
+  // committed flow exists to drift), and registries correctly report zero.
+  armed_ = gate_front_ >= 0.0;
+}
+
+void PodAdmissionIndex::on_trim(const net::Network& net, double now) {
+  if (pods_ == nullptr) return;
+  // Windows that ended before `now` can hold no live flow (a live committed
+  // flow's deadline is ahead of its future slices, hence ahead of now).
+  const std::int64_t first_live = window_of(now);
+  for (PodBusySummary& s : summaries_) {
+    auto it = s.window_mass.begin();
+    while (it != s.window_mass.end() && it->first < first_live) {
+      s.total_mass -= it->second;
+      it = s.window_mass.erase(it);
+    }
+    if (s.window_mass.empty()) s.total_mass = 0.0;
+  }
+  // Order-preserving registry compaction: drop finished flows so registries
+  // stay bounded by the live set on long runs.
+  std::vector<LinkId> still_dirty;
+  still_dirty.reserve(dirty_links_.size());
+  for (const LinkId lid : dirty_links_) {
+    std::vector<FlowId>& reg = by_link_[static_cast<std::size_t>(lid)];
+    std::erase_if(reg, [&](FlowId fid) {
+      const bool dead = !live(net.flow(fid));
+      if (dead) registered_[static_cast<std::size_t>(fid)] = 0;
+      return dead;
+    });
+    if (!reg.empty()) still_dirty.push_back(lid);
+  }
+  dirty_links_ = std::move(still_dirty);
+}
+
+double PodAdmissionIndex::mass_before(LinkId link, const Key& bound, const net::Network& net,
+                                      const std::vector<double>& committed_remaining) const {
+  const auto i = static_cast<std::size_t>(link);
+  if (by_link_.size() <= i) return 0.0;
+  const double cap = net.link_capacity(link);
+  double mass = 0.0;
+  for (const FlowId fid : by_link_[i]) {
+    const Flow& f = net.flow(fid);
+    if (!live(f)) continue;
+    const double rem = committed_remaining[static_cast<std::size_t>(fid)];
+    if (!Key{f.spec.deadline, rem, fid}.before(bound.deadline, bound.remaining, bound.fid)) {
+      continue;
+    }
+    mass += rem / cap;
+  }
+  return mass;
+}
+
+bool PodAdmissionIndex::provably_infeasible(
+    const net::Network& net, const std::vector<net::FlowId>& wave, double now, double guard_band,
+    const std::vector<double>& committed_remaining) const {
+  if (pods_ == nullptr || wave.empty()) return false;
+
+  // The least EDF+SJF key across the wave: committed flows strictly before
+  // it are planned (adopted verbatim) before *every* wave flow in the trial.
+  Key min_wave{};
+  bool first = true;
+  for (const FlowId fid : wave) {
+    const Flow& f = net.flow(fid);
+    if (first || f.spec.deadline < min_wave.deadline ||
+        (f.spec.deadline == min_wave.deadline &&
+         (f.remaining < min_wave.remaining ||
+          (f.remaining == min_wave.remaining && fid < min_wave.fid)))) {
+      min_wave = Key{f.spec.deadline, f.remaining, fid};
+      first = false;
+    }
+  }
+
+  const auto summary_mass_upto = [&](int pod, std::int64_t w) {
+    const PodBusySummary& s = summaries_[static_cast<std::size_t>(pod)];
+    if (s.total_mass <= 0.0) return 0.0;
+    double m = 0.0;
+    for (auto it = s.window_mass.begin();
+         it != s.window_mass.end() && it->first <= w; ++it) {
+      m += it->second;
+    }
+    return m;
+  };
+
+  for (const FlowId fid : wave) {
+    const Flow& f = net.flow(fid);
+    const LinkId up = pods_->host_uplink(f.spec.src);
+    const LinkId down = pods_->host_downlink(f.spec.dst);
+    if (up == kInvalidLink || down == kInvalidLink) continue;
+    const double window = (f.spec.deadline - guard_band) - now;
+    const double need_up = f.remaining / net.link_capacity(up);
+    const double need_down = f.remaining / net.link_capacity(down);
+    // Deadline shorter than any feasible window: infeasible on an idle net.
+    if (need_up > window + kSlack || need_down > window + kSlack) return true;
+
+    const int ps = pods_->pod_of(f.spec.src);
+    const int pd = pods_->pod_of(f.spec.dst);
+    const std::int64_t w = window_of(f.spec.deadline);
+    const bool src_side = ps != kNoPod && summary_mass_upto(ps, w) > 0.0;
+    const bool dst_side = pd != kNoPod && summary_mass_upto(pd, w) > 0.0;
+    if (!src_side && !dst_side) continue;
+
+    // Mandatory-link tests: every candidate path crosses the source host's
+    // uplink and the destination host's downlink.
+    if (src_side &&
+        need_up > window - mass_before(up, min_wave, net, committed_remaining) + kSlack) {
+      return true;
+    }
+    if (dst_side &&
+        need_down > window - mass_before(down, min_wave, net, committed_remaining) + kSlack) {
+      return true;
+    }
+
+    // Cross-pod budget tests: a cross-pod path crosses exactly one uplink of
+    // the source pod and one downlink of the destination pod, so the flow is
+    // infeasible once *every* such link is provably full.
+    if (ps != kNoPod && pd != kNoPod && ps != pd) {
+      if (src_side) {
+        const std::vector<LinkId>& ups = pods_->pod(ps).uplinks;
+        bool all_full = !ups.empty();
+        for (const LinkId lid : ups) {
+          const double need = f.remaining / net.link_capacity(lid);
+          if (!(need >
+                window - mass_before(lid, min_wave, net, committed_remaining) + kSlack)) {
+            all_full = false;
+            break;
+          }
+        }
+        if (all_full) return true;
+      }
+      if (dst_side) {
+        const std::vector<LinkId>& downs = pods_->pod(pd).downlinks;
+        bool all_full = !downs.empty();
+        for (const LinkId lid : downs) {
+          const double need = f.remaining / net.link_capacity(lid);
+          if (!(need >
+                window - mass_before(lid, min_wave, net, committed_remaining) + kSlack)) {
+            all_full = false;
+            break;
+          }
+        }
+        if (all_full) return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace taps::core

@@ -1,0 +1,136 @@
+// Hierarchical two-level admission: pod-local conservative feasibility
+// prechecks for the TAPS planner.
+//
+// The index maintains, alongside the committed plan, (a) per-anchor-link
+// registries of committed flows — a flow's anchors are its mandatory links
+// (the source host's uplink and the destination host's downlink, which every
+// candidate path traverses) plus, for cross-pod flows, the pod uplink and
+// downlink of its committed path — and (b) a coarse per-pod occupancy
+// summary: committed busy mass bucketed by deadline window.
+//
+// The precheck proves a *new* task's wave flow infeasible without planning
+// it: under the no-transmission gate (now <= min committed slice start, so
+// nothing has drifted since the last commit), every committed flow whose
+// EDF+SJF key precedes all wave keys is adopted verbatim by the trial replan
+// (see open_session), so its remaining/capacity is a certain lower bound of
+// busy mass on each of its anchor links within the newcomer's deadline
+// window. If the newcomer's own mandatory-link demand provably exceeds the
+// window minus that mass (or, for cross-pod flows, every uplink of its
+// source pod / every downlink of its destination pod is provably full), the
+// flow cannot be planned feasibly — and reject-rule Rule 2 then rejects the
+// task unconditionally. The fast path therefore commits exactly the decision
+// the full pipeline would, which keeps hierarchical mode bit-identical
+// (pinned by tests/core/taps_hierarchy_prop_test.cpp and the golden
+// timelines). All comparisons carry a conservative slack so float rounding
+// can only ever fail toward "not provable" (never toward a spurious reject).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "net/network.hpp"
+#include "topo/pods.hpp"
+#include "util/interval_set.hpp"
+
+namespace taps::core {
+
+/// Per-pod coarse busy mass: seconds of mandatory-link transmission time
+/// committed against the pod, bucketed by absolute deadline window. Monotone
+/// within a window (mass is added at first commit of a flow and released
+/// only when the window falls entirely into the past), so a zero reading is
+/// a certain "nothing relevant committed here" — the precheck's early-out.
+struct PodBusySummary {
+  double total_mass = 0.0;                      // live (unpruned) seconds
+  std::map<std::int64_t, double> window_mass;   // window index -> seconds
+};
+
+class PodAdmissionIndex {
+ public:
+  /// Width of a deadline window in the per-pod summary, seconds.
+  static constexpr double kWindowSeconds = 0.0625;
+  /// Conservative slack (seconds) by which demand must exceed provable free
+  /// time before a reject fires; absorbs float rounding between the index's
+  /// mass sums and the planner's interval arithmetic. An exactly-exhausted
+  /// budget (demand == free) therefore never fast-rejects.
+  static constexpr double kSlack = 1e-6;
+
+  /// (Re)binds to a topology's pod metadata; nullptr disables the index.
+  /// Clears all registries; the gate stays closed until the next commit
+  /// re-registers the committed set.
+  void bind(const topo::PodMap* pods, std::size_t flow_capacity);
+
+  [[nodiscard]] bool enabled() const { return pods_ != nullptr; }
+
+  // ---- commit-time maintenance (cheap: O(newly committed flows)) ----
+  void begin_commit();
+  /// Folds one committed entry into the running gate minimum and registers
+  /// its anchors on first sight. Must be called for every entry of the
+  /// commit, in committed order (registry order is float-summation order).
+  void observe_commit_entry(const net::Network& net, const net::Flow& f,
+                            const util::IntervalSet& slices, std::size_t& budget_reservations);
+  /// Publishes the gate: the precheck stays armed while now <= the minimum
+  /// committed slice start (no transmission can have happened since).
+  void end_commit();
+
+  /// Deterministic housekeeping on the scheduler's trim cadence: prunes
+  /// summary windows entirely before `now` and compacts dead registry
+  /// entries (order-preserving, so mass sums stay bitwise reproducible).
+  void on_trim(const net::Network& net, double now);
+
+  /// Closes the gate until the next commit (bind/migrate/invalidation).
+  void disarm() { gate_front_ = -1.0; armed_ = false; }
+
+  /// True when the no-transmission gate holds at `now` and prechecks are
+  /// meaningful. Callers must also ensure cross-arrival validity.
+  [[nodiscard]] bool armed(double now) const { return armed_ && now <= gate_front_; }
+
+  /// Conservative precheck over a task's wave: returns true only when some
+  /// wave flow is *provably* infeasible in the trial replan (which Rule 2
+  /// turns into an unconditional task reject). `committed_remaining` is the
+  /// scheduler's per-flow remaining-at-last-commit table (bitwise equal to
+  /// live remaining while the gate holds).
+  [[nodiscard]] bool provably_infeasible(const net::Network& net,
+                                         const std::vector<net::FlowId>& wave, double now,
+                                         double guard_band,
+                                         const std::vector<double>& committed_remaining) const;
+
+  [[nodiscard]] const PodBusySummary& pod_summary(int pod) const {
+    return summaries_[static_cast<std::size_t>(pod)];
+  }
+  [[nodiscard]] static std::int64_t window_of(double deadline) {
+    return static_cast<std::int64_t>(deadline / kWindowSeconds);
+  }
+
+ private:
+  struct Key {
+    double deadline = 0.0;
+    double remaining = 0.0;
+    net::FlowId fid = net::kInvalidFlow;
+    [[nodiscard]] bool before(double d, double r, net::FlowId f) const {
+      if (deadline != d) return deadline < d;
+      if (remaining != r) return remaining < r;
+      return fid < f;
+    }
+  };
+
+  /// Busy mass (seconds) on `link` from registered committed flows whose
+  /// EDF+SJF key precedes `bound` — all provably planned (adopted) before
+  /// any wave flow while the gate holds.
+  [[nodiscard]] double mass_before(topo::LinkId link, const Key& bound, const net::Network& net,
+                                   const std::vector<double>& committed_remaining) const;
+
+  void register_anchor(topo::LinkId link, net::FlowId fid);
+
+  const topo::PodMap* pods_ = nullptr;
+  std::vector<std::vector<net::FlowId>> by_link_;  // anchor link -> flows, commit order
+  std::vector<topo::LinkId> dirty_links_;          // links with registry entries
+  std::vector<char> registered_;                   // per flow: anchors recorded
+  std::vector<PodBusySummary> summaries_;          // per pod
+  double gate_front_ = -1.0;  // min committed slice start at last commit
+  double commit_front_ = 0.0; // accumulator during a commit
+  bool commit_open_ = false;
+  bool armed_ = false;
+};
+
+}  // namespace taps::core

@@ -37,6 +37,9 @@ void TapsScheduler::bind(net::Network& net) {
   rate_touched_mark_.assign(net.flows().size(), 0);
   rate_touched_.clear();
   rate_fallback_ = false;
+  // The index is maintained even with the precheck disabled (upkeep is
+  // O(newly committed flows)), so the flag can be flipped mid-run.
+  pod_index_.bind(net.topology().pods(), net.flows().size());
 }
 
 void TapsScheduler::migrate(net::Network& fresh, const std::vector<net::FlowId>& flow_map) {
@@ -82,6 +85,11 @@ void TapsScheduler::migrate(net::Network& fresh, const std::vector<net::FlowId>&
   rate_touched_mark_.assign(fresh.flows().size(), 0);
   rate_touched_.clear();
   for (const FlowId fid : committed_order_) touch_slices(fid);
+  // Flow ids changed wholesale: drop the pod registries and let the next
+  // commit re-register the surviving committed set (the gate stays closed —
+  // hence no fast rejects — until then, which only costs speed, never
+  // changes a decision).
+  pod_index_.bind(fresh.topology().pods(), fresh.flows().size());
 }
 
 std::vector<FlowId> TapsScheduler::unfinished_admitted() const {
@@ -182,6 +190,7 @@ void TapsScheduler::commit(PlanAttempt&& attempt, double now) {
   sched::ScheduleObserver* obs = schedule_observer();
   std::vector<sched::CommittedFlowView> view;
   if (obs != nullptr) view.reserve(attempt.plans.size());
+  pod_index_.begin_commit();
   for (auto& plan : attempt.plans) {
     Flow& f = net_->flow(plan.flow);
     const auto i = static_cast<std::size_t>(plan.flow);
@@ -197,10 +206,12 @@ void TapsScheduler::commit(PlanAttempt&& attempt, double now) {
     slices_[i] = std::move(plan.slices);
     committed_order_.push_back(plan.flow);
     committed_remaining_[i] = f.remaining;
+    pod_index_.observe_commit_entry(*net_, f, slices_[i], counters_.budget_reservations);
     if (obs != nullptr) {
       view.push_back({plan.flow, f.task(), regranted, &f.path, &slices_[i]});
     }
   }
+  pod_index_.end_commit();
   ++counters_.plan_commits;
   cross_arrival_valid_ = true;
   if (obs != nullptr) obs->on_plan_committed(now, view);
@@ -231,6 +242,7 @@ void TapsScheduler::maybe_trim(double now) {
   // the map so an incremental vacate-by-slices stays exact.
   occ_.trim_before(now);
   for (auto& sl : slices_) sl.trim_before(now);
+  pod_index_.on_trim(*net_, now);
   ++counters_.occupancy_trims;
 }
 
@@ -271,6 +283,26 @@ void TapsScheduler::on_task_arrival(TaskId id, double now) {
     if (f.active() && f.remaining > sim::kByteEpsilon) continue;
     const auto& sl = slices_[static_cast<std::size_t>(fid)];
     if (!sl.empty() && sl.back_end() <= now) session_retired_.push_back(fid);
+  }
+
+  // Hierarchical pod-local precheck: prove the newcomer infeasible without a
+  // trial replan when possible. Sound only while the no-transmission gate
+  // holds and the cross-arrival validity tokens are fresh (same conditions
+  // either replan mode sees, so decisions stay mode- and flag-independent).
+  if (config_.hierarchical_precheck && pod_index_.enabled() &&
+      config_.fault_skip_occupy == net::kInvalidFlow && cross_arrival_valid_ &&
+      pod_index_.armed(now)) {
+    if (pod_index_.provably_infeasible(*net_, wave, now, config_.guard_band,
+                                       committed_remaining_)) {
+      fast_reject(id, now);
+      return;
+    }
+    ++counters_.global_fallbacks;
+    const topo::PodMap* pods = net_->topology().pods();
+    for (const FlowId fid : wave) {
+      const Flow& f = net_->flow(fid);
+      if (pods->same_pod(f.spec.src, f.spec.dst)) ++counters_.pod_local_plans;
+    }
   }
 
   if (config_.incremental_replan && config_.fault_skip_occupy == net::kInvalidFlow &&
@@ -343,6 +375,51 @@ void TapsScheduler::on_task_arrival(TaskId id, double now) {
   ++counters_.tasks_rejected;
   if (sched::ScheduleObserver* obs = schedule_observer(); obs != nullptr) {
     obs->on_task_rejected(id, now);
+  }
+  std::vector<FlowId> incumbents = unfinished_admitted();
+  const std::size_t incumbents_sorted = incumbents.size();
+  PlanAttempt compacted = try_plan(std::move(incumbents), now, incumbents_sorted);
+  ++counters_.replans;
+  if (compacted.fully_feasible) {
+    commit(std::move(compacted), now);
+  } else {
+    release_occupancy(std::move(compacted.occ));
+    ++counters_.replan_reverts;
+    util::log_debug() << "TAPS: compacting re-plan at t=" << now
+                      << " would strand a survivor; keeping the prior plan";
+  }
+}
+
+void TapsScheduler::fast_reject(TaskId id, double now) {
+  ++counters_.pod_fast_rejects;
+  net_->reject_task(id);
+  ++counters_.tasks_rejected;
+  if (sched::ScheduleObserver* obs = schedule_observer(); obs != nullptr) {
+    obs->on_task_rejected(id, now);
+  }
+  // Compacting replan of the incumbents, exactly as the normal reject tail
+  // runs it in the active mode. Under the precheck's no-transmission gate
+  // every incumbent entry is adoption-eligible, so the replan reproduces the
+  // committed plan verbatim (zero re-grants) — but it still commits, keeping
+  // plan_commits / validity tokens / timeline streams bit-identical to the
+  // precheck-off pipeline.
+  if (config_.incremental_replan && config_.fault_skip_occupy == net::kInvalidFlow &&
+      cross_arrival_valid_) {
+    std::vector<FlowId> incumbents = unfinished_admitted();
+    const std::size_t incumbents_sorted = incumbents.size();
+    sort_order(incumbents, incumbents_sorted);
+    open_session(incumbents, now);
+    plan_tail(incumbents, now);
+    ++counters_.replans;
+    if (session_infeasible_ == 0) {
+      commit_session(now);
+    } else {
+      abandon_session();
+      ++counters_.replan_reverts;
+      util::log_debug() << "TAPS: compacting re-plan at t=" << now
+                        << " would strand a survivor; keeping the prior plan";
+    }
+    return;
   }
   std::vector<FlowId> incumbents = unfinished_admitted();
   const std::size_t incumbents_sorted = incumbents.size();
@@ -469,6 +546,7 @@ void TapsScheduler::commit_session(double now) {
   sched::ScheduleObserver* obs = schedule_observer();
   std::vector<sched::CommittedFlowView> view;
   if (obs != nullptr) view.reserve(session_order_.size());
+  pod_index_.begin_commit();
   for (std::size_t k = 0; k < session_order_.size(); ++k) {
     const FlowId fid = session_order_[k];
     const auto i = static_cast<std::size_t>(fid);
@@ -489,8 +567,10 @@ void TapsScheduler::commit_session(double now) {
     }
     committed_order_.push_back(fid);
     committed_remaining_[i] = f.remaining;
+    pod_index_.observe_commit_entry(*net_, f, slices_[i], counters_.budget_reservations);
     if (obs != nullptr) view.push_back({fid, f.task(), regranted, &f.path, &slices_[i]});
   }
+  pod_index_.end_commit();
   ++counters_.plan_commits;
   // occ_ already holds exactly the committed occupancy; the journal's undo
   // history is no longer needed.

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <queue>
 
+#include "core/pod_admission.hpp"
 #include "core/reject_rule.hpp"
 #include "sched/scheduler.hpp"
 
@@ -64,6 +65,16 @@ struct TapsConfig {
   /// rescan path, which implements it. `false` keeps the rescan
   /// (assign_rates_reference) as the oracle.
   bool event_driven_rates = true;
+  /// Hierarchical two-level admission: on pod topologies (Topology::pods()),
+  /// run a conservative pod-local feasibility precheck per arrival and
+  /// fast-reject tasks that are provably infeasible within their pod
+  /// budget/deadline window, skipping the trial replan entirely. The check
+  /// only fires when the reject is certain (reject-rule Rule 2 applies), so
+  /// committed decisions/schedules are bit-identical either way (pinned by
+  /// tests/core/taps_hierarchy_prop_test.cpp and the golden timelines);
+  /// `false` keeps the always-global pipeline as the oracle. Inert on
+  /// topologies without pod metadata.
+  bool hierarchical_precheck = true;
 };
 
 struct TapsCounters {
@@ -107,6 +118,18 @@ struct TapsCounters {
   /// sim::TimelineRecorder would record (docs/TIMELINE.md), counted whether
   /// or not one is attached — so sweep CSVs stay byte-identical either way.
   std::size_t slice_grants = 0;
+  /// Hierarchical admission (TapsConfig::hierarchical_precheck): tasks
+  /// rejected by the pod-local precheck without touching the global planner.
+  std::size_t pod_fast_rejects = 0;
+  /// Wave flows that passed the precheck with both endpoints in one pod —
+  /// their candidate paths (and hence plan_one_flow's occupancy probes) are
+  /// confined to that pod's link subset.
+  std::size_t pod_local_plans = 0;
+  /// Cross-pod committed flows registered against a pod-uplink budget.
+  std::size_t budget_reservations = 0;
+  /// Arrivals that passed (or skipped) the pod-local precheck and fell
+  /// through to the global planning path while the precheck was armed.
+  std::size_t global_fallbacks = 0;
 };
 
 class TapsScheduler : public sched::BaseScheduler {
@@ -131,6 +154,15 @@ class TapsScheduler : public sched::BaseScheduler {
   /// committed state is mode-independent (schedules are bit-identical), so
   /// A/B measurements can warm up one instance and time both modes on it.
   void set_incremental_replan(bool on) { config_.incremental_replan = on; }
+
+  /// Bench/test hook: flip the hierarchical precheck on a live scheduler.
+  /// The pod index is maintained regardless of the flag (commit-time upkeep
+  /// is O(newly committed flows)), so toggling mid-run behaves exactly like
+  /// having run with that setting from the start.
+  void set_hierarchical_precheck(bool on) { config_.hierarchical_precheck = on; }
+
+  /// Pod-admission index (hierarchical precheck state), for tests.
+  [[nodiscard]] const PodAdmissionIndex& pod_index() const { return pod_index_; }
 
   /// Move the committed scheduler state onto `fresh`, a re-registration of
   /// the current network's unfinished tasks (same flow states/remaining
@@ -171,6 +203,12 @@ class TapsScheduler : public sched::BaseScheduler {
                                      std::size_t sorted_prefix);
   void commit(PlanAttempt&& attempt, double now);
   void admit(net::TaskId id, const std::vector<net::FlowId>& wave, double now);
+
+  /// Hierarchical fast-reject: reject `id` without a trial replan (its
+  /// infeasibility was proven pod-locally), then run the same compacting
+  /// replan of the incumbents the normal reject tail runs, in the active
+  /// mode — committed state stays bit-identical to the full pipeline.
+  void fast_reject(net::TaskId id, double now);
 
   /// Sort `order` EDF+SJF. The first `sorted_prefix` entries are known to be
   /// in committed order (modulo remaining-size drift on deadline ties, which
@@ -252,6 +290,7 @@ class TapsScheduler : public sched::BaseScheduler {
   PlanScratch plan_scratch_;               // per-flow candidate-path cache
   std::vector<OccupancyMap> occ_pool_;     // retired trial maps, capacity kept
   TapsCounters counters_;
+  PodAdmissionIndex pod_index_;            // hierarchical-admission registries
 
   // Incremental-session state (meaningful only within one arrival, except
   // committed_remaining_ / cross_arrival_valid_ which persist across

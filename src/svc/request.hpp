@@ -42,8 +42,9 @@ enum class Reason : std::uint8_t {
   /// The TAPS reject rule declined the task (infeasible, not worth a
   /// preemption) — the only reason that involves running the planner.
   kPlannerReject,
-  /// Endpoints span multiple pods while the service runs sharded; see
-  /// docs/CONTROLLER.md ("Sharding") for the single-shard fallback.
+  /// Endpoints span multiple pods while the service runs sharded with
+  /// cross-pod admission disabled; see docs/CONTROLLER.md ("Sharding")
+  /// for the single-shard fallback.
   kCrossShard,
   kMalformed,
   /// Arrival time earlier than an already-enqueued arrival.
@@ -56,6 +57,10 @@ enum class Reason : std::uint8_t {
   kAbandoned,
   /// Service stopping; the request was flushed unprocessed.
   kShutdown,
+  /// Cross-pod task declined before planning: the budgeted share of some
+  /// endpoint pod's aggregate uplink time for its deadline window is
+  /// already reserved (see docs/CONTROLLER.md, "Cross-pod admission").
+  kBudgetExhausted,
 };
 
 [[nodiscard]] inline const char* to_string(Reason r) {
@@ -69,6 +74,7 @@ enum class Reason : std::uint8_t {
     case Reason::kQueueFull: return "queue-full";
     case Reason::kAbandoned: return "abandoned";
     case Reason::kShutdown: return "shutdown";
+    case Reason::kBudgetExhausted: return "budget-exhausted";
   }
   return "?";
 }

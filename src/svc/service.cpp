@@ -36,16 +36,62 @@ AdmissionService::AdmissionService(const topo::Topology& topology, const Service
             : 0;
     node_shard_[static_cast<std::size_t>(host)] = static_cast<int>(shard);
   }
-  shards_.reserve(config_.shards);
+  const topo::PodMap* pods = topo_->pods();
+  const bool global_domain = config_.shards > 1 && config_.cross_pod && pods != nullptr;
+  shards_.reserve(config_.shards + (global_domain ? 1 : 0));
   for (std::size_t i = 0; i < config_.shards; ++i) {
     shards_.push_back(std::make_unique<Shard>(topology, config_.shard));
+  }
+  if (global_domain) {
+    // The global cross-pod domain: a full-topology shard that commits the
+    // spanning tasks the pod shards cannot plan. Budgeted reservations
+    // (reserve_cross_pod) bound how much pod-uplink time it may promise.
+    global_shard_ = static_cast<int>(shards_.size());
+    shards_.push_back(std::make_unique<Shard>(topology, config_.shard));
+    pod_reserved_.resize(static_cast<std::size_t>(pods->pod_count()));
   }
 }
 
 AdmissionService::~AdmissionService() { stop(); }
 
+bool AdmissionService::reserve_cross_pod(const TaskRequest& request) {
+  const topo::PodMap& pods = *topo_->pods();
+  const double window = config_.cross_pod_window;
+  const auto bucket = static_cast<std::int64_t>(request.deadline / window);
+  // Expire windows that ended before this arrival. Arrivals at this point
+  // are non-decreasing (kOutOfOrder already filtered), so expiry — like the
+  // reservations themselves — is a pure function of the submission order.
+  for (auto& reserved : pod_reserved_) {
+    auto it = reserved.begin();
+    while (it != reserved.end() &&
+           static_cast<double>(it->first + 1) * window <= request.arrival) {
+      it = reserved.erase(it);
+    }
+  }
+  // Seconds of aggregate pod uplink time each endpoint pod must promise.
+  std::map<int, double> need;
+  for (const FlowRequest& f : request.flows) {
+    const int ps = pods.pod_of(f.src);
+    const int pd = pods.pod_of(f.dst);
+    if (ps == pd) continue;  // intra-pod flow of a spanning task
+    need[ps] += f.size / pods.pod(ps).uplink_capacity;
+    need[pd] += f.size / pods.pod(pd).uplink_capacity;
+  }
+  const double budget = config_.cross_pod_budget * window;
+  for (const auto& [pod, n] : need) {
+    const auto& reserved = pod_reserved_[static_cast<std::size_t>(pod)];
+    const auto it = reserved.find(bucket);
+    const double used = it == reserved.end() ? 0.0 : it->second;
+    if (used + n > budget) return false;
+  }
+  for (const auto& [pod, n] : need) {
+    pod_reserved_[static_cast<std::size_t>(pod)][bucket] += n;
+  }
+  return true;
+}
+
 std::size_t AdmissionService::classify(const TaskRequest& request,
-                                       std::optional<Reason>& reject) const {
+                                       std::optional<Reason>& reject) {
   if (stopping_) {
     reject = Reason::kShutdown;
     return 0;
@@ -67,12 +113,17 @@ std::size_t AdmissionService::classify(const TaskRequest& request,
     return 0;
   }
   const int shard = node_shard_[static_cast<std::size_t>(request.flows.front().src)];
+  bool spanning = false;
   for (const FlowRequest& f : request.flows) {
     if (node_shard_[static_cast<std::size_t>(f.src)] != shard ||
         node_shard_[static_cast<std::size_t>(f.dst)] != shard) {
-      reject = Reason::kCrossShard;
-      return 0;
+      spanning = true;
+      break;
     }
+  }
+  if (spanning && global_shard_ < 0) {
+    reject = Reason::kCrossShard;
+    return 0;
   }
   if (request.arrival < last_arrival_) {
     reject = Reason::kOutOfOrder;
@@ -85,6 +136,16 @@ std::size_t AdmissionService::classify(const TaskRequest& request,
   if (queue_.size() >= config_.queue_capacity) {
     reject = Reason::kQueueFull;
     return 0;
+  }
+  if (spanning) {
+    // Last check, so only requests that will actually enqueue can consume
+    // budget (a queue-full or duplicate reject must not burn reservations).
+    if (!reserve_cross_pod(request)) {
+      reject = Reason::kBudgetExhausted;
+      return 0;
+    }
+    ++counters_.cross_pod_enqueued;
+    return static_cast<std::size_t>(global_shard_);
   }
   return static_cast<std::size_t>(shard);
 }

@@ -1,7 +1,10 @@
 // The standalone TAPS admission controller: an in-process service that
 // accepts task-arrival requests through a bounded queue, batches
 // near-simultaneous arrivals, and fans each batch out over pod-sharded
-// admission domains (svc::Shard) on a thread pool.
+// admission domains (svc::Shard) on a thread pool. Sharded services admit
+// pod-spanning tasks hierarchically: a budgeted pod-uplink reservation under
+// the service lock (local reserve), then planning on a dedicated
+// global-domain shard (global commit) — see docs/CONTROLLER.md.
 //
 // Concurrency model (see docs/CONTROLLER.md):
 //   - submit()/abandon()/take_responses()/stats() are thread-safe; all
@@ -27,6 +30,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <memory>
 #include <set>
 #include <thread>
@@ -39,17 +43,31 @@
 
 namespace taps::svc {
 
-inline constexpr std::size_t kReasonCount = 9;
+inline constexpr std::size_t kReasonCount = 10;
 /// Batch-size histogram buckets: bucket b counts batches of size in
 /// [2^b, 2^(b+1)).
 inline constexpr std::size_t kBatchHistBuckets = 16;
 
 struct ServiceConfig {
   /// Admission domains. 1 = the paper's global controller (any topology);
-  /// >1 requires a fat-tree and maps pod p to shard p % shards — tasks
-  /// whose endpoints span pods are rejected kCrossShard (the hierarchical
-  /// cross-pod path is future work, see ROADMAP).
+  /// >1 requires a fat-tree and maps pod p to shard p % shards. Tasks whose
+  /// endpoints span pods take the hierarchical cross-pod path (below) or,
+  /// with cross_pod disabled, are rejected kCrossShard.
   std::size_t shards = 1;
+  /// Hierarchical cross-pod admission (sharded services only): spanning
+  /// tasks reserve budgeted pod-uplink time under the service lock in
+  /// submission order (local reserve), then commit on a dedicated
+  /// global-domain shard alongside the pod shards (global commit).
+  /// Unsharded services need no budget — every task already plans against
+  /// full topology state (the single-shard fallback).
+  bool cross_pod = true;
+  /// Fraction of a pod's aggregate uplink time a deadline window's cross-pod
+  /// reservations may claim before kBudgetExhausted. Reservations are made
+  /// in submission order and expire with their window, never on planner
+  /// reject — decisions stay independent of batch boundaries and threading.
+  double cross_pod_budget = 0.5;
+  /// Width (seconds) of one cross-pod reservation window.
+  double cross_pod_window = 1.0;
   /// Worker threads for fanning a batch out over shards (0 = process shard
   /// groups inline on the dispatching thread).
   std::size_t threads = 0;
@@ -63,7 +81,8 @@ struct ServiceConfig {
 
 struct ServiceStats {
   std::size_t submitted = 0;
-  std::size_t enqueued = 0;  // passed validation, entered the queue
+  std::size_t enqueued = 0;           // passed validation, entered the queue
+  std::size_t cross_pod_enqueued = 0; // spanning tasks routed to the global domain
   std::size_t responses = 0;
   std::size_t accepted = 0;
   std::size_t preemptions = 0;
@@ -122,6 +141,12 @@ class AdmissionService {
 
   [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
   [[nodiscard]] const Shard& shard(std::size_t i) const { return *shards_[i]; }
+  /// True when spanning tasks are admitted on a dedicated global domain
+  /// (sharded service with cross_pod on). That domain is the last shard.
+  [[nodiscard]] bool has_global_domain() const { return global_shard_ >= 0; }
+  [[nodiscard]] std::size_t global_domain() const {
+    return static_cast<std::size_t>(global_shard_);
+  }
   /// Attach a decision observer to shard `i`'s scheduler (quiescent-only;
   /// see Shard::set_schedule_observer for the purity and id-space notes).
   void set_shard_schedule_observer(std::size_t i, sched::ScheduleObserver* observer) {
@@ -144,10 +169,14 @@ class AdmissionService {
   /// Drain and process one batch; returns false when the queue was empty.
   bool process_next_batch();
   /// Validation + shard classification; returns the target shard or, via
-  /// `reject`, the immediate-reject reason.
+  /// `reject`, the immediate-reject reason. Commits cross-pod budget
+  /// reservations (hence non-const): called under mu_ in submission order,
+  /// so reservation state is a pure function of the submitted sequence.
   [[nodiscard]] std::size_t classify(const TaskRequest& request,
-                                     std::optional<Reason>& reject) const
-      TAPS_REQUIRES(mu_);
+                                     std::optional<Reason>& reject) TAPS_REQUIRES(mu_);
+  /// Reserve budgeted pod-uplink time for a spanning task; false when some
+  /// endpoint pod's window budget cannot cover it (nothing is committed).
+  [[nodiscard]] bool reserve_cross_pod(const TaskRequest& request) TAPS_REQUIRES(mu_);
   void push_response(TaskResponse&& resp) TAPS_REQUIRES(mu_);
 
   const topo::Topology* topo_;
@@ -155,6 +184,11 @@ class AdmissionService {
   std::vector<std::unique_ptr<Shard>> shards_;
   /// NodeId -> owning shard, -1 for non-host nodes (malformed endpoints).
   std::vector<int> node_shard_;
+  /// Index of the global cross-pod domain in shards_, -1 when disabled.
+  int global_shard_ = -1;
+  /// Per-pod cross-pod reservations: deadline window -> seconds of the
+  /// pod's aggregate uplink time already promised to spanning tasks.
+  std::vector<std::map<std::int64_t, double>> pod_reserved_ TAPS_GUARDED_BY(mu_);
 
   mutable util::Mutex mu_;
   util::CondVar work_cv_;

@@ -1,8 +1,10 @@
 // One admission domain of the controller service: a Network + TapsScheduler
 // pair driven in virtual time by its request stream. The pod-sharded service
-// (svc::AdmissionService) owns several shards over the same topology; every
-// shard only ever plans flows whose candidate paths stay inside its own pod's
-// links, so disjoint shards share no mutable state and admit concurrently.
+// (svc::AdmissionService) owns several shards over the same topology; a pod
+// shard only ever plans flows whose candidate paths stay inside its own
+// pod's links, and the optional global domain plans the pod-spanning tasks
+// under the service's cross-pod budget. Shards share no mutable state
+// (each owns its Network), so they admit concurrently without locks.
 //
 // A shard is single-threaded by construction — the service guarantees at
 // most one thread is inside process() at a time (one batch in flight, each

@@ -42,6 +42,22 @@ FatTree::FatTree(const FatTreeConfig& config) : k_(config.k), half_(config.k / 2
     }
   }
   assert(hosts_.size() == static_cast<std::size_t>(k_) * half_ * half_);
+
+  // Pod metadata for hierarchical admission: cores belong to no pod; every
+  // agg/edge/host node carries its construction pod.
+  std::vector<int> pod_of_node(graph_.node_count(), kNoPod);
+  for (int p = 0; p < k_; ++p) {
+    for (int i = 0; i < half_; ++i) {
+      const auto slot = static_cast<std::size_t>(p) * half_ + static_cast<std::size_t>(i);
+      pod_of_node[static_cast<std::size_t>(aggs_[slot])] = p;
+      pod_of_node[static_cast<std::size_t>(edges_[slot])] = p;
+    }
+  }
+  for (std::size_t h = 0; h < hosts_.size(); ++h) {
+    pod_of_node[static_cast<std::size_t>(hosts_[h])] =
+        static_cast<int>(h / (static_cast<std::size_t>(half_) * half_));
+  }
+  pod_map_ = std::make_unique<PodMap>(graph_, std::move(pod_of_node), k_);
 }
 
 int FatTree::pod_of_host(NodeId host) const {

@@ -14,6 +14,8 @@
 // Paths are constructed analytically (no graph search).
 #pragma once
 
+#include <memory>
+
 #include "topo/paths.hpp"
 
 namespace taps::topo {
@@ -35,6 +37,7 @@ class FatTree final : public Topology {
   [[nodiscard]] std::vector<Path> paths(NodeId src, NodeId dst,
                                         std::size_t max_paths) const override;
   [[nodiscard]] std::string name() const override { return "fat-tree"; }
+  [[nodiscard]] const PodMap* pods() const override { return pod_map_.get(); }
 
   [[nodiscard]] int k() const { return k_; }
   [[nodiscard]] int pod_of_host(NodeId host) const;
@@ -52,6 +55,7 @@ class FatTree final : public Topology {
   std::vector<NodeId> edges_;   // pod * half_ + e
   std::vector<NodeId> aggs_;    // pod * half_ + a
   std::vector<NodeId> cores_;   // a * half_ + c
+  std::unique_ptr<PodMap> pod_map_;
 };
 
 }  // namespace taps::topo

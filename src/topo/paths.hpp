@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "topo/graph.hpp"
+#include "topo/pods.hpp"
 
 namespace taps::topo {
 
@@ -22,6 +23,10 @@ class Topology {
   [[nodiscard]] const Graph& graph() const { return graph_; }
   [[nodiscard]] const std::vector<NodeId>& hosts() const { return hosts_; }
   [[nodiscard]] std::size_t host_count() const { return hosts_.size(); }
+
+  /// Pod metadata for hierarchical admission, or nullptr when the topology
+  /// has no pod structure (hierarchy-aware consumers then disable themselves).
+  [[nodiscard]] virtual const PodMap* pods() const { return nullptr; }
 
   /// Candidate routing paths from host `src` to host `dst` (src != dst),
   /// at most `max_paths` of them, in a deterministic order.

@@ -167,6 +167,55 @@ class RenderGanttTest(unittest.TestCase):
         result = run(a, b, "--out", self.dir / "x.svg")
         self.assertEqual(result.returncode, 2)
 
+    def test_pod_grouping_labels_each_pod_block(self):
+        # Fixture links 0,2,4 sit in pod 0 of a k=2 fat-tree (6 links per
+        # pod), links 7,9 in pod 1 — both separator bands must appear, rows
+        # ordered pod-major.
+        src = self.write_text()
+        out = self.dir / "pods.svg"
+        result = run(src, "--pods", 2, "--out", out)
+        self.assertEqual(result.returncode, 0, result.stderr)
+        svg = out.read_text(encoding="utf-8")
+        self.assertIn(">pod 0<", svg)
+        self.assertIn(">pod 1<", svg)
+        self.assertIn("grouped into 2 pods", svg)
+        self.assertLess(svg.index(">pod 0<"), svg.index(">pod 1<"))
+        # Ungrouped rendering is untouched: no pod bands without --pods.
+        self.assertEqual(run(src, "--out", self.dir / "plain.svg").returncode, 0)
+        self.assertNotIn("pod ", (self.dir / "plain.svg").read_text(encoding="utf-8"))
+
+    def test_pod_grouping_link_out_of_range_is_input_error(self):
+        src = self.write_text(
+            content=TEXT_TIMELINE.replace("links=4,0,9", "links=4,0,99")
+        )
+        result = run(src, "--pods", 2, "--out", self.dir / "x.svg")
+        self.assertEqual(result.returncode, 2)
+        self.assertIn("outside a k=2 fat-tree", result.stderr)
+
+    def test_pods_with_flow_rows_is_a_usage_error(self):
+        src = self.write_text()
+        result = run(src, "--pods", 2, "--rows", "flows")
+        self.assertEqual(result.returncode, 2)
+
+    def test_pods_must_be_a_valid_fattree_arity(self):
+        src = self.write_text()
+        result = run(src, "--pods", 3)
+        self.assertEqual(result.returncode, 2)
+
+    def test_fattree_link_pods_matches_topology_block_sizes(self):
+        sys.path.insert(0, str(SCRIPT.parent))
+        try:
+            from render_gantt import fattree_link_pods
+        finally:
+            sys.path.pop(0)
+        # k=4: 4 pods x (2*2*2 agg<->core + 2*(2*2 edge<->agg + 2*2
+        # host<->edge)) = 24 links each, 96 total.
+        pods = fattree_link_pods(4)
+        self.assertEqual(len(pods), 96)
+        for p in range(4):
+            self.assertEqual(pods.count(p), 24)
+        self.assertEqual(pods, sorted(pods))
+
     def test_rejects_garbage_input(self):
         src = self.dir / "junk"
         src.write_bytes(b"\x00\x01garbage not a timeline")

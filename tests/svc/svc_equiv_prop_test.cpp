@@ -72,9 +72,12 @@ OracleRun run_oracle(const topo::FatTree& ft, const std::vector<svc::TaskRequest
   config.compact_interval = 0;
   config.taps.incremental_replan = false;
   config.taps.trim_interval = 0;
+  // Sharded services also carry the (here idle) global cross-pod domain;
+  // mirror the layout so fingerprint vectors compare index for index.
+  const std::size_t domain_count = shards > 1 ? shards + 1 : shards;
   std::vector<std::unique_ptr<svc::Shard>> domains;
-  domains.reserve(shards);
-  for (std::size_t s = 0; s < shards; ++s) {
+  domains.reserve(domain_count);
+  for (std::size_t s = 0; s < domain_count; ++s) {
     domains.push_back(std::make_unique<svc::Shard>(ft, config));
   }
   OracleRun run;

@@ -145,7 +145,7 @@ TEST(SvcService, MatchesFluidSimulatorVerdicts) {
   EXPECT_EQ(service.stats().accepted, sched.counters().tasks_accepted);
 }
 
-TEST(SvcService, ShardedServiceClassifiesCrossPodTasks) {
+TEST(SvcService, ShardedServiceAdmitsCrossPodTasksOnGlobalDomain) {
   topo::FatTree ft(topo::FatTreeConfig{4, kPow2Capacity});
   const svc::TaskRequest cross =
       task_req(0.0, 1.0, {flow_req(ft.host(0, 0, 0), ft.host(1, 0, 0), 1000.0)});
@@ -156,6 +156,8 @@ TEST(SvcService, ShardedServiceClassifiesCrossPodTasks) {
   sharded.shards = 4;
   {
     AdmissionService service(ft, sharded);
+    ASSERT_TRUE(service.has_global_domain());
+    EXPECT_EQ(service.shard_count(), 5u);
     (void)service.submit(cross);
     (void)service.submit(local);
     service.pump();
@@ -163,12 +165,33 @@ TEST(SvcService, ShardedServiceClassifiesCrossPodTasks) {
     std::sort(responses.begin(), responses.end(),
               [](const TaskResponse& a, const TaskResponse& b) { return a.seq < b.seq; });
     ASSERT_EQ(responses.size(), 2u);
-    EXPECT_EQ(responses[0].reason, Reason::kCrossShard);
+    EXPECT_TRUE(responses[0].accepted());
+    ASSERT_EQ(responses[0].grants.size(), 1u);
     EXPECT_TRUE(responses[1].accepted());
+    // The spanning task committed on the global domain, the pod-local one on
+    // its pod shard.
+    EXPECT_EQ(service.shard(service.global_domain()).stats().accepted, 1u);
+    EXPECT_EQ(service.stats().cross_pod_enqueued, 1u);
+    EXPECT_EQ(service.audit(), std::nullopt);
+  }
+  {
+    // Legacy classification: with cross-pod admission off, spanning tasks
+    // are still rejected kCrossShard.
+    ServiceConfig legacy = sharded;
+    legacy.cross_pod = false;
+    AdmissionService service(ft, legacy);
+    EXPECT_FALSE(service.has_global_domain());
+    EXPECT_EQ(service.shard_count(), 4u);
+    (void)service.submit(cross);
+    service.pump();
+    const auto responses = service.take_responses();
+    ASSERT_EQ(responses.size(), 1u);
+    EXPECT_EQ(responses[0].reason, Reason::kCrossShard);
   }
   {
     // The single-shard (global) service admits the same cross-pod task.
     AdmissionService service(ft, ServiceConfig{});
+    EXPECT_FALSE(service.has_global_domain());
     (void)service.submit(cross);
     service.pump();
     const auto responses = service.take_responses();

@@ -137,5 +137,63 @@ TEST(SvcStress, ShutdownRacingProducersLosesNoRequest) {
   EXPECT_EQ(service.audit(), std::nullopt);
 }
 
+TEST(SvcStress, CrossPodReserveCommitStorm) {
+  // Producers race the cross-pod reserve path (budget bookkeeping under the
+  // service lock) against parallel commits on pod shards AND the global
+  // domain. Every request gets exactly one response with a cross-pod-era
+  // reason, and the committed state audits clean.
+  const topo::FatTree ft(topo::FatTreeConfig{4, kPow2Capacity});
+  constexpr std::size_t kProducers = 6;
+  constexpr std::size_t kPerProducer = 100;
+  ServiceConfig config;
+  config.shards = 4;
+  config.threads = 4;
+  config.max_batch = 16;
+  config.queue_capacity = kProducers * kPerProducer + 1;
+  config.cross_pod_budget = 0.05;  // tight: budget rejects happen under load
+  AdmissionService service(ft, config);
+  ASSERT_TRUE(service.has_global_domain());
+  service.start();
+
+  std::vector<std::thread> producers;
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      util::Rng rng(4200 + p);
+      const int half = ft.k() / 2;
+      for (std::size_t i = 0; i < kPerProducer; ++i) {
+        const int src_pod = static_cast<int>(rng.uniform_int(0, ft.k() - 1));
+        int dst_pod = src_pod;
+        if (rng.bernoulli(0.4)) {
+          dst_pod = static_cast<int>(rng.uniform_int(0, ft.k() - 1));
+        }
+        const topo::NodeId src = ft.host(src_pod, 0, static_cast<int>(rng.uniform_int(0, half - 1)));
+        topo::NodeId dst = src;
+        while (dst == src) {
+          dst = ft.host(dst_pod, 1, static_cast<int>(rng.uniform_int(0, half - 1)));
+        }
+        const double transfer = rng.uniform_real(0.001, 0.01);
+        (void)service.submit(task_req(0.0, rng.uniform_real(0.5, 2.0),
+                                      {flow_req(src, dst, transfer * kPow2Capacity)}));
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  service.wait_idle();
+  service.stop();
+
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.submitted, kProducers * kPerProducer);
+  EXPECT_EQ(stats.responses, stats.submitted);
+  EXPECT_EQ(stats.by_reason[static_cast<std::size_t>(Reason::kCrossShard)], 0u);
+  const auto responses = service.take_responses();
+  EXPECT_EQ(responses.size(), stats.submitted);
+  for (const svc::TaskResponse& r : responses) {
+    EXPECT_TRUE(r.reason == Reason::kAccepted || r.reason == Reason::kPlannerReject ||
+                r.reason == Reason::kBudgetExhausted)
+        << svc::to_string(r.reason);
+  }
+  EXPECT_EQ(service.audit(), std::nullopt);
+}
+
 }  // namespace
 }  // namespace taps::test
