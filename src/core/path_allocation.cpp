@@ -28,12 +28,13 @@ std::vector<topo::Path> compute_candidates(const net::Network& net, const Flow& 
 }
 
 const std::vector<topo::Path>& candidate_paths(const net::Network& net, const Flow& f,
-                                               const PlanConfig& config,
-                                               PlanScratch* scratch) {
+                                               const PlanConfig& config, PlanScratch* scratch,
+                                               std::vector<topo::Path>& fallback) {
   if (scratch == nullptr) {
-    thread_local std::vector<topo::Path> local;
-    local = compute_candidates(net, f, config);
-    return local;
+    // Scratch-less callers (tests, one-off plans) pay a per-call compute
+    // into their stack-owned buffer; the scheduler always passes scratch.
+    fallback = compute_candidates(net, f, config);
+    return fallback;
   }
   const auto idx = static_cast<std::size_t>(f.id());
   if (scratch->candidates.size() <= idx) scratch->candidates.resize(net.flows().size());
@@ -50,7 +51,11 @@ FlowPlan plan_one_flow(const net::Network& net, const OccupancyMap& occupancy, F
   FlowPlan plan;
   plan.flow = fid;
 
-  const std::vector<topo::Path>& candidates = candidate_paths(net, f, config, scratch);
+  std::vector<topo::Path> fallback_candidates;
+  const std::vector<topo::Path>& candidates =
+      candidate_paths(net, f, config, scratch, fallback_candidates);
+  PlanScratch local_scratch;
+  PlanScratch& sc = scratch != nullptr ? *scratch : local_scratch;
   double best_completion = sim::kInfinity;
   for (const topo::Path& p : candidates) {
     // The paper assumes uniform link bandwidth; transfer time is computed at
@@ -97,10 +102,10 @@ FlowPlan plan_one_flow(const net::Network& net, const OccupancyMap& occupancy, F
     // the plan is identical to evaluating every candidate in full. The trial
     // set is swapped in on improvement and recycled otherwise, keeping the
     // candidate race free of steady-state allocations.
-    thread_local util::IntervalSet trial;
+    util::IntervalSet& trial = sc.trial;
     double completion = 0.0;
     if (allocate_time_into(occupancy, p, now, duration, horizon, best_completion, trial,
-                           completion)) {
+                           completion, &sc.time_alloc)) {
       best_completion = completion;
       plan.path = p;
       std::swap(plan.slices, trial);

@@ -15,6 +15,7 @@
 
 namespace taps::core {
 
+// taps-threading: thread-compatible
 struct PlanConfig {
   /// Cap on candidate paths per flow (see DESIGN.md on fat-tree path counts).
   std::size_t max_paths = 16;
@@ -42,15 +43,25 @@ struct PlanConfig {
 /// flow's immutable (src, dst) and the fixed PlanConfig, yet Topology::paths
 /// re-enumerates them on every call — which the old replan loop did for
 /// every flow on every arrival. Keeping the scratch alive across replans
-/// caches each flow's candidate list after its first planning.
+/// caches each flow's candidate list after its first planning. Also carries
+/// the candidate race's trial slice set and the allocator merge buffers, so
+/// a planning domain's entire scratch travels in one object (no hidden
+/// `thread_local` state — the concurrency linter bans it).
+// taps-threading: single-domain -- one instance per planning domain.
 struct PlanScratch {
   /// Indexed by FlowId; an empty inner vector means "not yet computed"
   /// (paths() never legitimately returns zero candidates).
   std::vector<std::vector<topo::Path>> candidates;
+  /// Trial slice set for the candidate-path race (swapped into the winning
+  /// plan and recycled otherwise).
+  util::IntervalSet trial;
+  /// allocate_time_into's restricted-range and union-merge buffers.
+  TimeAllocScratch time_alloc;
 
   void clear() { candidates.clear(); }
 };
 
+// taps-threading: thread-compatible
 struct FlowPlan {
   net::FlowId flow = net::kInvalidFlow;
   topo::Path path;

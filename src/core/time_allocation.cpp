@@ -18,13 +18,7 @@ TimeAllocation allocate_time_reference(const OccupancyMap& occupancy, const topo
 
 namespace {
 
-/// One link's busy intervals restricted to the window that can matter.
-struct Range {
-  const util::Interval* first;
-  const util::Interval* last;
-
-  [[nodiscard]] std::size_t size() const { return static_cast<std::size_t>(last - first); }
-};
+using Range = TimeAllocScratch::Range;
 
 /// Two-pointer union merge with IntervalSet::unite's exact coalescing rule
 /// (iv.lo <= back.hi extends the back interval), writing into a reused
@@ -74,12 +68,17 @@ void merge_union(const util::Interval* a, const util::Interval* ae, const util::
 // path_union pays, and the abort stops losing candidates early.
 bool allocate_time_into(const OccupancyMap& occupancy, const topo::Path& path, double now,
                         double duration, double horizon, double completion_bound,
-                        util::IntervalSet& slices, double& completion) {
+                        util::IntervalSet& slices, double& completion,
+                        TimeAllocScratch* scratch) {
   slices.clear();
   if (duration <= 0.0 || horizon <= now) return false;
   const double stop = std::min(completion_bound, horizon);
 
-  thread_local std::vector<Range> ranges;  // reused scratch, no steady-state allocs
+  // Hot callers (the planner) pass persistent scratch so the buffers are
+  // allocation-free in steady state; scratch-less calls pay a local one.
+  TimeAllocScratch local_scratch;
+  TimeAllocScratch& sc = scratch != nullptr ? *scratch : local_scratch;
+  std::vector<Range>& ranges = sc.ranges;
   ranges.clear();
   for (const topo::LinkId lid : path.links) {
     const auto& ivs = occupancy.link(lid).intervals();
@@ -96,7 +95,7 @@ bool allocate_time_into(const OccupancyMap& occupancy, const topo::Path& path, d
   // intermediate results stay as short as possible.
   std::sort(ranges.begin(), ranges.end(),
             [](const Range& a, const Range& b) { return a.size() < b.size(); });
-  thread_local std::vector<util::Interval> bufs[2];
+  std::vector<util::Interval>(&bufs)[2] = sc.bufs;
   const util::Interval* u = nullptr;
   const util::Interval* ue = nullptr;
   if (ranges.size() == 1) {

@@ -23,11 +23,31 @@
 
 namespace taps::core {
 
+// taps-threading: thread-compatible -- value result, owned by its caller.
 struct TimeAllocation {
   util::IntervalSet slices;  // empty when infeasible before `horizon`
   double completion = 0.0;   // end of last slice; meaningless when infeasible
 
   [[nodiscard]] bool feasible() const { return !slices.empty(); }
+};
+
+/// Caller-owned reusable buffers for allocate_time_into (the restricted
+/// per-link ranges and the two union-merge ping-pong buffers). Explicitly
+/// threaded through instead of hidden `thread_local` state so concurrent
+/// planners — the parallel per-pod advancement plan runs one per domain —
+/// each bring their own, with no cross-domain scratch in sight of the
+/// concurrency linter.
+// taps-threading: single-domain -- scratch owned by one planning domain.
+struct TimeAllocScratch {
+  struct Range {
+    const util::Interval* first = nullptr;
+    const util::Interval* last = nullptr;
+
+    [[nodiscard]] std::size_t size() const { return static_cast<std::size_t>(last - first); }
+  };
+
+  std::vector<Range> ranges;
+  std::vector<util::Interval> bufs[2];
 };
 
 /// Allocate `duration` seconds on `path` starting at `now`, finishing no
@@ -50,10 +70,12 @@ struct TimeAllocation {
 /// this 16x per flow and discards most results). Returns feasibility;
 /// `completion` is set only when feasible, and `slices` is left empty on
 /// infeasibility/abort. Same semantics as allocate_time otherwise.
+/// `scratch` (optional) reuses the merge buffers across calls; passing none
+/// costs a fresh allocation per call, which only the oracle/test paths do.
 [[nodiscard]] bool allocate_time_into(const OccupancyMap& occupancy, const topo::Path& path,
                                       double now, double duration, double horizon,
                                       double completion_bound, util::IntervalSet& slices,
-                                      double& completion);
+                                      double& completion, TimeAllocScratch* scratch = nullptr);
 
 /// Reference implementation (materialize T_ocp, then allocate_earliest).
 /// Bit-identical results to allocate_time; slower on fragmented occupancy.
