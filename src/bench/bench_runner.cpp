@@ -4,9 +4,9 @@
 #include <cstdio>
 #include <fstream>
 #include <stdexcept>
-#include <thread>
 
 #include "util/stats.hpp"
+#include "util/sync.hpp"
 
 namespace taps::bench {
 
@@ -99,7 +99,7 @@ void BenchRunner::add_metric(const std::string& name, double value) {
 
 Json capture_context() {
   Json ctx = Json::object();
-  ctx.set("hardware_concurrency", static_cast<std::size_t>(std::thread::hardware_concurrency()));
+  ctx.set("hardware_concurrency", util::hardware_concurrency());
 #if defined(__VERSION__)
   ctx.set("compiler", std::string(__VERSION__));
 #else

@@ -266,7 +266,7 @@ void AdmissionService::start() {
     started_ = true;
   }
   if (config_.threads > 0) pool_ = std::make_unique<util::ThreadPool>(config_.threads);
-  dispatcher_ = std::thread([this] { dispatcher_loop(); });
+  dispatcher_ = util::Thread([this] { dispatcher_loop(); });
 }
 
 void AdmissionService::stop() {

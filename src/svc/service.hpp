@@ -33,7 +33,6 @@
 #include <map>
 #include <memory>
 #include <set>
-#include <thread>
 #include <vector>
 
 #include "svc/shard.hpp"
@@ -48,6 +47,7 @@ inline constexpr std::size_t kReasonCount = 10;
 /// [2^b, 2^(b+1)).
 inline constexpr std::size_t kBatchHistBuckets = 16;
 
+// taps-threading: thread-compatible
 struct ServiceConfig {
   /// Admission domains. 1 = the paper's global controller (any topology);
   /// >1 requires a fat-tree and maps pod p to shard p % shards. Tasks whose
@@ -79,6 +79,7 @@ struct ServiceConfig {
   ShardConfig shard;
 };
 
+// taps-threading: thread-compatible
 struct ServiceStats {
   std::size_t submitted = 0;
   std::size_t enqueued = 0;           // passed validation, entered the queue
@@ -93,6 +94,7 @@ struct ServiceStats {
   std::array<std::size_t, kBatchHistBuckets> batch_hist{};
 };
 
+// taps-threading: guarded -- mu_ guards all mutable state; public API is thread-safe
 class AdmissionService {
  public:
   /// The topology must outlive the service. Throws std::invalid_argument
@@ -205,7 +207,7 @@ class AdmissionService {
   bool batch_in_flight_ TAPS_GUARDED_BY(mu_) = false;
   ServiceStats counters_ TAPS_GUARDED_BY(mu_);
 
-  std::thread dispatcher_;
+  util::Thread dispatcher_;
   std::unique_ptr<util::ThreadPool> pool_;
 };
 

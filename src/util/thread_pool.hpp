@@ -7,7 +7,6 @@
 #include <functional>
 #include <future>
 #include <stdexcept>
-#include <thread>
 #include <vector>
 
 #include "util/annotations.hpp"
@@ -48,7 +47,7 @@ class ThreadPool {
  private:
   void worker_loop();
 
-  std::vector<std::thread> workers_;
+  std::vector<Thread> workers_;
   Mutex mutex_;
   CondVar cv_;
   std::deque<std::function<void()>> queue_ TAPS_GUARDED_BY(mutex_);
