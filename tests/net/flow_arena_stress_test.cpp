@@ -1,0 +1,92 @@
+// Grow-while-read stress for FlowStateArena, built to run under
+// ThreadSanitizer (ctest label `tsan`): one owner thread keeps pushing slots
+// — growing chunks and periodically doubling/republishing the chunk pointer
+// table — while reader threads concurrently resolve random already-published
+// slots through size()'s acquire. Pins the arena's cross-domain contract
+// (src/net/flow_arena.hpp header comment): a slot index below an observed
+// size() is always safe to read, even mid-growth, because chunks never move
+// and superseded tables are retained.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "net/flow_arena.hpp"
+
+namespace taps::net {
+namespace {
+
+// Enough slots to force several pointer-table doublings (initial capacity 8
+// chunks): 24 chunks -> table republished at 8 and 16 chunks.
+constexpr std::size_t kSlots = 24 * FlowStateArena::kChunkSize;
+constexpr std::size_t kReaders = 4;
+constexpr std::size_t kReadsPerReader = 200000;
+
+/// The value push() seeds slot i with, so readers can verify content, not
+/// just the absence of TSan reports.
+double expected_remaining(std::size_t i) { return static_cast<double>(i) + 1.0; }
+
+TEST(FlowArenaStress, ReadersRaceTableGrowthWithoutTearing) {
+  FlowStateArena arena;
+
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (std::size_t r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&arena, r] {
+      // Cheap xorshift so readers hit random slots (and thus random chunks /
+      // table entries) rather than marching in the writer's footsteps.
+      std::uint64_t x = 0x9e3779b97f4a7c15ULL + r;
+      std::size_t bad = 0;
+      for (std::size_t n = 0; n < kReadsPerReader; ++n) {
+        const std::size_t published = arena.size();  // acquire
+        if (published == 0) continue;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        const std::size_t i = static_cast<std::size_t>(x % published);
+        const FlowStateArena& ro = arena;
+        if (ro.remaining(i) != expected_remaining(i)) ++bad;
+        if (ro.state(i) != FlowState::kPending) ++bad;
+        if (ro.bytes_sent(i) != 0.0) ++bad;
+      }
+      // Aggregated so the hot loop stays assertion-free under TSan.
+      EXPECT_EQ(bad, 0u);
+    });
+  }
+
+  for (std::size_t i = 0; i < kSlots; ++i) {
+    ASSERT_EQ(arena.push(expected_remaining(i)), i);
+  }
+  for (std::thread& t : readers) t.join();
+
+  // Post-join sanity: the final table resolves every slot.
+  ASSERT_EQ(arena.size(), kSlots);
+  for (std::size_t i = 0; i < kSlots; i += FlowStateArena::kChunkSize / 3) {
+    EXPECT_EQ(arena.remaining(i), expected_remaining(i));
+  }
+}
+
+TEST(FlowArenaStress, SizeIsMonotoneAcrossThreads) {
+  FlowStateArena arena;
+  std::vector<std::thread> readers;
+  for (std::size_t r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&arena] {
+      std::size_t last = 0;
+      std::size_t regressions = 0;
+      for (std::size_t n = 0; n < kReadsPerReader; ++n) {
+        const std::size_t s = arena.size();
+        if (s < last) ++regressions;
+        last = s;
+      }
+      EXPECT_EQ(regressions, 0u);
+    });
+  }
+  for (std::size_t i = 0; i < kSlots; ++i) arena.push(expected_remaining(i));
+  for (std::thread& t : readers) t.join();
+  EXPECT_EQ(arena.size(), kSlots);
+}
+
+}  // namespace
+}  // namespace taps::net
