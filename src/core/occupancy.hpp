@@ -25,6 +25,7 @@ namespace taps::core {
 /// the journal's (records, arena) watermark, so taking one is O(1) and
 /// rolling back costs O(mutations since the checkpoint) — the mechanism
 /// behind TapsScheduler's incremental replanning (see DESIGN.md).
+// taps-threading: single-domain -- owned by its OccupancyMap's domain
 struct OccupancyJournal {
   struct Record {
     topo::LinkId link = 0;
@@ -44,11 +45,13 @@ struct OccupancyJournal {
 /// Watermark into an OccupancyJournal: everything logged after it can be
 /// rolled back. Checkpoints taken on the same journal are totally ordered;
 /// rollback to an older checkpoint implicitly discards newer ones.
+// taps-threading: single-domain -- snapshot taken and restored by one domain
 struct OccupancyCheckpoint {
   std::size_t records = 0;
   std::size_t arena = 0;
 };
 
+// taps-threading: single-domain -- mutable hint/prefix caches make even const reads unsafe to share
 class OccupancyMap {
  public:
   explicit OccupancyMap(std::size_t link_count)

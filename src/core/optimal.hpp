@@ -15,16 +15,19 @@
 namespace taps::core {
 
 /// One flow on the shared link, in transfer-time units.
+// taps-threading: thread-compatible
 struct SlFlow {
   double release = 0.0;   // earliest start time
   double deadline = 0.0;  // absolute
   double duration = 0.0;  // seconds of exclusive link time needed
 };
 
+// taps-threading: thread-compatible
 struct SlTask {
   std::vector<SlFlow> flows;
 };
 
+// taps-threading: thread-compatible
 struct OptimalResult {
   std::size_t tasks_completed = 0;
   std::vector<std::size_t> accepted;  // indices of accepted tasks

@@ -40,11 +40,13 @@ namespace taps::core {
 /// within a window (mass is added at first commit of a flow and released
 /// only when the window falls entirely into the past), so a zero reading is
 /// a certain "nothing relevant committed here" — the precheck's early-out.
+// taps-threading: thread-compatible
 struct PodBusySummary {
   double total_mass = 0.0;                      // live (unpruned) seconds
   std::map<std::int64_t, double> window_mass;   // window index -> seconds
 };
 
+// taps-threading: single-domain -- reserve/commit mutate per-pod state owned by the admission domain
 class PodAdmissionIndex {
  public:
   /// Width of a deadline window in the per-pod summary, seconds.

@@ -32,6 +32,7 @@ enum class Decision { kAccept, kRejectNew, kPreemptVictim };
 ///                  supports task preemption". Compared in bench_ablation.
 enum class PreemptPolicy { kProgress, kSchedulable };
 
+// taps-threading: thread-compatible
 struct RejectOutcome {
   Decision decision = Decision::kAccept;
   net::TaskId victim = net::kInvalidTask;  // set when decision == kPreemptVictim

@@ -21,6 +21,7 @@
 
 namespace taps::core {
 
+// taps-threading: thread-compatible
 struct TapsConfig {
   /// Candidate-path budget per flow for Algorithm 2.
   std::size_t max_paths = 16;
@@ -77,6 +78,7 @@ struct TapsConfig {
   bool hierarchical_precheck = true;
 };
 
+// taps-threading: thread-compatible
 struct TapsCounters {
   std::size_t tasks_accepted = 0;
   std::size_t tasks_rejected = 0;
@@ -132,6 +134,7 @@ struct TapsCounters {
   std::size_t global_fallbacks = 0;
 };
 
+// taps-threading: single-domain -- scheduler state advances under one simulation domain
 class TapsScheduler : public sched::BaseScheduler {
  public:
   explicit TapsScheduler(const TapsConfig& config = {}) : config_(config) {}

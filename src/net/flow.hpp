@@ -11,6 +11,7 @@ namespace taps::net {
 
 /// Immutable description of a flow (what the workload generator produces and
 /// what the sender's probe packet carries to the controller).
+// taps-threading: immutable-after-build -- fixed at submission; concurrent reads safe
 struct FlowSpec {
   FlowId id = kInvalidFlow;
   TaskId task = kInvalidTask;
@@ -29,6 +30,7 @@ struct FlowSpec {
 /// working. `rate` is read-only through the view: writes go through
 /// set_rate() so the arena can track which flows a scheduler actually
 /// re-rated (the indexed simulation engine consumes that dirty set).
+// taps-threading: single-domain -- remaining/progress mutate under the owning advancement domain
 struct Flow {
   FlowSpec spec;
 

@@ -11,6 +11,7 @@
 
 namespace taps::net {
 
+// taps-threading: single-domain -- flow table and arena mutate under one advancement domain
 class Network {
  public:
   /// The topology must outlive the Network.

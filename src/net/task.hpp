@@ -19,6 +19,7 @@ enum class TaskState : std::uint8_t {
 
 [[nodiscard]] const char* to_string(TaskState s);
 
+// taps-threading: immutable-after-build -- fixed at submission; concurrent reads safe
 struct TaskSpec {
   TaskId id = kInvalidTask;
   double arrival = 0.0;
@@ -26,6 +27,7 @@ struct TaskSpec {
   std::vector<FlowId> flows;
 };
 
+// taps-threading: single-domain -- completion bookkeeping mutates under the owning domain
 struct Task {
   TaskSpec spec;
   TaskState state = TaskState::kPending;

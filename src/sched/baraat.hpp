@@ -10,6 +10,7 @@
 
 namespace taps::sched {
 
+// taps-threading: single-domain -- scheduler state advances under one simulation domain
 class Baraat final : public BaseScheduler {
  public:
   [[nodiscard]] std::string name() const override { return "Baraat"; }

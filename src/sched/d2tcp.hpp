@@ -20,6 +20,7 @@
 
 namespace taps::sched {
 
+// taps-threading: thread-compatible
 struct D2TcpConfig {
   double min_urgency = 0.5;  // the paper's clamp on d
   double max_urgency = 2.0;
@@ -28,6 +29,7 @@ struct D2TcpConfig {
   double update_interval = 0.001;  // seconds
 };
 
+// taps-threading: single-domain -- scheduler state advances under one simulation domain
 class D2Tcp final : public BaseScheduler {
  public:
   explicit D2Tcp(const D2TcpConfig& config = {}) : config_(config) {}

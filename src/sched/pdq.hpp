@@ -13,6 +13,7 @@
 
 namespace taps::sched {
 
+// taps-threading: thread-compatible
 struct PdqConfig {
   bool early_termination = true;
   /// PDQ switches track a bounded list of flows; a flow not in the list of
@@ -21,6 +22,7 @@ struct PdqConfig {
   std::size_t flow_list_limit = 0;
 };
 
+// taps-threading: single-domain -- scheduler state advances under one simulation domain
 class Pdq final : public BaseScheduler {
  public:
   explicit Pdq(const PdqConfig& config = {}) : config_(config) {}

@@ -25,6 +25,7 @@ namespace taps::sched {
 /// One flow of a committed plan, viewed in committed order. The pointed-to
 /// path/slices live in the scheduler and are only valid for the duration of
 /// the on_plan_committed call — copy what you need.
+// taps-threading: thread-compatible
 struct CommittedFlowView {
   net::FlowId flow = net::kInvalidFlow;
   net::TaskId task = net::kInvalidTask;

@@ -15,6 +15,7 @@ inline constexpr std::size_t kDefaultMaxPaths = 16;
 
 class ScheduleObserver;
 
+// taps-threading: single-domain -- scheduler state advances under one simulation domain
 class BaseScheduler : public sim::Scheduler {
  public:
   void bind(net::Network& net) override;

@@ -30,6 +30,7 @@ void Varys::on_task_arrival(TaskId id, double now) {
   // Route first (ECMP), then test reservations link by link. The admission
   // is all-or-nothing per task: if any wave does not fit, the whole task is
   // discarded (Varys has no notion of partially useful coflows).
+  // taps-threading: thread-compatible
   struct Candidate {
     FlowId id = 0;
     double reserve = 0.0;

@@ -15,6 +15,7 @@
 
 namespace taps::sched {
 
+// taps-threading: single-domain -- scheduler state advances under one simulation domain
 class Varys final : public BaseScheduler {
  public:
   [[nodiscard]] std::string name() const override { return "Varys"; }

@@ -16,6 +16,7 @@
 
 namespace taps::sdn {
 
+// taps-threading: thread-compatible
 struct ControllerConfig {
   core::TapsConfig taps;
   std::size_t table_capacity = 1000;  // entries installed per switch (paper)
@@ -26,6 +27,7 @@ struct ControllerConfig {
   double gather_window = 0.0;
 };
 
+// taps-threading: single-domain -- control-plane state mutates under the controller domain
 class Controller {
  public:
   /// Binds to the network for the run; builds one Switch per non-host node.

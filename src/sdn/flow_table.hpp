@@ -13,6 +13,7 @@
 
 namespace taps::sdn {
 
+// taps-threading: single-domain -- rule table mutates under the controller domain
 class FlowTable {
  public:
   explicit FlowTable(std::size_t capacity = 1000) : capacity_(capacity) {}

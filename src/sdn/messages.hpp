@@ -14,6 +14,7 @@ namespace taps::sdn {
 
 /// Scheduling header for one flow: Src, Dst, s (size), d (deadline) — the
 /// tuple the paper's senders encapsulate into the probe packet.
+// taps-threading: thread-compatible
 struct SchedulingHeader {
   net::FlowId flow = net::kInvalidFlow;
   net::TaskId task = net::kInvalidTask;
@@ -24,6 +25,7 @@ struct SchedulingHeader {
 };
 
 /// Step 2: one probe per task (all flows of a task are announced together).
+// taps-threading: thread-compatible
 struct ProbePacket {
   net::TaskId task = net::kInvalidTask;
   double sent_at = 0.0;
@@ -31,6 +33,7 @@ struct ProbePacket {
 };
 
 /// Step 4B: per-flow grant — the route and the pre-allocated time slices.
+// taps-threading: thread-compatible
 struct SliceGrant {
   net::FlowId flow = net::kInvalidFlow;
   topo::Path path;
@@ -39,6 +42,7 @@ struct SliceGrant {
 };
 
 /// Controller reply: acceptance with grants, or a discard notice (step 5).
+// taps-threading: thread-compatible
 struct ScheduleReply {
   net::TaskId task = net::kInvalidTask;
   bool accepted = false;
@@ -47,6 +51,7 @@ struct ScheduleReply {
 };
 
 /// Sender -> controller when a flow finishes (route entries are withdrawn).
+// taps-threading: thread-compatible
 struct TermPacket {
   net::FlowId flow = net::kInvalidFlow;
   double at = 0.0;

@@ -13,6 +13,7 @@
 
 namespace taps::sdn {
 
+// taps-threading: single-domain -- per-server agent state owned by the testbed domain
 class ServerAgent {
  public:
   struct Env {

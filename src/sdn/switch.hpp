@@ -7,6 +7,7 @@
 
 namespace taps::sdn {
 
+// taps-threading: single-domain -- port/queue state owned by the testbed domain
 class Switch {
  public:
   Switch(topo::NodeId node, std::size_t table_capacity)

@@ -19,6 +19,7 @@
 
 namespace taps::sdn {
 
+// taps-threading: thread-compatible
 struct TestbedConfig {
   std::uint64_t seed = 42;
   int flow_count = 100;
@@ -33,6 +34,7 @@ struct TestbedConfig {
   double control_latency = 0.0;
 };
 
+// taps-threading: thread-compatible
 struct TestbedResult {
   std::vector<metrics::ThroughputBin> taps_bins;
   std::vector<metrics::ThroughputBin> fair_bins;

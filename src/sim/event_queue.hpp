@@ -19,6 +19,7 @@ namespace taps::sim {
 
 using EventId = std::uint64_t;
 
+// taps-threading: single-domain -- heap mutates under the owning simulation domain
 class EventQueue {
  public:
   using Callback = std::function<void(double now)>;

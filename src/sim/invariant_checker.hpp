@@ -37,6 +37,7 @@ class InvariantViolation : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+// taps-threading: thread-compatible
 struct InvariantConfig {
   /// Check invariant 1 (exclusive occupancy). Only TAPS promises it; the
   /// other schedulers legitimately multiplex links.
@@ -56,6 +57,7 @@ struct InvariantConfig {
   std::size_t trace_limit = 40;
 };
 
+// taps-threading: single-domain -- oracle state tracks one simulation domain
 class InvariantChecker final : public TransmitObserver {
  public:
   /// `net` must be the network the simulation runs on and must outlive the

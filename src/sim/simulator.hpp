@@ -38,6 +38,7 @@ inline constexpr double kTimeEpsilon = 1e-9;
 
 /// Scheduling policy driven by the simulator. Implementations mutate flow
 /// state in the Network: admit/reject tasks, assign paths, set rates.
+// taps-threading: single-domain -- scheduler state advances under one simulation domain
 class Scheduler {
  public:
   virtual ~Scheduler() = default;
@@ -107,6 +108,7 @@ enum class SimEngine : std::uint8_t {
 /// are excluded from engine-equivalence comparisons — the same convention as
 /// TapsCounters, which Shard::fingerprint excludes. Deterministic for a
 /// given engine and workload.
+// taps-threading: thread-compatible
 struct SimEffort {
   std::size_t flows_touched = 0;       // per-flow visits in the hot loops
   std::size_t lazy_skips = 0;          // active-flow visits avoided vs a full rescan
@@ -114,6 +116,7 @@ struct SimEffort {
   std::size_t rate_dirty = 0;          // rate-dirty entries drained from the arena
 };
 
+// taps-threading: thread-compatible
 struct SimStats {
   double end_time = 0.0;        // time of the last event processed
   std::size_t events = 0;       // event-loop iterations
@@ -122,6 +125,7 @@ struct SimStats {
   SimEffort effort;             // engine work counters (engine-dependent)
 };
 
+// taps-threading: single-domain -- event loop state owned by one simulation domain
 class FluidSimulator {
  public:
   FluidSimulator(net::Network& net, Scheduler& scheduler,

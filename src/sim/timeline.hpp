@@ -46,6 +46,7 @@ enum class TimelineEventKind : std::uint8_t {
 /// `slices_count` intervals in the owning Timeline's arenas (offset/count
 /// into Timeline::links / Timeline::slices); all other kinds carry counts of
 /// zero. `x0`/`x1` are only meaningful for kTransmit (end time and bytes).
+// taps-threading: thread-compatible
 struct TimelineEvent {
   TimelineEventKind kind = TimelineEventKind::kRunEnd;
   double time = 0.0;
@@ -63,6 +64,7 @@ struct TimelineEvent {
 
 /// A recorded (or deserialized) event stream plus the shared arenas its
 /// grant events index into.
+// taps-threading: thread-compatible
 struct Timeline {
   std::vector<TimelineEvent> events;
   std::vector<topo::LinkId> links;     // grant link-id arena
@@ -71,6 +73,7 @@ struct Timeline {
   friend bool operator==(const Timeline&, const Timeline&) = default;
 };
 
+// taps-threading: thread-compatible
 struct TimelineConfig {
   /// Also record one kTransmit event per contiguous transmission segment.
   /// Off by default (grants already describe TAPS schedules exactly); turn
@@ -85,6 +88,7 @@ struct TimelineConfig {
 /// (or svc::Shard::set_schedule_observer for service shards; scheduler-only
 /// attachment works too and simply lacks arrival/completion/transmit
 /// events, as does simulator-only attachment for grant/decision events).
+// taps-threading: single-domain -- capture state tracks one simulation domain
 class TimelineRecorder final : public TransmitObserver, public sched::ScheduleObserver {
  public:
   TimelineRecorder() = default;

@@ -19,6 +19,7 @@ namespace taps::svc {
 using Seq = std::uint64_t;
 inline constexpr Seq kInvalidSeq = ~static_cast<Seq>(0);
 
+// taps-threading: thread-compatible
 struct FlowRequest {
   topo::NodeId src = topo::kInvalidNode;
   topo::NodeId dst = topo::kInvalidNode;
@@ -28,6 +29,7 @@ struct FlowRequest {
 /// One task arrival (the paper's coflow + deadline). Requests must be
 /// submitted in non-decreasing `arrival` order — the service runs the
 /// scheduler in virtual time and cannot admit into the past.
+// taps-threading: thread-compatible
 struct TaskRequest {
   double arrival = 0.0;
   double deadline = 0.0;  // absolute, must be > arrival
@@ -81,6 +83,7 @@ enum class Reason : std::uint8_t {
 
 /// What an accepted flow gets: its route and pre-allocated exclusive-use
 /// transmission slices (the controller's instructions to the rate limiter).
+// taps-threading: thread-compatible
 struct FlowGrant {
   topo::Path path;
   util::IntervalSet slices;
@@ -88,6 +91,7 @@ struct FlowGrant {
   friend bool operator==(const FlowGrant&, const FlowGrant&) = default;
 };
 
+// taps-threading: thread-compatible
 struct TaskResponse {
   Seq seq = kInvalidSeq;
   std::uint64_t client_tag = 0;

@@ -26,6 +26,7 @@
 
 namespace taps::svc {
 
+// taps-threading: thread-compatible
 struct ShardConfig {
   core::TapsConfig taps;
   /// Rebuild the shard's task/flow registry every this many processed
@@ -37,6 +38,7 @@ struct ShardConfig {
   std::size_t compact_interval = 1024;
 };
 
+// taps-threading: thread-compatible
 struct ShardStats {
   std::size_t processed = 0;
   std::size_t accepted = 0;
@@ -54,6 +56,7 @@ struct ShardStats {
   core::TapsCounters taps;
 };
 
+// taps-threading: single-domain -- each shard is pinned to one worker at a time
 class Shard {
  public:
   /// The topology must outlive the shard.
