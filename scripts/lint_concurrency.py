@@ -1,0 +1,586 @@
+#!/usr/bin/env python3
+"""Concurrency-contract linter for the TAPS tree (tier 2.5 of
+docs/STATIC_ANALYSIS.md).
+
+The road to parallel per-pod advancement runs through one question the
+compiler cannot answer alone: for every piece of mutable state, WHO may
+touch it from WHERE? This linter makes the answer a checked, machine-
+readable part of the source:
+
+  unmarked-class        every namespace-scope class/struct with instance
+                        data members in src/{core,net,sched,sim,svc,sdn}
+                        must declare its threading contract in a marker
+                        comment directly above (or on) its head line:
+                            // taps-threading: single-domain
+                        Vocabulary:
+                          single-domain          mutable state confined to
+                                                 one advancement domain /
+                                                 thread at a time
+                          guarded                internally synchronized;
+                                                 thread-safe API
+                          immutable-after-build  never mutated once built;
+                                                 concurrent reads safe
+                          thread-compatible      value type; each instance
+                                                 used by one thread, like
+                                                 std containers
+  marker-vocab          a taps-threading marker outside that vocabulary
+  guarded-unannotated   a class marked `guarded` whose body carries no
+                        TAPS_GUARDED_BY / TAPS_PT_GUARDED_BY annotation —
+                        the claim would be unverifiable by -Wthread-safety
+  mutable-static        mutable statics/globals outside src/util:
+                        thread_local anywhere, non-const `static` data,
+                        g_-prefixed namespace-scope variables. Hidden
+                        shared state is exactly what per-domain ownership
+                        must not have to reason about.
+  raw-primitive         raw std concurrency types (std::mutex, std::thread,
+                        std::atomic, std::condition_variable, lock guards,
+                        std::async, ...) outside src/util — all sharing
+                        goes through the annotated util::sync layer so
+                        -Wthread-safety can see it
+  lock-order            a cycle in the lock acquisition graph, built from
+                        TAPS_ACQUIRED_BEFORE/TAPS_ACQUIRED_AFTER
+                        annotations plus syntactic MutexLock /
+                        WriterMutexLock / ReaderMutexLock nesting. The
+                        blessed global order lives in docs/LOCK_ORDER.md.
+
+Escape hatch (must carry a justification on the same comment line):
+    // taps-lint: allow(<rule>[, <rule>...]) -- <why this site is safe>
+on the offending line or the line directly above it;
+    // taps-lint: allow-file(<rule>) -- <why>
+anywhere in the file disables the rule for the whole file.
+
+Usage:
+    scripts/lint_concurrency.py [paths...]      # default: src/
+    scripts/lint_concurrency.py --list-rules
+    scripts/lint_concurrency.py --dump-lock-order
+
+Exit codes: 0 clean, 1 findings, 2 usage error. Unit suite:
+tests/scripts/lint_concurrency_test.py (ctest: lint_concurrency_py).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+
+RULES = {
+    "unmarked-class": "class/struct with instance data members has no "
+                      "taps-threading marker; declare its contract",
+    "marker-vocab": "taps-threading marker outside the vocabulary "
+                    "(single-domain | guarded | immutable-after-build | "
+                    "thread-compatible)",
+    "guarded-unannotated": "class marked `guarded` has no TAPS_GUARDED_BY / "
+                           "TAPS_PT_GUARDED_BY member annotation",
+    "mutable-static": "mutable static/global state outside util; move it "
+                      "into caller-owned state (scratch, members)",
+    "raw-primitive": "raw std concurrency primitive outside util; use the "
+                     "annotated util::sync layer",
+    "lock-order": "cycle in the lock acquisition graph; see "
+                  "docs/LOCK_ORDER.md for the global order",
+}
+
+MARKERS = {"single-domain", "guarded", "immutable-after-build",
+           "thread-compatible"}
+
+# Directories (under src/) whose classes must carry threading markers.
+MARKER_DIRS = ("core", "net", "sched", "sim", "svc", "sdn")
+
+ALLOW_RE = re.compile(r"taps-lint:\s*allow\(([^)]*)\)")
+ALLOW_FILE_RE = re.compile(r"taps-lint:\s*allow-file\(([^)]*)\)")
+MARKER_RE = re.compile(r"taps-threading:\s*([A-Za-z][A-Za-z-]*)")
+
+RAW_PRIMITIVE_RE = re.compile(
+    r"\bstd::(?:mutex|recursive_mutex|timed_mutex|recursive_timed_mutex"
+    r"|shared_mutex|shared_timed_mutex"
+    r"|condition_variable(?:_any)?"
+    r"|thread|jthread|this_thread"
+    r"|atomic(?:_[a-z0-9_]+)?"
+    r"|lock_guard|unique_lock|shared_lock|scoped_lock"
+    r"|call_once|once_flag|async|counting_semaphore|binary_semaphore"
+    r"|barrier|latch)\b")
+
+THREAD_LOCAL_RE = re.compile(r"\bthread_local\b")
+STATIC_DECL_RE = re.compile(r"^\s*(?:inline\s+)?static\s+(?!assert)")
+STATIC_IMMUTABLE_RE = re.compile(
+    r"^\s*(?:inline\s+)?static\s+(?:inline\s+)?(?:const(?:expr|init)?\b|const\b)")
+GLOBAL_G_RE = re.compile(
+    r"^\s*(?:[A-Za-z_][\w:<>,\s.*&]*[\s&*])?(g_[a-z][a-z0-9_]*)\s*[;={(]")
+
+CLASS_HEAD_RE = re.compile(
+    r"^\s*(?:template\s*<[^;{]*>\s*)?(class|struct|union)\s+"
+    r"(?:TAPS_\w+\s*(?:\([^)]*\))?\s*)*"
+    r"(?:alignas\s*\([^)]*\)\s*)?"
+    r"([A-Za-z_]\w*)\b(?!\s*;)")
+NAMESPACE_RE = re.compile(r"^\s*(?:inline\s+)?namespace\b")
+ENUM_RE = re.compile(r"^\s*enum\b")
+ACCESS_RE = re.compile(r"^\s*(?:public|private|protected)\s*:")
+TAPS_MACRO_RE = re.compile(r"\bTAPS_\w+\s*(?:\([^()]*(?:\([^()]*\)[^()]*)*\))?")
+ATTR_RE = re.compile(r"\[\[[^\]]*\]\]")
+MEMBER_RE = re.compile(
+    r"^\s*(?:mutable\s+)?(?:const\s+)?[A-Za-z_][\w:]*(?:\s+[A-Za-z_][\w:]*)*"
+    r"[\s&*]+[&*]*\s*([A-Za-z_]\w*)\s*(?:\[[^\]]*\])?\s*"
+    r"(?:\{[^;]*\})?\s*(?:=[^;]*)?;\s*$")
+MEMBER_SKIP_RE = re.compile(
+    r"^\s*(?:using\b|typedef\b|friend\b|template\b|static\b|constexpr\b"
+    r"|inline\s+constexpr\b|enum\b|class\b|struct\b|union\b|return\b"
+    r"|delete\b|if\b|for\b|while\b|switch\b|case\b|goto\b|operator\b)")
+GUARDED_ANNOTATION_RE = re.compile(r"\bTAPS_(?:PT_)?GUARDED_BY\s*\(")
+
+ACQUIRED_BEFORE_RE = re.compile(r"\bTAPS_ACQUIRED_BEFORE\s*\(([^)]*)\)")
+ACQUIRED_AFTER_RE = re.compile(r"\bTAPS_ACQUIRED_AFTER\s*\(([^)]*)\)")
+LOCK_DECL_RE = re.compile(
+    r"\b(?:util::)?(MutexLock|WriterMutexLock|ReaderMutexLock)\s+"
+    r"([A-Za-z_]\w*)\s*[({]\s*([^);}]+?)\s*[)}]")
+FUNC_QUAL_RE = re.compile(
+    r"(?:^|[\s*&])([A-Za-z_]\w*)::(?:[A-Za-z_]\w*|operator[^\s(]*)\s*\(")
+
+
+def strip_comments_and_strings(lines: list[str]) -> list[str]:
+    """Blank out comment and string/char-literal contents, preserving line
+    structure so reported line numbers stay exact."""
+    out = []
+    in_block = False
+    for line in lines:
+        res = []
+        i, n = 0, len(line)
+        while i < n:
+            c = line[i]
+            if in_block:
+                if line.startswith("*/", i):
+                    in_block = False
+                    i += 2
+                    res.append("  ")
+                else:
+                    res.append(" ")
+                    i += 1
+            elif line.startswith("//", i):
+                res.append(" " * (n - i))
+                break
+            elif line.startswith("/*", i):
+                in_block = True
+                res.append("  ")
+                i += 2
+            elif c in "\"'":
+                quote = c
+                res.append(" ")
+                i += 1
+                while i < n:
+                    if line[i] == "\\":
+                        res.append("  ")
+                        i += 2
+                    elif line[i] == quote:
+                        res.append(" ")
+                        i += 1
+                        break
+                    else:
+                        res.append(" ")
+                        i += 1
+            else:
+                res.append(c)
+                i += 1
+        out.append("".join(res))
+    return out
+
+
+def parse_allows(lines: list[str]) -> tuple[list[set], set]:
+    """Per-line allowed rule sets (an allow covers its own line and the next
+    line below it) plus file-wide allows."""
+    per_line: list[set] = [set() for _ in lines]
+    file_wide: set = set()
+    for idx, line in enumerate(lines):
+        m = ALLOW_FILE_RE.search(line)
+        if m:
+            file_wide.update(r.strip() for r in m.group(1).split(","))
+        m = ALLOW_RE.search(line)
+        if m:
+            rules = {r.strip() for r in m.group(1).split(",")}
+            per_line[idx].update(rules)
+            if idx + 1 < len(lines):
+                per_line[idx + 1].update(rules)
+    return per_line, file_wide
+
+
+def collapse_templates(text: str) -> str:
+    """`std::unordered_map<K, V> name` -> `std::unordered_map name`."""
+    out, depth = [], 0
+    for c in text:
+        if c == "<":
+            depth += 1
+        elif c == ">":
+            depth = max(0, depth - 1)
+        elif depth == 0:
+            out.append(c)
+    return "".join(out)
+
+
+def norm(path: str) -> str:
+    return path.replace(os.sep, "/")
+
+
+def is_util(path: str) -> bool:
+    return "/util/" in norm(path) or norm(path).startswith("util/")
+
+
+def marker_covered(path: str) -> bool:
+    p = norm(path)
+    return any(f"/{d}/" in p or p.startswith(f"{d}/") for d in MARKER_DIRS)
+
+
+def find_marker(raw: list[str], head_idx: int) -> tuple[str | None, int]:
+    """taps-threading marker on the class head line or in the contiguous
+    comment block directly above it. Returns (marker, line_idx)."""
+    m = MARKER_RE.search(raw[head_idx])
+    if m:
+        return m.group(1), head_idx
+    i = head_idx - 1
+    while i >= 0:
+        line = raw[i].strip()
+        if not (line.startswith("//") or line.startswith("*")
+                or line.startswith("/*") or line.endswith("*/")):
+            break
+        m = MARKER_RE.search(raw[i])
+        if m:
+            return m.group(1), i
+        i -= 1
+    return None, head_idx
+
+
+class Scope:
+    """One open brace scope: a namespace, class/struct, enum, or other."""
+
+    def __init__(self, kind: str, name: str, body_depth: int, head_idx: int):
+        self.kind = kind          # 'class' | 'namespace' | 'enum' | 'other'
+        self.name = name
+        self.body_depth = body_depth
+        self.head_idx = head_idx
+        self.has_member = False
+        self.member_idx = -1
+        self.has_guard_annotation = False
+
+
+def innermost_class(stack: list[Scope]) -> Scope | None:
+    for sc in reversed(stack):
+        if sc.kind == "class":
+            return sc
+    return None
+
+
+def toplevel_class(stack: list[Scope]) -> Scope | None:
+    for sc in stack:
+        if sc.kind == "class":
+            return sc
+    return None
+
+
+class LockGraph:
+    """Acquisition-order graph: edge a -> b means `a is (or must be)
+    acquired before b`. Nodes are canonical mutex names; each edge remembers
+    one witness site for reporting."""
+
+    def __init__(self):
+        self.edges: dict[str, dict[str, tuple[str, int]]] = {}
+
+    def touch(self, node: str):
+        self.edges.setdefault(node, {})
+
+    def add(self, a: str, b: str, path: str, line: int):
+        self.touch(a)
+        self.touch(b)
+        self.edges[a].setdefault(b, (path, line))
+
+    def cycles(self) -> list[list[str]]:
+        """Every elementary cycle reachable via iterative DFS (reported once
+        per distinct node set, smallest-first for determinism)."""
+        found: dict[frozenset, list[str]] = {}
+        color: dict[str, int] = {}
+        stack_path: list[str] = []
+
+        def dfs(u: str):
+            color[u] = 1
+            stack_path.append(u)
+            for v in sorted(self.edges.get(u, {})):
+                if color.get(v, 0) == 1:
+                    cyc = stack_path[stack_path.index(v):]
+                    found.setdefault(frozenset(cyc), list(cyc))
+                elif color.get(v, 0) == 0:
+                    dfs(v)
+            stack_path.pop()
+            color[u] = 2
+
+        for node in sorted(self.edges):
+            if color.get(node, 0) == 0:
+                dfs(node)
+        return [found[k] for k in sorted(found, key=lambda s: sorted(s))]
+
+    def topo_order(self) -> list[str]:
+        """Kahn topological order (name-sorted among ready nodes); only
+        meaningful when cycle-free."""
+        indeg: dict[str, int] = {n: 0 for n in self.edges}
+        for u in self.edges:
+            for v in self.edges[u]:
+                indeg[v] = indeg.get(v, 0) + 1
+        ready = sorted(n for n, d in indeg.items() if d == 0)
+        order: list[str] = []
+        while ready:
+            u = ready.pop(0)
+            order.append(u)
+            for v in sorted(self.edges.get(u, {})):
+                indeg[v] -= 1
+                if indeg[v] == 0:
+                    ready.append(v)
+                    ready.sort()
+        return order
+
+
+def canonical_mutex(expr: str, qualifier: str | None) -> str:
+    """Canonical node name for a lock expression: `mu_` inside
+    AdmissionService::submit -> `AdmissionService::mu_`; `progress.mu` and
+    already-qualified names pass through."""
+    expr = expr.strip()
+    expr = re.sub(r"^\*", "", expr)  # MutexLock lock(*mu_ptr)
+    if (re.fullmatch(r"[A-Za-z_]\w*", expr) and qualifier
+            and not expr.startswith("g_")):
+        return f"{qualifier}::{expr}"
+    return expr
+
+
+def lint_file(path: str, graph: LockGraph) -> list:
+    with open(path, encoding="utf-8", errors="replace") as f:
+        raw = f.read().splitlines()
+    stripped = strip_comments_and_strings(raw)
+    per_line_allow, file_allow = parse_allows(raw)
+
+    def allowed(idx: int, rule: str) -> bool:
+        return rule in file_allow or rule in per_line_allow[idx]
+
+    findings: list = []
+
+    def add(idx: int, rule: str, detail: str = ""):
+        if not allowed(idx, rule):
+            findings.append((path, idx + 1, rule, detail or RULES[rule]))
+
+    in_util = is_util(path)
+    covered = marker_covered(path)
+
+    depth = 0
+    scope_stack: list[Scope] = []
+    pending: Scope | None = None        # head seen, waiting for its `{`
+    func_qualifier: str | None = None   # Class name of the enclosing method
+    held: list[tuple[int, str, int]] = []  # (depth at acquisition, mutex, line)
+
+    for idx, line in enumerate(stripped):
+        code = ATTR_RE.sub(" ", line)
+        nomacro = TAPS_MACRO_RE.sub(" ", code)
+        flat = collapse_templates(nomacro)
+
+        # ---- per-line textual rules --------------------------------------
+        if not in_util:
+            if RAW_PRIMITIVE_RE.search(code):
+                add(idx, "raw-primitive",
+                    f"raw primitive "
+                    f"'{RAW_PRIMITIVE_RE.search(code).group(0)}' outside "
+                    f"util::sync")
+            if THREAD_LOCAL_RE.search(code):
+                add(idx, "mutable-static",
+                    "thread_local state; pass caller-owned scratch instead")
+            elif (STATIC_DECL_RE.search(flat)
+                  and not STATIC_IMMUTABLE_RE.search(flat)
+                  and "(" not in flat):
+                add(idx, "mutable-static",
+                    "non-const static data; hidden shared state")
+            elif depth <= 1 or (scope_stack
+                                and scope_stack[-1].kind == "namespace"):
+                m = GLOBAL_G_RE.match(flat)
+                if m and "const" not in flat.split(m.group(1))[0]:
+                    add(idx, "mutable-static",
+                        f"namespace-scope global '{m.group(1)}'")
+
+        # ---- scope tracking ----------------------------------------------
+        head = CLASS_HEAD_RE.match(code) if not ENUM_RE.match(code) else None
+        if head and pending is None:
+            pending = Scope("class", head.group(2), depth + 1, idx)
+        elif pending is None and NAMESPACE_RE.match(code) and "{" in code:
+            pending = Scope("namespace", "", depth + 1, idx)
+        elif pending is None and ENUM_RE.match(code) and ";" not in code:
+            pending = Scope("enum", "", depth + 1, idx)
+
+        # Method-definition qualifier (for canonical mutex names in .cpp).
+        # Captured only at namespace level — qualified *calls* inside bodies
+        # (std::max(...)) sit at deeper brace depth and must not clobber it.
+        at_namespace_level = all(sc.kind == "namespace" for sc in scope_stack) \
+            and depth == (scope_stack[-1].body_depth if scope_stack else 0)
+        qual = FUNC_QUAL_RE.search(flat)
+        if qual and at_namespace_level:
+            func_qualifier = qual.group(1)
+
+        # Member + annotation detection in a direct class body.
+        cls = scope_stack[-1] if scope_stack else None
+        if (cls is not None and cls.kind == "class"
+                and depth == cls.body_depth and pending is None
+                and not ACCESS_RE.match(code)):
+            if GUARDED_ANNOTATION_RE.search(code):
+                for sc in scope_stack:
+                    if sc.kind == "class":
+                        sc.has_guard_annotation = True
+            if (not MEMBER_SKIP_RE.match(flat.strip())
+                    and "(" not in flat and ")" not in flat):
+                m = MEMBER_RE.match(flat)
+                if m:
+                    top = toplevel_class(scope_stack)
+                    if top is not None and not top.has_member:
+                        top.has_member = True
+                        top.member_idx = idx
+
+        # Lock acquisitions (syntactic nesting -> order edges). The recorded
+        # depth is the brace depth AT the declaration, counting any braces
+        # earlier on the same line, so `{ MutexLock l(mu); }` pops correctly.
+        for lm in LOCK_DECL_RE.finditer(code):
+            inner = innermost_class(scope_stack)
+            qualifier = inner.name if inner is not None else func_qualifier
+            mutex = canonical_mutex(lm.group(3), qualifier)
+            graph.touch(mutex)
+            if not allowed(idx, "lock-order"):
+                for _, held_mutex, _ in held:
+                    if held_mutex != mutex:
+                        graph.add(held_mutex, mutex, path, idx + 1)
+                    else:
+                        add(idx, "lock-order",
+                            f"'{mutex}' re-acquired while already held")
+            prefix = code[:lm.start()]
+            eff_depth = depth + prefix.count("{") - prefix.count("}")
+            held.append((eff_depth, mutex, idx))
+
+        # Declared ordering edges on mutex members.
+        inner = innermost_class(scope_stack)
+        qualifier = inner.name if inner is not None else func_qualifier
+        member_decl = MEMBER_RE.match(flat) if "(" not in flat else None
+        subject = None
+        if member_decl and (ACQUIRED_BEFORE_RE.search(code)
+                            or ACQUIRED_AFTER_RE.search(code)):
+            subject = canonical_mutex(member_decl.group(1), qualifier)
+        if subject is not None:
+            for m in ACQUIRED_BEFORE_RE.finditer(code):
+                for target in m.group(1).split(","):
+                    graph.add(subject, canonical_mutex(target, qualifier),
+                              path, idx + 1)
+            for m in ACQUIRED_AFTER_RE.finditer(code):
+                for target in m.group(1).split(","):
+                    graph.add(canonical_mutex(target, qualifier), subject,
+                              path, idx + 1)
+
+        # ---- brace accounting (and scope exit) ---------------------------
+        for c in line:
+            if c == "{":
+                depth += 1
+                if pending is not None and depth == pending.body_depth:
+                    scope_stack.append(pending)
+                    pending = None
+            elif c == "}":
+                depth -= 1
+                while scope_stack and depth < scope_stack[-1].body_depth:
+                    finish_class(scope_stack.pop(), raw, path, covered,
+                                 findings, allowed)
+                while held and held[-1][0] > depth:
+                    held.pop()
+        if pending is not None and ";" in code and "{" not in code:
+            pending = None  # forward declaration / member with class-ish head
+
+    while scope_stack:
+        finish_class(scope_stack.pop(), raw, path, covered, findings, allowed)
+    return findings
+
+
+def finish_class(scope: Scope, raw: list[str], path: str, covered: bool,
+                 findings: list, allowed) -> None:
+    if scope.kind != "class":
+        return
+    marker, marker_idx = find_marker(raw, scope.head_idx)
+    if marker is not None and marker not in MARKERS:
+        if not allowed(marker_idx, "marker-vocab"):
+            findings.append((path, marker_idx + 1, "marker-vocab",
+                             f"unknown taps-threading marker '{marker}'"))
+        return
+    if not covered:
+        return
+    if scope.has_member and marker is None:
+        if not allowed(scope.head_idx, "unmarked-class"):
+            findings.append((path, scope.head_idx + 1, "unmarked-class",
+                             f"class '{scope.name}' has instance state "
+                             f"(first member at line {scope.member_idx + 1}) "
+                             f"but no taps-threading marker"))
+    if marker == "guarded" and not scope.has_guard_annotation:
+        if not allowed(scope.head_idx, "guarded-unannotated"):
+            findings.append((path, scope.head_idx + 1, "guarded-unannotated",
+                             f"class '{scope.name}' is marked guarded but "
+                             f"has no TAPS_GUARDED_BY member"))
+
+
+def collect_files(paths: list[str]) -> list[str]:
+    files: list[str] = []
+    for p in paths:
+        if os.path.isfile(p):
+            files.append(p)
+        elif os.path.isdir(p):
+            for root, _dirs, names in os.walk(p):
+                for name in sorted(names):
+                    if name.endswith((".hpp", ".h", ".cpp", ".cc")):
+                        files.append(os.path.join(root, name))
+        else:
+            print(f"error: no such path: {p}", file=sys.stderr)
+            raise SystemExit(2)
+    return sorted(set(files))
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("paths", nargs="*", default=None,
+                        help="files or directories to lint (default: src/)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print rule ids and exit")
+    parser.add_argument("--dump-lock-order", action="store_true",
+                        help="print the computed global lock order and exit "
+                             "(input to docs/LOCK_ORDER.md)")
+    args = parser.parse_args()
+
+    if args.list_rules:
+        for rule, desc in RULES.items():
+            print(f"{rule}: {desc}")
+        return 0
+
+    files = collect_files(args.paths or ["src"])
+    graph = LockGraph()
+    all_findings = []
+    for path in files:
+        all_findings.extend(lint_file(path, graph))
+
+    for cycle in graph.cycles():
+        witness_path, witness_line = "<declared>", 0
+        first, second = cycle[0], cycle[1 % len(cycle)]
+        if second in graph.edges.get(first, {}):
+            witness_path, witness_line = graph.edges[first][second]
+        all_findings.append(
+            (witness_path, witness_line, "lock-order",
+             "acquisition cycle: " + " -> ".join(cycle + [cycle[0]])))
+
+    if args.dump_lock_order:
+        cycles = graph.cycles()
+        if cycles:
+            for c in cycles:
+                print("CYCLE: " + " -> ".join(c + [c[0]]))
+            return 1
+        for name in graph.topo_order():
+            print(name)
+        return 0
+
+    all_findings.sort(key=lambda f: (f[0], f[1], f[2]))
+    for path, line, rule, detail in all_findings:
+        print(f"{path}:{line}: [{rule}] {detail}")
+    print(f"lint_concurrency: {len(files)} files, "
+          f"{len(all_findings)} findings")
+    return 1 if all_findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,375 @@
+"""Tests for scripts/lint_concurrency.py (the concurrency-contract linter).
+
+Run from ctest as `lint_concurrency_py` — stdlib only. The linter is
+exercised end-to-end as a subprocess so the exit-code contract (0 clean /
+1 findings / 2 usage error) is what is actually pinned. Fixtures cover
+every rule positively and negatively, the allow()/allow-file() escape
+hatches, lock-order graph extraction (nesting, declared edges, cycles,
+--dump-lock-order), and a clean run over the real repo src/ (the
+zero-findings acceptance gate).
+
+Fixture files are placed under a `src/core/` subdirectory of the tempdir
+when a rule is scoped to the marker-covered directories, and under
+`src/util/` to exercise the util exemptions.
+"""
+
+import pathlib
+import subprocess
+import sys
+import tempfile
+import unittest
+
+REPO = pathlib.Path(__file__).resolve().parents[2]
+SCRIPT = REPO / "scripts" / "lint_concurrency.py"
+
+
+def run_lint(*args, cwd=None):
+    return subprocess.run(
+        [sys.executable, str(SCRIPT), *map(str, args)],
+        capture_output=True, text=True, cwd=cwd, check=False)
+
+
+class LintCase(unittest.TestCase):
+    def setUp(self):
+        self._tmp = tempfile.TemporaryDirectory()
+        self.tmp = pathlib.Path(self._tmp.name)
+        self.addCleanup(self._tmp.cleanup)
+
+    def write(self, source, name="src/core/fixture.hpp"):
+        path = self.tmp / name
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source, encoding="utf-8")
+        return path
+
+    def lint(self, source, name="src/core/fixture.hpp"):
+        return run_lint(self.write(source, name))
+
+    def assert_finding(self, source, rule, name="src/core/fixture.hpp"):
+        proc = self.lint(source, name)
+        self.assertEqual(proc.returncode, 1, proc.stdout + proc.stderr)
+        self.assertIn(f"[{rule}]", proc.stdout)
+        return proc
+
+    def assert_clean(self, source, name="src/core/fixture.hpp"):
+        proc = self.lint(source, name)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        return proc
+
+
+class UnmarkedClassTest(LintCase):
+    def test_struct_with_member_fires(self):
+        self.assert_finding("struct Foo {\n  int x = 0;\n};\n",
+                            "unmarked-class")
+
+    def test_class_with_member_fires(self):
+        self.assert_finding(
+            "class Bar {\n public:\n  void f();\n private:\n"
+            "  double y_ = 0.0;\n};\n", "unmarked-class")
+
+    def test_marker_on_head_line_accepted(self):
+        self.assert_clean(
+            "struct Foo {  // taps-threading: thread-compatible\n"
+            "  int x = 0;\n};\n")
+
+    def test_marker_above_head_accepted(self):
+        self.assert_clean(
+            "// taps-threading: single-domain -- owned by one domain\n"
+            "struct Foo {\n  int x = 0;\n};\n")
+
+    def test_marker_in_doc_comment_block_accepted(self):
+        self.assert_clean(
+            "/// Documentation line one.\n"
+            "// taps-threading: immutable-after-build\n"
+            "/// More documentation.\n"
+            "struct Foo {\n  int x = 0;\n};\n")
+
+    def test_methods_only_class_is_exempt(self):
+        self.assert_clean(
+            "struct Stateless {\n  int f() const;\n  void g(int v);\n};\n")
+
+    def test_using_and_constants_are_not_members(self):
+        self.assert_clean(
+            "struct Consts {\n"
+            "  using Id = int;\n"
+            "  static constexpr int kMax = 4;\n"
+            "  enum class Kind { kA, kB };\n"
+            "};\n")
+
+    def test_forward_declaration_is_exempt(self):
+        self.assert_clean("struct Fwd;\nclass Other;\n")
+
+    def test_outside_covered_dirs_is_exempt(self):
+        self.assert_clean("struct Foo {\n  int x = 0;\n};\n",
+                          name="src/exp/fixture.hpp")
+
+    def test_nested_class_reported_once_at_top_level(self):
+        proc = self.assert_finding(
+            "struct Outer {\n  struct Inner {\n    int v = 0;\n  };\n"
+            "  Inner i;\n};\n", "unmarked-class")
+        self.assertEqual(proc.stdout.count("[unmarked-class]"), 1)
+
+    def test_member_with_guarded_by_annotation_is_a_member(self):
+        # Trailing TAPS macros carry parens; they must not make the
+        # declaration look like a function.
+        self.assert_finding(
+            "struct S {\n  int v TAPS_GUARDED_BY(mu_) = 0;\n};\n",
+            "unmarked-class")
+
+    def test_allow_on_head_line(self):
+        self.assert_clean(
+            "struct Foo {  // taps-lint: allow(unmarked-class) -- fixture\n"
+            "  int x = 0;\n};\n")
+
+
+class MarkerVocabTest(LintCase):
+    def test_unknown_marker_fires(self):
+        self.assert_finding(
+            "// taps-threading: lockfree\n"
+            "struct Foo {\n  int x = 0;\n};\n", "marker-vocab")
+
+    def test_all_four_markers_accepted(self):
+        for marker in ("single-domain", "guarded", "immutable-after-build",
+                       "thread-compatible"):
+            src = (f"// taps-threading: {marker}\n"
+                   "struct Foo {\n  int x TAPS_GUARDED_BY(mu_) = 0;\n};\n")
+            self.assert_clean(src)
+
+    def test_marker_with_rationale_accepted(self):
+        self.assert_clean(
+            "// taps-threading: single-domain -- one instance per domain\n"
+            "struct Foo {\n  int x = 0;\n};\n")
+
+
+class GuardedUnannotatedTest(LintCase):
+    def test_guarded_without_annotation_fires(self):
+        self.assert_finding(
+            "// taps-threading: guarded\n"
+            "struct Foo {\n  int x = 0;\n};\n", "guarded-unannotated")
+
+    def test_guarded_with_annotation_accepted(self):
+        self.assert_clean(
+            "// taps-threading: guarded\n"
+            "struct Foo {\n  int x TAPS_GUARDED_BY(mu_) = 0;\n};\n")
+
+    def test_guarded_with_pt_annotation_accepted(self):
+        self.assert_clean(
+            "// taps-threading: guarded\n"
+            "struct Foo {\n  int* p TAPS_PT_GUARDED_BY(mu_) = nullptr;\n};\n")
+
+
+class MutableStaticTest(LintCase):
+    def test_thread_local_fires(self):
+        self.assert_finding(
+            "void f() {\n  thread_local int calls = 0;\n}\n",
+            "mutable-static", name="src/core/fixture.cpp")
+
+    def test_non_const_static_fires(self):
+        self.assert_finding("static int counter = 0;\n", "mutable-static",
+                            name="src/core/fixture.cpp")
+
+    def test_g_prefixed_global_fires(self):
+        self.assert_finding("int g_total = 0;\n", "mutable-static",
+                            name="src/core/fixture.cpp")
+
+    def test_constexpr_static_is_exempt(self):
+        self.assert_clean(
+            "static constexpr int kMax = 8;\n"
+            "static const char* const kName = \"x\";\n",
+            name="src/core/fixture.cpp")
+
+    def test_util_is_exempt(self):
+        self.assert_clean("static int g_level = 0;\nthread_local int t = 0;\n",
+                          name="src/util/fixture.cpp")
+
+    def test_allow_with_justification(self):
+        self.assert_clean(
+            "// taps-lint: allow(mutable-static) -- interned at startup\n"
+            "static int counter = 0;\n", name="src/core/fixture.cpp")
+
+
+class RawPrimitiveTest(LintCase):
+    def test_std_mutex_fires(self):
+        self.assert_finding("std::mutex mu;\n", "raw-primitive",
+                            name="src/core/fixture.cpp")
+
+    def test_std_thread_fires(self):
+        self.assert_finding("std::thread t;\n", "raw-primitive",
+                            name="src/core/fixture.cpp")
+
+    def test_std_atomic_fires(self):
+        self.assert_finding("std::atomic<int> n{0};\n", "raw-primitive",
+                            name="src/core/fixture.cpp")
+
+    def test_lock_guard_and_async_fire(self):
+        self.assert_finding("std::lock_guard<std::mutex> l(mu);\n",
+                            "raw-primitive", name="src/core/fixture.cpp")
+        self.assert_finding("auto fut = std::async(f);\n", "raw-primitive",
+                            name="src/core/fixture.cpp")
+
+    def test_util_aliases_are_clean(self):
+        self.assert_clean(
+            "util::Atomic<int> n{0};\nutil::Thread worker;\n"
+            "util::Mutex mu;\n", name="src/core/fixture.cpp")
+
+    def test_std_future_is_not_banned(self):
+        # ThreadPool::submit legitimately hands std::future to callers.
+        self.assert_clean("std::future<int> fut;\n",
+                          name="src/core/fixture.cpp")
+
+    def test_util_is_exempt(self):
+        self.assert_clean("std::mutex mu;\nstd::atomic<int> n{0};\n",
+                          name="src/util/sync_impl.hpp")
+
+    def test_comment_and_string_mentions_are_clean(self):
+        self.assert_clean(
+            "// std::mutex is banned here\n"
+            "const char* s = \"std::thread\";\n",
+            name="src/core/fixture.cpp")
+
+
+class LockOrderTest(LintCase):
+    def test_consistent_nesting_is_clean(self):
+        self.assert_clean(
+            "void f() {\n  util::MutexLock a(mu_a);\n"
+            "  util::MutexLock b(mu_b);\n}\n"
+            "void g() {\n  util::MutexLock a(mu_a);\n"
+            "  util::MutexLock b(mu_b);\n}\n",
+            name="src/util/fixture.cpp")
+
+    def test_inverted_nesting_reports_cycle(self):
+        proc = self.assert_finding(
+            "void f() {\n  util::MutexLock a(mu_a);\n"
+            "  util::MutexLock b(mu_b);\n}\n"
+            "void g() {\n  util::MutexLock b(mu_b);\n"
+            "  util::MutexLock a(mu_a);\n}\n",
+            "lock-order", name="src/util/fixture.cpp")
+        self.assertIn("acquisition cycle", proc.stdout)
+
+    def test_reacquisition_of_held_mutex_fires(self):
+        self.assert_finding(
+            "void f() {\n  util::MutexLock a(mu_a);\n"
+            "  util::MutexLock b(mu_a);\n}\n",
+            "lock-order", name="src/util/fixture.cpp")
+
+    def test_scoped_release_breaks_nesting(self):
+        self.assert_clean(
+            "void f() {\n  { util::MutexLock a(mu_a); }\n"
+            "  { util::MutexLock b(mu_b); }\n}\n"
+            "void g() {\n  { util::MutexLock b(mu_b); }\n"
+            "  { util::MutexLock a(mu_a); }\n}\n",
+            name="src/util/fixture.cpp")
+
+    def test_member_mutex_qualified_by_class(self):
+        path_a = self.write(
+            "struct A {\n  void f();\n  util::Mutex mu_;\n};\n"
+            "void A::f() {\n  util::MutexLock l(mu_);\n"
+            "  util::MutexLock g(g_mu);\n}\n", name="src/util/a.cpp")
+        path_b = self.write(
+            "struct B {\n  void f();\n  util::Mutex mu_;\n};\n"
+            "void B::f() {\n  util::MutexLock g(g_mu);\n"
+            "  util::MutexLock l(mu_);\n}\n", name="src/util/b.cpp")
+        # A::mu_ -> g_mu and g_mu -> B::mu_ is NOT a cycle: the two
+        # member mutexes are distinct nodes.
+        proc = run_lint(path_a, path_b)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+
+    def test_declared_acquired_before_cycle(self):
+        self.assert_finding(
+            "struct S {\n"
+            "  util::Mutex a_ TAPS_ACQUIRED_BEFORE(b_);\n"
+            "  util::Mutex b_ TAPS_ACQUIRED_BEFORE(a_);\n"
+            "};\n", "lock-order", name="src/util/fixture.hpp")
+
+    def test_declared_acquired_after_consistent(self):
+        self.assert_clean(
+            "struct S {\n"
+            "  util::Mutex a_ TAPS_ACQUIRED_BEFORE(b_);\n"
+            "  util::Mutex b_ TAPS_ACQUIRED_AFTER(a_);\n"
+            "};\n", name="src/util/fixture.hpp")
+
+    def test_dump_lock_order_topological(self):
+        path = self.write(
+            "struct S {\n"
+            "  util::Mutex a_ TAPS_ACQUIRED_BEFORE(b_);\n"
+            "  util::Mutex b_ TAPS_ACQUIRED_BEFORE(c_);\n"
+            "  util::Mutex c_;\n"
+            "};\n", name="src/util/fixture.hpp")
+        proc = run_lint("--dump-lock-order", path)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        lines = proc.stdout.split()
+        self.assertLess(lines.index("S::a_"), lines.index("S::b_"))
+        self.assertLess(lines.index("S::b_"), lines.index("S::c_"))
+
+    def test_dump_lock_order_cycle_fails(self):
+        path = self.write(
+            "struct S {\n"
+            "  util::Mutex a_ TAPS_ACQUIRED_BEFORE(b_);\n"
+            "  util::Mutex b_ TAPS_ACQUIRED_BEFORE(a_);\n"
+            "};\n", name="src/util/fixture.hpp")
+        proc = run_lint("--dump-lock-order", path)
+        self.assertEqual(proc.returncode, 1, proc.stdout + proc.stderr)
+        self.assertIn("CYCLE", proc.stdout)
+
+    def test_allow_drops_edge(self):
+        self.assert_clean(
+            "void f() {\n  util::MutexLock a(mu_a);\n"
+            "  util::MutexLock b(mu_b);\n}\n"
+            "void g() {\n  util::MutexLock b(mu_b);\n"
+            "  // taps-lint: allow(lock-order) -- fixture justifies inversion\n"
+            "  util::MutexLock a(mu_a);\n}\n",
+            name="src/util/fixture.cpp")
+
+
+class EscapeHatchTest(LintCase):
+    def test_allow_covers_next_line(self):
+        self.assert_clean(
+            "// taps-lint: allow(raw-primitive) -- fixture\n"
+            "std::mutex mu;\n", name="src/core/fixture.cpp")
+
+    def test_allow_file_disables_rule_everywhere(self):
+        self.assert_clean(
+            "// taps-lint: allow-file(raw-primitive) -- fixture\n"
+            "std::mutex a;\nstd::mutex b;\nstd::thread t;\n",
+            name="src/core/fixture.cpp")
+
+    def test_allow_does_not_cover_other_rules(self):
+        self.assert_finding(
+            "// taps-lint: allow(mutable-static) -- wrong rule\n"
+            "std::mutex mu;\n", "raw-primitive",
+            name="src/core/fixture.cpp")
+
+    def test_allow_multiple_rules(self):
+        self.assert_clean(
+            "// taps-lint: allow(raw-primitive, mutable-static) -- fixture\n"
+            "static std::mutex mu;\n", name="src/core/fixture.cpp")
+
+
+class CliTest(LintCase):
+    def test_list_rules(self):
+        proc = run_lint("--list-rules")
+        self.assertEqual(proc.returncode, 0)
+        for rule in ("unmarked-class", "marker-vocab", "guarded-unannotated",
+                     "mutable-static", "raw-primitive", "lock-order"):
+            self.assertIn(rule, proc.stdout)
+
+    def test_missing_path_is_usage_error(self):
+        proc = run_lint(self.tmp / "does-not-exist")
+        self.assertEqual(proc.returncode, 2, proc.stdout + proc.stderr)
+
+
+class CleanTreeTest(unittest.TestCase):
+    """The acceptance gate: the real tree has zero findings."""
+
+    def test_repo_src_is_clean(self):
+        proc = run_lint(REPO / "src")
+        self.assertEqual(proc.returncode, 0,
+                         "concurrency lint found issues:\n" + proc.stdout)
+
+    def test_repo_lock_order_is_acyclic(self):
+        proc = run_lint("--dump-lock-order", REPO / "src")
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        self.assertNotIn("CYCLE", proc.stdout)
+
+
+if __name__ == "__main__":
+    unittest.main()
